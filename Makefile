@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench tools experiments crashtest fuzz clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+tools:
+	go build -o bin/ ./cmd/...
+
+# Regenerate every table and figure of the paper (moderate fidelity;
+# raise -secs / -n for the paper's full 20-second, 1M-op settings).
+experiments: tools
+	mkdir -p results
+	./bin/romulus-table1 -stores 64 -txs 200                         | tee results/table1.txt
+	./bin/romulus-recover -sizes 1000,10000,100000,1000000           | tee results/recovery.txt
+	./bin/romulus-bench -fig 4 -threads 1,2,4,8 -secs 0.5            | tee results/fig4.txt
+	./bin/romulus-bench -fig 5 -threads 1,2,4,8 -secs 0.5            | tee results/fig5.txt
+	./bin/romulus-bench -fig 6 -threads 1,4 -secs 0.5 -sizes 10000,100000,1000000 | tee results/fig6.txt
+	./bin/romulus-bench -fig 7 -threads 2,4,8,16 -secs 0.5           | tee results/fig7.txt
+	./bin/romulus-db -n 100000 -threads 1,2,4                        | tee results/fig8.txt
+	./bin/romulus-sps -secs 0.3                                      | tee results/fig9.txt
+	./bin/romulus-bench -pwbhist                                     | tee results/pwbhist.txt
+
+crashtest: tools
+	./bin/romulus-crashtest -rounds 10000
+
+fuzz:
+	go test -fuzz FuzzAllocFree -fuzztime 60s ./internal/alloc
+	go test -fuzz FuzzCrashRecovery -fuzztime 60s ./internal/core
+
+clean:
+	rm -rf bin

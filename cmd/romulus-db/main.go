@@ -1,0 +1,70 @@
+// Command romulus-db regenerates Figure 8 of the Romulus paper: the
+// LevelDB db_bench workloads (fillseq, fillsync, fillrandom, overwrite,
+// readseq, readreverse, fill-100k) on RomulusDB and on the bundled
+// LevelDB-style baseline, reporting microseconds per operation.
+//
+// The paper uses one million operations per thread; the default here is
+// 100,000 for a quick pass (-n 1000000 for full fidelity).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "operations per thread (fillsync/fill100k cap at 1,000)")
+	threads := flag.String("threads", "1,2,4", "comma-separated thread counts")
+	workloads := flag.String("workloads", strings.Join(bench.DBWorkloads, ","), "workloads to run")
+	dbs := flag.String("dbs", "romdb,leveldb", "stores to benchmark")
+	dir := flag.String("dir", "", "scratch directory for leveldb files (default: temp)")
+	flag.Parse()
+
+	ths, err := bench.ParseInts(*threads)
+	exitOn(err)
+	scratch := *dir
+	if scratch == "" {
+		scratch, err = os.MkdirTemp("", "romulus-db-*")
+		exitOn(err)
+		defer os.RemoveAll(scratch)
+	}
+	for _, w := range strings.Split(*workloads, ",") {
+		w = strings.TrimSpace(w)
+		t := bench.NewTable(append([]string{"db \\ threads"}, header(ths)...)...)
+		for _, db := range strings.Split(*dbs, ",") {
+			db = strings.TrimSpace(db)
+			row := []any{db}
+			for i, th := range ths {
+				res, err := bench.RunDBBench(db, w, filepath.Join(scratch, fmt.Sprintf("%s-%s-%d", db, w, i)), th, *n)
+				exitOn(err)
+				row = append(row, res.MicrosPerOp)
+			}
+			t.Row(row...)
+		}
+		unit := "µs/op"
+		if w == "fill100k" {
+			unit = "µs/op (100 kB values)"
+		}
+		fmt.Printf("Figure 8 — %s (%s, %d ops/thread)\n%s\n", w, unit, *n, t)
+	}
+}
+
+func header(ths []int) []string {
+	out := make([]string, len(ths))
+	for i, t := range ths {
+		out[i] = fmt.Sprintf("%d", t)
+	}
+	return out
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "romulus-db:", err)
+		os.Exit(1)
+	}
+}

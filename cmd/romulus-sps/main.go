@@ -1,0 +1,50 @@
+// Command romulus-sps regenerates Figure 9 of the Romulus paper: the SPS
+// microbenchmark (random swaps in a 10,000-element persistent integer
+// array) across transaction sizes and persistence models — clwb+sfence,
+// clflushopt+sfence, clflush, emulated STT-RAM and emulated PCM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/pmem"
+)
+
+func main() {
+	engines := flag.String("engines", "all", "comma-separated engine list")
+	swaps := flag.String("swaps", "1,4,8,16,32,64,128,256,1024", "swaps per transaction")
+	models := flag.String("models", "clwb,clflushopt,clflush,stt,pcm", "persistence models to sweep")
+	secs := flag.Float64("secs", 1, "seconds per data point")
+	flag.Parse()
+
+	kinds, err := bench.ParseEngines(*engines)
+	exitOn(err)
+	sw, err := bench.ParseInts(*swaps)
+	exitOn(err)
+	var ms []pmem.Model
+	for _, name := range strings.Split(*models, ",") {
+		m, ok := pmem.ModelByName(strings.TrimSpace(name))
+		if !ok {
+			exitOn(fmt.Errorf("unknown model %q", name))
+		}
+		ms = append(ms, m)
+	}
+	out, err := bench.Fig9(bench.FigOptions{
+		Engines:  kinds,
+		Duration: time.Duration(*secs * float64(time.Second)),
+	}, sw, ms)
+	exitOn(err)
+	fmt.Print(out)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "romulus-sps:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+// Command romulus-table1 regenerates Table 1 of the Romulus paper: per
+// transaction persistence-fence counts, write-back counts and write
+// amplification, measured on the runnable engines (the three Romulus
+// variants, the Mnemosyne-style redo-log STM and the PMDK-style undo-log
+// PTM) and computed analytically for the paper-only systems (Vista, Atlas,
+// JustDo).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	stores := flag.Int("stores", 64, "64-bit stores per transaction")
+	txs := flag.Int("txs", 100, "transactions to average over")
+	flag.Parse()
+
+	rows, err := bench.MeasureTable1(*stores, *txs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "romulus-table1:", err)
+		os.Exit(1)
+	}
+	rows = append(rows, bench.AnalyticTable1Rows(*stores)...)
+	t := bench.NewTable("engine", "log type", "interposition", "fences/tx", "pwbs/tx", "user B/tx", "persisted B/tx", "amplification %")
+	for _, r := range rows {
+		src := "measured"
+		if !r.Measured {
+			src = "analytic"
+		}
+		_ = src
+		t.Row(r.Engine, r.LogType, r.Interposition, r.Fences, r.Pwbs, r.UserBytes, r.PersistedBytes, r.AmplificationPct)
+	}
+	fmt.Printf("Table 1 — transactional persistence costs (%d stores/tx; paper-only systems analytic)\n%s", *stores, t)
+}

@@ -1,0 +1,127 @@
+package romulus_test
+
+import (
+	"bytes"
+	"fmt"
+
+	romulus "repro"
+)
+
+// Example shows the basic transaction lifecycle: durable updates, reads,
+// and automatic rollback on error.
+func Example() {
+	eng, _ := romulus.New(4<<20, romulus.Config{})
+
+	var counter romulus.Ptr
+	eng.Update(func(tx romulus.Tx) error {
+		p, err := tx.Alloc(8)
+		if err != nil {
+			return err
+		}
+		counter = p
+		tx.Store64(counter, 10)
+		tx.SetRoot(0, counter)
+		return nil
+	})
+
+	// A failing transaction rolls everything back.
+	eng.Update(func(tx romulus.Tx) error {
+		tx.Store64(counter, 999)
+		return fmt.Errorf("changed my mind")
+	})
+
+	eng.Read(func(tx romulus.Tx) error {
+		fmt.Println("counter:", tx.Load64(tx.Root(0)))
+		return nil
+	})
+	// Output: counter: 10
+}
+
+// ExampleNewRBTree demonstrates the persistent sorted map, including the
+// ordered-navigation API.
+func ExampleNewRBTree() {
+	eng, _ := romulus.New(4<<20, romulus.Config{})
+	var tree *romulus.RBTree
+	eng.Update(func(tx romulus.Tx) error {
+		var err error
+		tree, err = romulus.NewRBTree(tx, 0)
+		if err != nil {
+			return err
+		}
+		for _, k := range []uint64{30, 10, 50, 20, 40} {
+			if _, err := tree.Put(tx, k, k*100); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	eng.Read(func(tx romulus.Tx) error {
+		min, _, _ := tree.Min(tx)
+		max, _, _ := tree.Max(tx)
+		ceil, _, _ := tree.Ceiling(tx, 25)
+		fmt.Println("min:", min, "max:", max, "ceiling(25):", ceil)
+		tree.RangeBetween(tx, 20, 40, func(k, v uint64) bool {
+			fmt.Println("in range:", k)
+			return true
+		})
+		return nil
+	})
+	// Output:
+	// min: 10 max: 50 ceiling(25): 30
+	// in range: 20
+	// in range: 30
+	// in range: 40
+}
+
+// ExampleOpenDB demonstrates RomulusDB's LevelDB-style interface with
+// fully durable writes.
+func ExampleOpenDB() {
+	db, _ := romulus.OpenDB(romulus.DBOptions{RegionSize: 4 << 20})
+	db.Put([]byte("city"), []byte("Neuchatel"))
+
+	var batch romulus.DBBatch
+	batch.Put([]byte("venue"), []byte("SPAA"))
+	batch.Put([]byte("year"), []byte("2018"))
+	db.Write(&batch) // atomic and durable as a unit
+
+	v, _ := db.Get([]byte("city"))
+	fmt.Println("city:", string(v))
+	fmt.Println("pairs:", db.Len())
+	// Output:
+	// city: Neuchatel
+	// pairs: 3
+}
+
+// ExampleEngine_Snapshot demonstrates online backups: a consistent image
+// taken while the engine stays available, restored into a new engine.
+func ExampleEngine_Snapshot() {
+	eng, _ := romulus.New(2<<20, romulus.Config{})
+	var p romulus.Ptr
+	eng.Update(func(tx romulus.Tx) error {
+		p, _ = tx.Alloc(8)
+		tx.Store64(p, 7)
+		tx.SetRoot(0, p)
+		return nil
+	})
+
+	var backup bytes.Buffer
+	eng.Snapshot(&backup)
+
+	eng.Update(func(tx romulus.Tx) error { // after the backup
+		tx.Store64(p, 8)
+		return nil
+	})
+
+	restored, _ := romulus.RestoreSnapshot(&backup, romulus.Config{})
+	restored.Read(func(tx romulus.Tx) error {
+		fmt.Println("backup holds:", tx.Load64(tx.Root(0)))
+		return nil
+	})
+	eng.Read(func(tx romulus.Tx) error {
+		fmt.Println("live engine holds:", tx.Load64(tx.Root(0)))
+		return nil
+	})
+	// Output:
+	// backup holds: 7
+	// live engine holds: 8
+}

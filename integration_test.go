@@ -1,0 +1,182 @@
+package romulus_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	romulus "repro"
+	"repro/internal/pmem"
+)
+
+// TestFullStackScenario walks the whole public surface in one storyline:
+// build several structures in one engine, take an online snapshot, keep
+// mutating, crash with an adversarial policy, recover, and verify that the
+// recovered state is the committed state and the snapshot is the earlier
+// cut. This is the end-to-end path a downstream adopter exercises.
+func TestFullStackScenario(t *testing.T) {
+	eng, err := romulus.New(8<<20, romulus.Config{Variant: romulus.RomLR})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var set *romulus.LinkedListSet
+	var tree *romulus.RBTree
+	var q *romulus.Queue
+	if err := eng.Update(func(tx romulus.Tx) error {
+		var err error
+		if set, err = romulus.NewLinkedListSet(tx, 0); err != nil {
+			return err
+		}
+		if tree, err = romulus.NewRBTree(tx, 1); err != nil {
+			return err
+		}
+		if q, err = romulus.NewQueue(tx, 2); err != nil {
+			return err
+		}
+		for k := uint64(1); k <= 50; k++ {
+			if _, err := set.Add(tx, k); err != nil {
+				return err
+			}
+			if _, err := tree.Put(tx, k, k*k); err != nil {
+				return err
+			}
+			if err := q.Enqueue(tx, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Online snapshot of the 50-element state.
+	var snap bytes.Buffer
+	if err := eng.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// More committed work after the snapshot.
+	for k := uint64(51); k <= 60; k++ {
+		k := k
+		if err := eng.Update(func(tx romulus.Tx) error {
+			if _, err := set.Add(tx, k); err != nil {
+				return err
+			}
+			_, err := tree.Put(tx, k, k*k)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A transaction that crashes mid-flight under a torn-word adversary.
+	dev := eng.Device()
+	var img []byte
+	n := 0
+	dev.SetPwbHook(func(uint64) {
+		n++
+		if img == nil && n == 7 {
+			img = dev.CrashImage(pmem.CrashPolicy{QueuedPersistProb: 0.5, TearWords: true})
+		}
+	})
+	eng.Update(func(tx romulus.Tx) error {
+		for k := uint64(61); k <= 90; k++ {
+			if _, err := set.Add(tx, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	dev.SetPwbHook(nil)
+	if img == nil {
+		t.Fatal("no crash image captured")
+	}
+
+	// Recovery: the crashed transaction is all-or-nothing; everything
+	// committed before it must be intact.
+	rec, err := romulus.Open(pmem.FromImage(img, pmem.ModelDRAM), romulus.Config{Variant: romulus.RomLR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rset := romulus.AttachLinkedListSet(0)
+	rtree := romulus.AttachRBTree(1)
+	rq := romulus.AttachQueue(2)
+	rec.Read(func(tx romulus.Tx) error {
+		if got := rset.Len(tx); got != 60 && got != 90 {
+			t.Errorf("set Len = %d, want 60 (rolled back) or 90 (committed)", got)
+		}
+		if !rtree.CheckInvariants(tx) {
+			t.Error("tree invariants violated after recovery")
+		}
+		for k := uint64(1); k <= 60; k++ {
+			if v, err := rtree.Get(tx, k); err != nil || v != k*k {
+				t.Fatalf("tree lost committed key %d: %d, %v", k, v, err)
+			}
+		}
+		if got := rq.Len(tx); got != 50 {
+			t.Errorf("queue Len = %d, want 50", got)
+		}
+		return nil
+	})
+
+	// The snapshot restores the 50-element cut.
+	old, err := romulus.RestoreSnapshot(&snap, romulus.Config{Variant: romulus.RomLR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Read(func(tx romulus.Tx) error {
+		if got := romulus.AttachLinkedListSet(0).Len(tx); got != 50 {
+			t.Errorf("snapshot set Len = %d, want 50", got)
+		}
+		if romulus.AttachLinkedListSet(0).Contains(tx, 51) {
+			t.Error("snapshot contains post-snapshot key")
+		}
+		return nil
+	})
+}
+
+// TestDBHeapExhaustion verifies the store degrades cleanly when the
+// persistent heap fills: Put returns ErrOutOfMemory (rolled back), and the
+// existing data stays intact and readable.
+func TestDBHeapExhaustion(t *testing.T) {
+	db, err := romulus.OpenDB(romulus.DBOptions{RegionSize: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{1}, 1024)
+	var stored int
+	var oom error
+	for i := 0; i < 10_000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key%05d", i)), val); err != nil {
+			oom = err
+			break
+		}
+		stored++
+	}
+	if !errors.Is(oom, romulus.ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v (stored %d)", oom, stored)
+	}
+	if stored == 0 {
+		t.Fatal("nothing stored before exhaustion")
+	}
+	// All previously stored pairs must be intact.
+	if db.Len() != stored {
+		t.Errorf("Len = %d, want %d", db.Len(), stored)
+	}
+	for i := 0; i < stored; i += 10 {
+		if _, err := db.Get([]byte(fmt.Sprintf("key%05d", i))); err != nil {
+			t.Fatalf("key %d lost after OOM: %v", i, err)
+		}
+	}
+	// Deleting frees space for new writes.
+	for i := 0; i < 10; i++ {
+		if err := db.Delete([]byte(fmt.Sprintf("key%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Put([]byte("after-oom"), val); err != nil {
+		t.Fatalf("Put after freeing space: %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+package alloc
+
+import "testing"
+
+// FuzzAllocFree interprets the fuzz input as a sequence of allocator
+// commands and checks the heap invariants after every step. Run with
+// `go test -fuzz FuzzAllocFree ./internal/alloc`; the seeds below also run
+// in ordinary `go test`.
+func FuzzAllocFree(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 0, 100, 1, 1})
+	f.Add([]byte{0, 255, 0, 255, 1, 0, 1, 1, 0, 16})
+	f.Add(bytes16(0, 1, 0, 2, 0, 3, 1, 1, 1, 0, 0, 200, 1, 0, 0, 50))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mem := make(sliceMem, 1<<16)
+		h, err := Format(mem, 0, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []uint64
+		for i := 0; i+1 < len(data); i += 2 {
+			cmd, arg := data[i], data[i+1]
+			switch cmd % 3 {
+			case 0: // alloc of arg*8 bytes
+				p, err := h.Alloc(int(arg) * 8)
+				if err == ErrOutOfMemory {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("Alloc: %v", err)
+				}
+				live = append(live, p)
+			case 1: // free a live pointer
+				if len(live) == 0 {
+					continue
+				}
+				idx := int(arg) % len(live)
+				if err := h.Free(live[idx]); err != nil {
+					t.Fatalf("Free(%d): %v", live[idx], err)
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			case 2: // free a bogus pointer: must fail cleanly
+				bogus := uint64(arg) * 7
+				if err := h.Free(bogus); err == nil {
+					// Only legal if it happened to be live.
+					found := false
+					for _, p := range live {
+						if p == bogus {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("Free(%d) of non-live pointer succeeded", bogus)
+					}
+					// Remove it so we don't double free later.
+					for i, p := range live {
+						if p == bogus {
+							live = append(live[:i], live[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+	})
+}
+
+func bytes16(vals ...byte) []byte { return vals }

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// PwbHistograms reproduces the §6.2 analysis: the distribution of pwb
+// instructions per update transaction on each data structure, measured on
+// a RomulusLog engine. The paper reports an average of ~10 pwbs for the
+// linked list and a dispersed histogram with peaks around 50 and 130 for
+// the red-black tree (most of them issued by the memory allocator).
+func PwbHistograms(keys, opsPerDS int) (string, error) {
+	var out strings.Builder
+	for _, ds := range DSKinds {
+		e, err := core.New(RegionFor(keys, 8), core.Config{Variant: core.RomLog})
+		if err != nil {
+			return "", err
+		}
+		d, err := NewDS(e, ds, keys, 0)
+		if err != nil {
+			return "", fmt.Errorf("pwbhist %s: %w", ds, err)
+		}
+		h, err := e.NewHandle()
+		if err != nil {
+			return "", err
+		}
+		rng := rand.New(rand.NewSource(21))
+		e.ResetPwbHistogram() // exclude the prefill transactions
+		for i := 0; i < opsPerDS; i++ {
+			if err := d.Update(h, uint64(rng.Intn(keys))); err != nil {
+				return "", err
+			}
+		}
+		h.Release()
+		hist := e.PwbHistogram()
+		modes := hist.Modes(2, 16)
+		fmt.Fprintf(&out, "pwbs per update transaction — %s (%d keys, steady state)\n", ds, keys)
+		fmt.Fprintf(&out, "%s", hist.String())
+		fmt.Fprintf(&out, "histogram peaks: %v\n\n", modes)
+	}
+	return out.String(), nil
+}

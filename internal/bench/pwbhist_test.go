@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The §6.2 histogram analysis must show the paper's qualitative contrast:
+// the linked list's per-transaction pwb distribution is tighter and lower
+// than the red-black tree's.
+func TestPwbHistograms(t *testing.T) {
+	out, err := PwbHistograms(200, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range DSKinds {
+		if !strings.Contains(out, ds) {
+			t.Errorf("output missing %s section", ds)
+		}
+	}
+	if !strings.Contains(out, "histogram peaks") {
+		t.Error("output missing peak analysis")
+	}
+}

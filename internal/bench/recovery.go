@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/pstruct"
+	"repro/internal/ptm"
+)
+
+// RecoveryResult is one §6.5 data point: how long recovery takes after a
+// mid-transaction crash, as a function of how much data lives in the
+// region (recovery copies back over main up to the used watermark).
+type RecoveryResult struct {
+	Entries   int
+	Watermark int // bytes recovery must copy
+	Duration  time.Duration
+}
+
+// MeasureRecovery populates a RomulusLog hash map with entries key-value
+// pairs (16-byte keys, 100-byte values, as in the paper's measurement),
+// crashes the engine in the middle of an update transaction, and times the
+// recovery performed by Open.
+func MeasureRecovery(entries int) (RecoveryResult, error) {
+	region := entries*360 + (8 << 20)
+	e, err := core.New(region, core.Config{Variant: core.RomLog})
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	var m *pstruct.ByteMap
+	if err := e.Update(func(tx ptm.Tx) error {
+		mm, err := pstruct.NewByteMap(tx, 0, 0)
+		m = mm
+		return err
+	}); err != nil {
+		return RecoveryResult{}, err
+	}
+	val := make([]byte, 100)
+	const batch = 512
+	for lo := 0; lo < entries; lo += batch {
+		hi := lo + batch
+		if hi > entries {
+			hi = entries
+		}
+		if err := e.Update(func(tx ptm.Tx) error {
+			for i := lo; i < hi; i++ {
+				if _, err := m.Put(tx, dbKey(i), val); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return RecoveryResult{}, fmt.Errorf("bench: recovery prefill: %w", err)
+		}
+	}
+	// Crash mid-transaction so the persisted state is MUT and recovery has
+	// to copy the full watermark back over main.
+	dev := e.Device()
+	var img []byte
+	dev.SetPwbHook(func(n uint64) {
+		if img == nil {
+			img = dev.CrashImage(pmem.KeepQueued)
+		}
+	})
+	if err := e.Update(func(tx ptm.Tx) error {
+		_, err := m.Put(tx, dbKey(0), val)
+		return err
+	}); err != nil {
+		return RecoveryResult{}, err
+	}
+	dev.SetPwbHook(nil)
+	if img == nil {
+		return RecoveryResult{}, fmt.Errorf("bench: no crash image captured")
+	}
+	crashed := pmem.FromImage(img, pmem.ModelDRAM)
+	start := time.Now()
+	re, err := core.Open(crashed, core.Config{Variant: core.RomLog})
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	dur := time.Since(start)
+	return RecoveryResult{Entries: entries, Watermark: re.Watermark(), Duration: dur}, nil
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ptm"
+)
+
+// Bank-transfer workload: concurrent transfers preserve the total balance,
+// and every read transaction observes a consistent (fully-transferred)
+// snapshot. This exercises durable linearizability's visibility half for
+// all three engines: C-RW-WP for Rom/RomLog, Left-Right for RomLR.
+func TestConcurrentBankTransfers(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		e := newEngine(t, v)
+		const accounts = 32
+		const initial = 1000
+		var arr ptm.Ptr
+		if err := e.Update(func(tx ptm.Tx) error {
+			var err error
+			arr, err = tx.Alloc(accounts * 8)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < accounts; i++ {
+				tx.Store64(arr+ptm.Ptr(i*8), initial)
+			}
+			tx.SetRoot(0, arr)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		const writers, readers, transfers = 4, 4, 300
+		var wwg, rwg sync.WaitGroup
+		stop := make(chan struct{})
+		for w := 0; w < writers; w++ {
+			wwg.Add(1)
+			go func(seed int64) {
+				defer wwg.Done()
+				h, err := e.NewHandle()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer h.Release()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < transfers; i++ {
+					from := rng.Intn(accounts)
+					to := rng.Intn(accounts)
+					amount := uint64(rng.Intn(10))
+					if err := h.Update(func(tx ptm.Tx) error {
+						a := tx.Root(0)
+						fv := tx.Load64(a + ptm.Ptr(from*8))
+						if fv < amount {
+							return nil
+						}
+						tx.Store64(a+ptm.Ptr(from*8), fv-amount)
+						tv := tx.Load64(a + ptm.Ptr(to*8))
+						tx.Store64(a+ptm.Ptr(to*8), tv+amount)
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(int64(w))
+		}
+		for r := 0; r < readers; r++ {
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				h, err := e.NewHandle()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer h.Release()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := h.Read(func(tx ptm.Tx) error {
+						a := tx.Root(0)
+						var sum uint64
+						for i := 0; i < accounts; i++ {
+							sum += tx.Load64(a + ptm.Ptr(i*8))
+						}
+						if sum != accounts*initial {
+							return fmt.Errorf("inconsistent snapshot: sum = %d, want %d", sum, accounts*initial)
+						}
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					// On a single-CPU machine a non-yielding reader burns
+					// whole scheduler quanta and starves the writers.
+					runtime.Gosched()
+				}
+			}()
+		}
+		wwg.Wait()
+		close(stop)
+		rwg.Wait()
+
+		// Final audit.
+		if err := e.Read(func(tx ptm.Tx) error {
+			a := tx.Root(0)
+			var sum uint64
+			for i := 0; i < accounts; i++ {
+				sum += tx.Load64(a + ptm.Ptr(i*8))
+			}
+			if sum != accounts*initial {
+				return fmt.Errorf("final sum = %d", sum)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// Concurrent allocation/free churn through the flat combiner must keep the
+// sequential allocator consistent.
+func TestConcurrentAllocFree(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		e := newEngine(t, v)
+		const workers = 6
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				h, err := e.NewHandle()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer h.Release()
+				rng := rand.New(rand.NewSource(seed))
+				var mine []ptm.Ptr
+				for i := 0; i < 150; i++ {
+					if len(mine) == 0 || rng.Intn(2) == 0 {
+						if err := h.Update(func(tx ptm.Tx) error {
+							p, err := tx.Alloc(8 + rng.Intn(200))
+							if err != nil {
+								return err
+							}
+							tx.Store64(p, uint64(seed))
+							mine = append(mine, p)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					} else {
+						i := rng.Intn(len(mine))
+						p := mine[i]
+						if err := h.Update(func(tx ptm.Tx) error {
+							if got := tx.Load64(p); got != uint64(seed) {
+								return fmt.Errorf("my block holds %d, want %d", got, seed)
+							}
+							return tx.Free(p)
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+						mine[i] = mine[len(mine)-1]
+						mine = mine[:len(mine)-1]
+					}
+				}
+			}(int64(w))
+		}
+		wg.Wait()
+		if err := e.CheckHeap(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// Under RomulusLR, read transactions must make progress while an update is
+// in flight (wait-freedom): readers run against the back copy during the
+// mutation phase.
+func TestRomLRReadersProgressDuringUpdate(t *testing.T) {
+	e := newEngine(t, RomLR)
+	var p ptm.Ptr
+	e.Update(func(tx ptm.Tx) error {
+		var err error
+		p, err = tx.Alloc(64)
+		tx.SetRoot(0, p)
+		tx.Store64(p, 1)
+		return err
+	})
+
+	inTx := make(chan struct{})
+	release := make(chan struct{})
+	var updateDone sync.WaitGroup
+	updateDone.Add(1)
+	go func() {
+		defer updateDone.Done()
+		e.Update(func(tx ptm.Tx) error {
+			tx.Store64(p, 2)
+			close(inTx)
+			<-release // hold the transaction open
+			return nil
+		})
+	}()
+	<-inTx
+	// The writer is mid-transaction. Readers must complete and must see the
+	// pre-transaction value (durable snapshot on back).
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, _ := e.NewHandle()
+			defer h.Release()
+			for i := 0; i < 100; i++ {
+				h.Read(func(tx ptm.Tx) error {
+					if got := tx.Load64(tx.Root(0)); got != 1 {
+						t.Errorf("reader saw %d during in-flight update, want 1", got)
+					}
+					reads.Add(1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if reads.Load() != 400 {
+		t.Fatalf("only %d reads completed while writer in flight", reads.Load())
+	}
+	close(release)
+	updateDone.Wait()
+	e.Read(func(tx ptm.Tx) error {
+		if got := tx.Load64(tx.Root(0)); got != 2 {
+			t.Errorf("value after update = %d, want 2", got)
+		}
+		return nil
+	})
+}
+
+// Flat combining should actually combine under contention: with many
+// simultaneous writers, some operations must be executed by a combiner on
+// behalf of another thread.
+func TestFlatCombiningAggregates(t *testing.T) {
+	e := newEngine(t, RomLog)
+	var p ptm.Ptr
+	e.Update(func(tx ptm.Tx) error {
+		var err error
+		p, err = tx.Alloc(8)
+		return err
+	})
+	var wg sync.WaitGroup
+	const workers, iters = 8, 400
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, _ := e.NewHandle()
+			defer h.Release()
+			for i := 0; i < iters; i++ {
+				h.Update(func(tx ptm.Tx) error {
+					tx.Store64(p, tx.Load64(p)+1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	e.Read(func(tx ptm.Tx) error {
+		if got := tx.Load64(p); got != workers*iters {
+			t.Errorf("counter = %d, want %d", got, workers*iters)
+		}
+		return nil
+	})
+	if s := e.Stats(); s.Combined == 0 {
+		t.Log("warning: no operations were combined (timing-dependent)")
+	} else {
+		t.Logf("combined %d operations", s.Combined)
+	}
+}

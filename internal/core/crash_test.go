@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+const crashRegion = 1 << 15 // small region keeps image captures cheap
+
+// crashPolicies is the adversary set every persistence point is tested
+// against: lose everything unfenced, keep everything queued, and a torn
+// randomized mix (including random eviction of never-flushed lines).
+func crashPolicies(seed int64) []pmem.CrashPolicy {
+	return []pmem.CrashPolicy{
+		pmem.DropAll,
+		pmem.KeepQueued,
+		{QueuedPersistProb: 0.5, EvictDirtyProb: 0.2, TearWords: true,
+			Rand: rand.New(rand.NewSource(seed))},
+	}
+}
+
+// captureAll arms hooks that snapshot a crash image at every store, pwb and
+// fence while fn runs, under each policy.
+func captureAll(dev *pmem.Device, seed int64, fn func()) [][]byte {
+	var images [][]byte
+	capture := func() {
+		for _, pol := range crashPolicies(seed) {
+			images = append(images, dev.CrashImage(pol))
+		}
+	}
+	dev.SetStoreHook(func(uint64) { capture() })
+	dev.SetPwbHook(func(uint64) { capture() })
+	dev.SetFenceHook(capture)
+	defer func() {
+		dev.SetStoreHook(nil)
+		dev.SetPwbHook(nil)
+		dev.SetFenceHook(nil)
+	}()
+	fn()
+	capture() // final quiescent point
+	return images
+}
+
+// TestCrashAtomicityEveryPersistencePoint is the central recovery test: a
+// transaction mutating several distant locations (and allocating) is
+// crashed at every persistence event under every adversary policy; after
+// recovery the persistent state must be entirely pre-transaction or
+// entirely post-transaction.
+func TestCrashAtomicityEveryPersistencePoint(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		e, err := New(crashRegion, Config{Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p ptm.Ptr
+		if err := e.Update(func(tx ptm.Tx) error {
+			var err error
+			p, err = tx.Alloc(4096)
+			if err != nil {
+				return err
+			}
+			tx.SetRoot(0, p)
+			for i := 0; i < 4096; i += 512 {
+				tx.Store64(p+ptm.Ptr(i), 100)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		images := captureAll(e.Device(), 42, func() {
+			err := e.Update(func(tx ptm.Tx) error {
+				for i := 0; i < 4096; i += 512 {
+					tx.Store64(p+ptm.Ptr(i), 200)
+				}
+				q, err := tx.Alloc(128)
+				if err != nil {
+					return err
+				}
+				tx.Store64(q, 777)
+				tx.SetRoot(1, q)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		if len(images) < 20 {
+			t.Fatalf("only %d crash images captured", len(images))
+		}
+		for n, img := range images {
+			re, err := Open(pmem.FromImage(img, pmem.ModelDRAM), Config{Variant: v})
+			if err != nil {
+				t.Fatalf("image %d: recovery failed: %v", n, err)
+			}
+			if err := re.Read(func(tx ptm.Tx) error {
+				base := tx.Root(0)
+				first := tx.Load64(base)
+				if first != 100 && first != 200 {
+					return fmt.Errorf("impossible value %d", first)
+				}
+				for i := 0; i < 4096; i += 512 {
+					if got := tx.Load64(base + ptm.Ptr(i)); got != first {
+						return fmt.Errorf("torn transaction: slot %d = %d, first = %d", i, got, first)
+					}
+				}
+				q := tx.Root(1)
+				if first == 100 && !q.IsNil() {
+					return fmt.Errorf("pre-state values but root 1 = %d", q)
+				}
+				if first == 200 {
+					if q.IsNil() {
+						return fmt.Errorf("post-state values but root 1 nil")
+					}
+					if got := tx.Load64(q); got != 777 {
+						return fmt.Errorf("allocated object holds %d", got)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("image %d: %v", n, err)
+			}
+			if err := re.CheckHeap(); err != nil {
+				t.Fatalf("image %d: heap corrupt after recovery: %v", n, err)
+			}
+		}
+	})
+}
+
+// Crash during recovery itself must be recoverable (recovery is
+// idempotent).
+func TestCrashDuringRecovery(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		e, err := New(crashRegion, Config{Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p ptm.Ptr
+		e.Update(func(tx ptm.Tx) error {
+			var err error
+			p, err = tx.Alloc(256)
+			tx.SetRoot(0, p)
+			tx.Store64(p, 1)
+			return err
+		})
+		// Produce a mid-transaction (MUT) crash image.
+		var mutImg []byte
+		dev := e.Device()
+		dev.SetStoreHook(func(n uint64) {
+			if mutImg == nil && dev.Load64(offState) == stateMUT {
+				mutImg = dev.CrashImage(pmem.DropAll)
+			}
+		})
+		e.Update(func(tx ptm.Tx) error {
+			tx.Store64(p, 2)
+			return nil
+		})
+		dev.SetStoreHook(nil)
+		if mutImg == nil {
+			t.Fatal("no MUT-state image captured")
+		}
+		// Crash the recovery at each of its persistence events.
+		rdev := pmem.FromImage(mutImg, pmem.ModelDRAM)
+		images := captureAll(rdev, 7, func() {
+			if _, err := Open(rdev, Config{Variant: v}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		for n, img := range images {
+			re, err := Open(pmem.FromImage(img, pmem.ModelDRAM), Config{Variant: v})
+			if err != nil {
+				t.Fatalf("image %d: %v", n, err)
+			}
+			re.Read(func(tx ptm.Tx) error {
+				if got := tx.Load64(tx.Root(0)); got != 1 && got != 2 {
+					t.Errorf("image %d: value %d after twice-crashed recovery", n, got)
+				}
+				return nil
+			})
+		}
+	})
+}
+
+// A rolled-back transaction followed by a crash must recover to the
+// pre-transaction state.
+func TestCrashAfterRollback(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		e, err := New(crashRegion, Config{Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p ptm.Ptr
+		e.Update(func(tx ptm.Tx) error {
+			var err error
+			p, err = tx.Alloc(64)
+			tx.SetRoot(0, p)
+			tx.Store64(p, 11)
+			return err
+		})
+		e.Update(func(tx ptm.Tx) error {
+			tx.Store64(p, 22)
+			return fmt.Errorf("user abort")
+		})
+		img := e.Device().CrashImage(pmem.DropAll)
+		re, err := Open(pmem.FromImage(img, pmem.ModelDRAM), Config{Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		re.Read(func(tx ptm.Tx) error {
+			if got := tx.Load64(tx.Root(0)); got != 11 {
+				t.Errorf("value after rollback+crash = %d, want 11", got)
+			}
+			return nil
+		})
+	})
+}
+
+// Random workload with a crash after a random transaction count: the
+// recovered state must equal the state after some committed prefix — and
+// because crashes only happen between Update calls here, exactly the full
+// committed history.
+func TestCrashAfterRandomWorkload(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			e, err := New(crashRegion, Config{Variant: v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const slots = 16
+			var arr ptm.Ptr
+			e.Update(func(tx ptm.Tx) error {
+				var err error
+				arr, err = tx.Alloc(slots * 8)
+				tx.SetRoot(0, arr)
+				return err
+			})
+			model := make([]uint64, slots)
+			n := 2 + rng.Intn(20)
+			for i := 0; i < n; i++ {
+				j, val := rng.Intn(slots), rng.Uint64()
+				model[j] = val
+				e.Update(func(tx ptm.Tx) error {
+					tx.Store64(arr+ptm.Ptr(j*8), val)
+					return nil
+				})
+			}
+			img := e.Device().CrashImage(pmem.CrashPolicy{
+				QueuedPersistProb: rng.Float64(),
+				EvictDirtyProb:    rng.Float64() * 0.5,
+				TearWords:         true,
+				Rand:              rng,
+			})
+			re, err := Open(pmem.FromImage(img, pmem.ModelDRAM), Config{Variant: v})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			re.Read(func(tx ptm.Tx) error {
+				a := tx.Root(0)
+				for j := 0; j < slots; j++ {
+					if got := tx.Load64(a + ptm.Ptr(j*8)); got != model[j] {
+						t.Errorf("seed %d slot %d: %d, want %d", seed, j, got, model[j])
+					}
+				}
+				return nil
+			})
+		}
+	})
+}
+
+// Crash during initial format must leave the device reformat-able.
+func TestCrashDuringFormat(t *testing.T) {
+	dev := pmem.New(headSize+2*crashRegion, pmem.ModelDRAM)
+	images := captureAll(dev, 3, func() {
+		if _, err := Open(dev, Config{Variant: RomLog}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Sample a spread of points (formatting generates many events).
+	step := len(images)/50 + 1
+	for n := 0; n < len(images); n += step {
+		re, err := Open(pmem.FromImage(images[n], pmem.ModelDRAM), Config{Variant: RomLog})
+		if err != nil {
+			t.Fatalf("image %d: %v", n, err)
+		}
+		if err := re.Update(func(tx ptm.Tx) error {
+			p, err := tx.Alloc(32)
+			if err == nil {
+				tx.Store64(p, 1)
+			}
+			return err
+		}); err != nil {
+			t.Fatalf("image %d: engine unusable after format crash: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/crwwp"
+	"repro/internal/flatcombine"
+	"repro/internal/hist"
+	"repro/internal/hsync"
+	"repro/internal/leftright"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// Variant selects which of the three Romulus algorithms an engine runs.
+// The zero value selects RomLog, the paper's flagship configuration.
+type Variant int
+
+const (
+	// VariantDefault resolves to RomLog.
+	VariantDefault Variant = iota
+	// Rom is the basic algorithm: full main-to-back replication at commit,
+	// C-RW-WP plus flat combining for concurrency.
+	Rom
+	// RomLog adds the volatile redo log: only modified ranges replicate.
+	RomLog
+	// RomLR is RomLog with Left-Right synchronization: wait-free readers.
+	RomLR
+)
+
+// String returns the short engine name used in benchmark output.
+func (v Variant) String() string {
+	switch v {
+	case Rom:
+		return "rom"
+	case VariantDefault, RomLog:
+		return "romlog"
+	case RomLR:
+		return "romlr"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Config tunes an engine. The zero value gives the paper's defaults.
+type Config struct {
+	// Variant selects the algorithm (Rom, RomLog or RomLR).
+	Variant Variant
+	// Model is the persistence model for freshly created devices (New).
+	Model pmem.Model
+	// DisableLogMerge turns off in-place extension of the last log entry
+	// (ablation; compaction at commit still runs).
+	DisableLogMerge bool
+	// DeferPwb delays per-store write-backs to commit time, issuing one pwb
+	// per modified cache line from the compacted log instead of one per
+	// store (ablation; log variants only).
+	DeferPwb bool
+	// DisableFlatCombining serializes writers with a plain spin lock
+	// instead of combining announced operations (ablation).
+	DisableFlatCombining bool
+}
+
+// Engine is a Romulus persistent transactional memory over a simulated
+// persistent-memory device. It implements ptm.PTM.
+type Engine struct {
+	dev        *pmem.Device
+	cfg        Config
+	mainBase   int
+	backBase   int
+	regionSize int
+	heap       *alloc.Heap
+
+	reg     hsync.Registry
+	comb    *flatcombine.Combiner[*Tx]
+	hooks   flatcombine.Hooks[*Tx]
+	rw      crwwp.Lock     // Rom, RomLog
+	lr      leftright.LR   // RomLR
+	wlock   hsync.SpinLock // writer serialization when combining is disabled
+	wtx     Tx             // the single writer transaction, reused
+	handles chan *Handle   // pool for the convenience Update/Read API
+
+	updates   atomic.Uint64
+	reads     atomic.Uint64
+	rollbacks atomic.Uint64
+
+	// pwbHist records pwbs issued per update transaction (§6.2's analysis
+	// tool). Only the single writer touches it.
+	pwbHist    hist.Histogram
+	txStartPwb uint64
+}
+
+var _ ptm.PTM = (*Engine)(nil)
+
+// ErrRegionMismatch is returned by Open when the device does not match the
+// recorded layout.
+var ErrRegionMismatch = errors.New("core: device layout does not match persistent header")
+
+// MinRegionSize is the smallest usable per-copy region size.
+const MinRegionSize = heapBase + alloc.MinSize
+
+// New creates a fresh device sized for two copies of regionSize bytes plus
+// the header, formats it, and opens an engine on it.
+func New(regionSize int, cfg Config) (*Engine, error) {
+	if regionSize < MinRegionSize {
+		return nil, fmt.Errorf("core: region size %d below minimum %d", regionSize, MinRegionSize)
+	}
+	regionSize = ptm.Align(regionSize, pmem.LineSize)
+	dev := pmem.New(headSize+2*regionSize, cfg.Model)
+	return Open(dev, cfg)
+}
+
+// Open attaches an engine to a device, formatting it if it has never held a
+// Romulus instance and running crash recovery otherwise (Algorithm 1's
+// recover()).
+func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
+	if cfg.Variant == VariantDefault {
+		cfg.Variant = RomLog
+	}
+	regionSize := (dev.Size() - headSize) / 2
+	regionSize &^= pmem.LineSize - 1
+	if regionSize < MinRegionSize {
+		return nil, fmt.Errorf("core: device of %d bytes too small (need %d per region)", dev.Size(), MinRegionSize)
+	}
+	e := &Engine{
+		dev:        dev,
+		cfg:        cfg,
+		mainBase:   headSize,
+		backBase:   headSize + regionSize,
+		regionSize: regionSize,
+		handles:    make(chan *Handle, hsync.MaxThreads),
+	}
+	e.wtx = Tx{e: e, base: e.mainBase}
+	e.wtx.log.enabled = cfg.Variant != Rom
+	e.wtx.log.merge = !cfg.DisableLogMerge
+
+	if dev.Load64(offMagic) != magicValue {
+		if err := e.format(); err != nil {
+			return nil, err
+		}
+	} else {
+		if dev.Load64(offVersion) != layoutVersion {
+			return nil, fmt.Errorf("core: layout version %d, want %d", dev.Load64(offVersion), layoutVersion)
+		}
+		if got := dev.Load64(offRegionSize); got != uint64(regionSize) {
+			return nil, fmt.Errorf("%w: header says %d, device implies %d", ErrRegionMismatch, got, regionSize)
+		}
+		e.recover()
+	}
+	heap, err := alloc.Open((*heapMem)(e), heapBase)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening allocator: %w", err)
+	}
+	e.heap = heap
+	e.wireConcurrency()
+	return e, nil
+}
+
+// format initializes a blank device. A crash anywhere before the final
+// magic store leaves the device unformatted; the next Open restarts from
+// scratch, so initialization is failure-atomic.
+func (e *Engine) format() error {
+	d := e.dev
+	d.Store64(offVersion, layoutVersion)
+	d.Store64(offRegionSize, uint64(e.regionSize))
+	d.Store64(offState, stateIDL)
+	// Roots are zero (nil) on a fresh device; format the heap.
+	if _, err := alloc.Format((*rawMem)(e), heapBase, uint64(e.regionSize-heapBase)); err != nil {
+		return fmt.Errorf("core: formatting heap: %w", err)
+	}
+	wm := e.heapTopRaw()
+	d.Store64(offWatermark, wm)
+	// Replicate the initialized prefix of main to back and persist it all.
+	d.CopyWithin(e.backBase, e.mainBase, int(wm))
+	d.PwbRange(0, headSize)
+	d.PwbRange(e.mainBase, int(wm))
+	d.PwbRange(e.backBase, int(wm))
+	d.Pfence()
+	d.Store64(offMagic, magicValue)
+	d.Pwb(offMagic)
+	d.Pfence()
+	return nil
+}
+
+// recover restores consistency after a crash, per Algorithm 1: under MUT
+// the back copy is authoritative, under CPY the main copy is, and under IDL
+// both already agree.
+func (e *Engine) recover() {
+	d := e.dev
+	wm := int(d.Load64(offWatermark))
+	if wm > e.regionSize {
+		wm = e.regionSize
+	}
+	switch d.Load64(offState) {
+	case stateIDL:
+		return
+	case stateCPY:
+		d.CopyWithin(e.backBase, e.mainBase, wm)
+		d.PwbRange(e.backBase, wm)
+	case stateMUT:
+		d.CopyWithin(e.mainBase, e.backBase, wm)
+		d.PwbRange(e.mainBase, wm)
+	}
+	d.Pfence()
+	d.Store64(offState, stateIDL)
+	d.Pwb(offState)
+	d.Pfence()
+}
+
+// wireConcurrency installs the variant-specific writer hooks and creates
+// the flat combiner.
+func (e *Engine) wireConcurrency() {
+	switch e.cfg.Variant {
+	case Rom, RomLog:
+		e.hooks = flatcombine.Hooks[*Tx]{
+			Begin: func() *Tx {
+				e.rw.WriterArrive()
+				return e.beginTx()
+			},
+			Commit: func(t *Tx) {
+				e.durablePoint(t)
+				e.replicate(t)
+				e.rw.WriterDepart()
+			},
+			Rollback: func(t *Tx) {
+				e.rollbackTx(t)
+				e.rw.WriterDepart()
+			},
+		}
+	case RomLR:
+		e.hooks = flatcombine.Hooks[*Tx]{
+			Begin: func() *Tx {
+				// First toggle of the update (§5.3): divert readers to the
+				// back copy and wait for stragglers on main.
+				e.lr.Toggle(leftright.Back)
+				return e.beginTx()
+			},
+			Commit: func(t *Tx) {
+				e.durablePoint(t)
+				// Second toggle: main is durable, let readers at it while
+				// we bring back up to date.
+				e.lr.Toggle(leftright.Main)
+				e.replicate(t)
+			},
+			Rollback: func(t *Tx) {
+				e.rollbackTx(t)
+				e.lr.Toggle(leftright.Main)
+			},
+		}
+	}
+	e.comb = flatcombine.New(e.hooks)
+}
+
+// beginTx opens the single writer transaction: publish MUT durably, then
+// let user code mutate main in place. Fence 1 of 4.
+func (e *Engine) beginTx() *Tx {
+	t := &e.wtx
+	t.log.reset()
+	e.txStartPwb = e.dev.Stats().Pwbs
+	e.dev.Store64(offState, stateMUT)
+	e.dev.Pwb(offState)
+	e.dev.Pfence()
+	return t
+}
+
+// durablePoint commits the transaction to main: after the psync returns,
+// the transaction is durable (ACID) even though back is stale. Fences 2
+// and 3 of 4.
+func (e *Engine) durablePoint(t *Tx) {
+	d := e.dev
+	if e.cfg.DeferPwb && t.log.enabled {
+		for _, r := range t.log.compacted() {
+			d.PwbRange(e.mainBase+int(r.Off), int(r.N))
+		}
+	}
+	d.Pfence()
+	d.Store64(offState, stateCPY)
+	d.Pwb(offState)
+	d.Psync()
+}
+
+// replicate brings back up to date with main and returns the state machine
+// to IDL. Fence 4 of 4. The final IDL store needs no pwb: if it fails to
+// persist, recovery from CPY re-runs this (idempotent) copy.
+func (e *Engine) replicate(t *Tx) {
+	d := e.dev
+	if t.log.enabled {
+		for _, r := range t.log.compacted() {
+			d.CopyWithin(e.backBase+int(r.Off), e.mainBase+int(r.Off), int(r.N))
+			d.PwbRange(e.backBase+int(r.Off), int(r.N))
+		}
+	} else {
+		wm := int(d.Load64(offWatermark))
+		d.CopyWithin(e.backBase, e.mainBase, wm)
+		d.PwbRange(e.backBase, wm)
+	}
+	d.Pfence()
+	d.Store64(offState, stateIDL)
+	e.pwbHist.Add(d.Stats().Pwbs - e.txStartPwb)
+}
+
+// rollbackTx reverts an in-flight transaction (user code returned an error
+// or panicked) by restoring the modified ranges of main from back — the
+// same copy recovery would perform, done eagerly.
+func (e *Engine) rollbackTx(t *Tx) {
+	d := e.dev
+	if t.log.enabled {
+		for _, r := range t.log.compacted() {
+			d.CopyWithin(e.mainBase+int(r.Off), e.backBase+int(r.Off), int(r.N))
+			d.PwbRange(e.mainBase+int(r.Off), int(r.N))
+		}
+	} else {
+		wm := int(d.Load64(offWatermark))
+		d.CopyWithin(e.mainBase, e.backBase, wm)
+		d.PwbRange(e.mainBase, wm)
+	}
+	d.Pfence()
+	d.Store64(offState, stateIDL)
+	e.rollbacks.Add(1)
+}
+
+// heapTopRaw reads the allocator's wilderness pointer directly (valid even
+// before e.heap is opened, right after alloc.Format).
+func (e *Engine) heapTopRaw() uint64 {
+	h, err := alloc.Open((*rawMem)(e), heapBase)
+	if err != nil {
+		// format just succeeded; the heap must be openable
+		panic(fmt.Sprintf("core: heap vanished after format: %v", err))
+	}
+	return h.Top()
+}
+
+// bumpWatermark raises the persistent high-water mark if the heap grew.
+// The watermark is monotonic and lives in the header, outside the twin
+// copies: if it persists "too high" after a rollback the only cost is
+// copying a few extra (unreachable) bytes.
+func (e *Engine) bumpWatermark() {
+	top := e.heap.Top()
+	if top > e.dev.Load64(offWatermark) {
+		e.dev.Store64(offWatermark, top)
+		e.dev.Pwb(offWatermark)
+	}
+}
+
+// Name implements ptm.PTM.
+func (e *Engine) Name() string { return e.cfg.Variant.String() }
+
+// Stats implements ptm.PTM.
+func (e *Engine) Stats() ptm.TxStats {
+	combined, _ := e.comb.Combined()
+	return ptm.TxStats{
+		UpdateTxs: e.updates.Load(),
+		ReadTxs:   e.reads.Load(),
+		Rollbacks: e.rollbacks.Load(),
+		Combined:  combined,
+	}
+}
+
+// Device exposes the underlying device for statistics and crash testing.
+func (e *Engine) Device() *pmem.Device { return e.dev }
+
+// RegionSize returns the size of each persistent copy.
+func (e *Engine) RegionSize() int { return e.regionSize }
+
+// Watermark returns the persistent high-water mark: the number of bytes of
+// main that replication and recovery must copy.
+func (e *Engine) Watermark() int { return int(e.dev.Load64(offWatermark)) }
+
+// AllocStats returns allocator counters.
+func (e *Engine) AllocStats() alloc.Stats { return e.heap.Stats() }
+
+// CheckHeap validates allocator invariants; used by recovery tests.
+func (e *Engine) CheckHeap() error { return e.heap.CheckInvariants() }
+
+// PwbHistogram returns the distribution of pwb instructions issued per
+// committed update transaction — the measurement behind the paper's §6.2
+// observation that the linked list averages ~10 pwbs while the red-black
+// tree's histogram peaks around 50 and 130. Call at quiescent points.
+func (e *Engine) PwbHistogram() hist.Histogram { return e.pwbHist.Snapshot() }
+
+// ResetPwbHistogram clears the per-transaction pwb histogram, so that
+// measurements can exclude setup work. Call at a quiescent point.
+func (e *Engine) ResetPwbHistogram() { e.pwbHist = hist.Histogram{} }
+
+// Verify checks the twin-copy invariant at a quiescent point: outside any
+// transaction both copies must hold identical bytes up to the watermark.
+// Returns the offset of the first divergence, or -1 when consistent.
+func (e *Engine) Verify() int {
+	wm := int(e.dev.Load64(offWatermark))
+	main := e.dev.Bytes(e.mainBase, wm)
+	back := e.dev.Bytes(e.backBase, wm)
+	for i := range main {
+		if main[i] != back[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Close implements ptm.PTM. The persistent image remains valid.
+func (e *Engine) Close() error { return nil }
+
+// rawMem adapts the device for allocator access during format: plain
+// stores into main with no logging (the caller persists in bulk afterward).
+type rawMem Engine
+
+func (m *rawMem) Load64(off uint64) uint64 {
+	e := (*Engine)(m)
+	return e.dev.Load64(e.mainBase + int(off))
+}
+
+func (m *rawMem) Store64(off uint64, v uint64) {
+	e := (*Engine)(m)
+	e.dev.Store64(e.mainBase+int(off), v)
+}
+
+// heapMem adapts the device for allocator access inside update
+// transactions: every allocator store is interposed exactly like a user
+// store (logged and flushed), so allocator metadata is rolled back with
+// the transaction (§4.4).
+type heapMem Engine
+
+func (m *heapMem) Load64(off uint64) uint64 {
+	e := (*Engine)(m)
+	return e.dev.Load64(e.mainBase + int(off))
+}
+
+func (m *heapMem) Store64(off uint64, v uint64) {
+	e := (*Engine)(m)
+	e.wtx.Store64(ptm.Ptr(off), v)
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// FuzzCrashRecovery interprets fuzz input as (store offsets, crash point,
+// crash policy) and checks the all-or-nothing property. Seeds run in every
+// `go test`; `go test -fuzz FuzzCrashRecovery ./internal/core` explores.
+func FuzzCrashRecovery(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(3), uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 255, 255}, uint8(10), uint8(1))
+	f.Add([]byte{7, 7, 9}, uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, offsets []byte, crashAt, policyPick uint8) {
+		if len(offsets) == 0 || len(offsets) > 64 {
+			return
+		}
+		e, err := New(1<<16, Config{Variant: RomLog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p ptm.Ptr
+		if err := e.Update(func(tx ptm.Tx) error {
+			var err error
+			p, err = tx.Alloc(2048)
+			if err != nil {
+				return err
+			}
+			tx.SetRoot(0, p)
+			for _, o := range offsets {
+				tx.Store64(p+ptm.Ptr(int(o)%256*8), 100)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		policies := []pmem.CrashPolicy{
+			pmem.DropAll,
+			pmem.KeepQueued,
+			{QueuedPersistProb: 0.5, EvictDirtyProb: 0.5, TearWords: true},
+		}
+		policy := policies[int(policyPick)%len(policies)]
+		dev := e.Device()
+		var img []byte
+		n := uint8(0)
+		hook := func() {
+			n++
+			if img == nil && n == crashAt {
+				img = dev.CrashImage(policy)
+			}
+		}
+		dev.SetStoreHook(func(uint64) { hook() })
+		dev.SetPwbHook(func(uint64) { hook() })
+		dev.SetFenceHook(hook)
+		if err := e.Update(func(tx ptm.Tx) error {
+			for _, o := range offsets {
+				tx.Store64(p+ptm.Ptr(int(o)%256*8), 200)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		dev.SetStoreHook(nil)
+		dev.SetPwbHook(nil)
+		dev.SetFenceHook(nil)
+		if img == nil {
+			img = dev.CrashImage(policy) // crash after commit
+		}
+		re, err := Open(pmem.FromImage(img, pmem.ModelDRAM), Config{Variant: RomLog})
+		if err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+		re.Read(func(tx ptm.Tx) error {
+			base := tx.Root(0)
+			first := tx.Load64(base + ptm.Ptr(int(offsets[0])%256*8))
+			if first != 100 && first != 200 {
+				t.Fatalf("impossible value %d", first)
+			}
+			for _, o := range offsets {
+				got := tx.Load64(base + ptm.Ptr(int(o)%256*8))
+				if got != first {
+					t.Fatalf("torn transaction: offset %d = %d, first = %d", o, got, first)
+				}
+			}
+			return nil
+		})
+		if err := re.CheckHeap(); err != nil {
+			t.Fatalf("heap: %v", err)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ptm"
+)
+
+func TestPwbHistogramRecordsPerTx(t *testing.T) {
+	e := newEngine(t, RomLog)
+	var p ptm.Ptr
+	e.Update(func(tx ptm.Tx) error {
+		var err error
+		p, err = tx.Alloc(4096)
+		return err
+	})
+	// Small transactions and one large one.
+	for i := 0; i < 10; i++ {
+		e.Update(func(tx ptm.Tx) error {
+			tx.Store64(p, uint64(i))
+			return nil
+		})
+	}
+	e.Update(func(tx ptm.Tx) error {
+		for i := 0; i < 4096; i += 8 {
+			tx.Store64(p+ptm.Ptr(i), 1)
+		}
+		return nil
+	})
+	h := e.PwbHistogram()
+	if h.Count() != 12 {
+		t.Fatalf("histogram count = %d, want 12", h.Count())
+	}
+	if h.Max() <= h.Quantile(0.5) {
+		t.Errorf("large tx not visible: max %d, p50 %d", h.Max(), h.Quantile(0.5))
+	}
+	if h.Mean() <= 0 {
+		t.Error("mean is zero")
+	}
+}
+
+func TestVerifyTwinCopies(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		e := newEngine(t, v)
+		var p ptm.Ptr
+		for i := 0; i < 20; i++ {
+			e.Update(func(tx ptm.Tx) error {
+				var err error
+				if p.IsNil() {
+					p, err = tx.Alloc(256)
+					if err != nil {
+						return err
+					}
+					tx.SetRoot(0, p)
+				}
+				tx.Store64(p+ptm.Ptr((i%32)*8), uint64(i))
+				return nil
+			})
+			if off := e.Verify(); off >= 0 {
+				t.Fatalf("iteration %d: copies diverge at offset %d", i, off)
+			}
+		}
+		// After a rollback the copies must also agree.
+		e.Update(func(tx ptm.Tx) error {
+			tx.Store64(p, 0xDEAD)
+			return errFake
+		})
+		if off := e.Verify(); off >= 0 {
+			t.Fatalf("after rollback: copies diverge at offset %d", off)
+		}
+	})
+}
+
+var errFake = &fakeError{}
+
+type fakeError struct{}
+
+func (*fakeError) Error() string { return "fake" }

@@ -1,0 +1,82 @@
+package core
+
+import "sort"
+
+// rng is one volatile redo-log entry: a modified [Off, Off+N) byte range of
+// the main region.
+type rng struct {
+	Off, N uint64
+}
+
+// rangeLog is the volatile redo log of §4.7: unlike other log-based PTMs it
+// records only addresses and lengths, never data, and lives in DRAM — the
+// recovery procedure does not need it (the twin copy is self-sufficient),
+// so it costs no persistent writes at all.
+type rangeLog struct {
+	enabled bool
+	merge   bool // extend the last entry on overlap/adjacency (ablatable)
+	ranges  []rng
+	scratch []rng
+}
+
+func (l *rangeLog) reset() { l.ranges = l.ranges[:0] }
+
+// add records a store of n bytes at off.
+func (l *rangeLog) add(off, n uint64) {
+	if !l.enabled || n == 0 {
+		return
+	}
+	if l.merge && len(l.ranges) > 0 {
+		last := &l.ranges[len(l.ranges)-1]
+		if off <= last.Off+last.N && last.Off <= off+n {
+			end := last.Off + last.N
+			if off+n > end {
+				end = off + n
+			}
+			if off < last.Off {
+				last.Off = off
+			}
+			last.N = end - last.Off
+			return
+		}
+	}
+	l.ranges = append(l.ranges, rng{off, n})
+}
+
+// mergeGap is the maximum gap (in bytes) across which two ranges are fused
+// when compacting. Copying a small unchanged gap is free semantically (the
+// bytes are identical in main and back) and cheaper than an extra pwb.
+const mergeGap = 64
+
+// compacted returns the log as a sorted, non-overlapping list of ranges,
+// fusing ranges separated by less than a cache line. The returned slice is
+// reused across transactions.
+func (l *rangeLog) compacted() []rng {
+	if len(l.ranges) == 0 {
+		return nil
+	}
+	l.scratch = append(l.scratch[:0], l.ranges...)
+	s := l.scratch
+	sort.Slice(s, func(i, j int) bool { return s[i].Off < s[j].Off })
+	out := s[:1]
+	for _, r := range s[1:] {
+		last := &out[len(out)-1]
+		if r.Off <= last.Off+last.N+mergeGap {
+			if end := r.Off + r.N; end > last.Off+last.N {
+				last.N = end - last.Off
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// bytesLogged returns the total bytes covered by the raw (uncompacted) log.
+func (l *rangeLog) bytesLogged() uint64 {
+	var n uint64
+	for _, r := range l.ranges {
+		n += r.N
+	}
+	return n
+}

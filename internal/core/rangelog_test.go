@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ptm"
+)
+
+// refCoverage computes the byte set covered by raw ranges, the oracle the
+// compacted log must match (give or take the deliberate gap fusion).
+func refCoverage(ranges []rng) map[uint64]bool {
+	cov := map[uint64]bool{}
+	for _, r := range ranges {
+		for b := r.Off; b < r.Off+r.N; b++ {
+			cov[b] = true
+		}
+	}
+	return cov
+}
+
+func TestRangeLogDisabledIsEmpty(t *testing.T) {
+	l := rangeLog{}
+	l.add(10, 20)
+	if len(l.ranges) != 0 || l.compacted() != nil {
+		t.Error("disabled log recorded entries")
+	}
+}
+
+func TestRangeLogMergesAdjacent(t *testing.T) {
+	l := rangeLog{enabled: true, merge: true}
+	l.add(0, 8)
+	l.add(8, 8)
+	l.add(16, 8)
+	if len(l.ranges) != 1 {
+		t.Errorf("adjacent stores produced %d entries, want 1", len(l.ranges))
+	}
+	c := l.compacted()
+	if len(c) != 1 || c[0].Off != 0 || c[0].N != 24 {
+		t.Errorf("compacted = %v", c)
+	}
+}
+
+func TestRangeLogNoMergeKeepsEntries(t *testing.T) {
+	l := rangeLog{enabled: true, merge: false}
+	l.add(0, 8)
+	l.add(8, 8)
+	if len(l.ranges) != 2 {
+		t.Errorf("no-merge log has %d entries, want 2", len(l.ranges))
+	}
+	// Compaction still fuses them for replication.
+	if c := l.compacted(); len(c) != 1 {
+		t.Errorf("compacted = %v", c)
+	}
+}
+
+func TestRangeLogBytesLogged(t *testing.T) {
+	l := rangeLog{enabled: true}
+	l.add(0, 10)
+	l.add(100, 5)
+	if got := l.bytesLogged(); got != 15 {
+		t.Errorf("bytesLogged = %d", got)
+	}
+	l.reset()
+	if l.bytesLogged() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+// Property: for any store sequence, the compacted ranges (a) cover every
+// logged byte, (b) are sorted and non-overlapping, and (c) over-cover only
+// within the fusion gap.
+func TestQuickRangeLogCompaction(t *testing.T) {
+	f := func(seed int64, merge bool) bool {
+		rng_ := rand.New(rand.NewSource(seed))
+		l := rangeLog{enabled: true, merge: merge}
+		var raw []rng
+		for i := 0; i < 100; i++ {
+			off := uint64(rng_.Intn(4096))
+			n := uint64(1 + rng_.Intn(64))
+			l.add(off, n)
+			raw = append(raw, rng{off, n})
+		}
+		c := l.compacted()
+		// (b) sorted, non-overlapping, fused across <= mergeGap.
+		if !sort.SliceIsSorted(c, func(i, j int) bool { return c[i].Off < c[j].Off }) {
+			t.Log("not sorted")
+			return false
+		}
+		for i := 1; i < len(c); i++ {
+			if c[i].Off <= c[i-1].Off+c[i-1].N+mergeGap {
+				t.Logf("ranges %d and %d should have been fused", i-1, i)
+				return false
+			}
+		}
+		// (a) full coverage.
+		cov := refCoverage(raw)
+		for b := range cov {
+			found := false
+			for _, r := range c {
+				if b >= r.Off && b < r.Off+r.N {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Logf("byte %d lost", b)
+				return false
+			}
+		}
+		// (c) bounded over-coverage: every compacted byte is within
+		// mergeGap of a logged byte.
+		for _, r := range c {
+			for b := r.Off; b < r.Off+r.N; b++ {
+				near := false
+				for d := 0; d <= mergeGap && !near; d++ {
+					if cov[b+uint64(d)] || (b >= uint64(d) && cov[b-uint64(d)]) {
+						near = true
+					}
+				}
+				if !near {
+					t.Logf("byte %d over-covered beyond the gap", b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replication driven by the compacted log is equivalent to a
+// full copy, for random store sequences. This is the core soundness
+// argument of §4.7.
+func TestQuickLogReplicationEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng_ := rand.New(rand.NewSource(seed))
+		e := newEngine(t, RomLog)
+		var p ptm.Ptr
+		if err := e.Update(func(tx ptm.Tx) error {
+			q, err := tx.Alloc(4096)
+			p = q
+			return err
+		}); err != nil {
+			return false
+		}
+		for txn := 0; txn < 5; txn++ {
+			if err := e.Update(func(tx ptm.Tx) error {
+				for s := 0; s < 30; s++ {
+					tx.Store64(p+ptm.Ptr(rng_.Intn(510)*8), rng_.Uint64())
+				}
+				return nil
+			}); err != nil {
+				return false
+			}
+			if e.Verify() >= 0 {
+				t.Logf("seed %d txn %d: copies diverge", seed, txn)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/leftright"
+	"repro/internal/ptm"
+)
+
+// Tx is the engine's transaction handle, implementing ptm.Tx. Writer
+// transactions operate in place on main; RomulusLR read transactions may be
+// directed at the back copy, in which case every access applies the
+// synthetic-pointer offset (base points at back; Figure 3 of the paper).
+type Tx struct {
+	e        *Engine
+	base     int // mainBase, or backBase for RomulusLR readers on back
+	readOnly bool
+	log      rangeLog
+}
+
+var _ ptm.Tx = (*Tx)(nil)
+
+func (t *Tx) mustWrite() {
+	if t.readOnly {
+		panic("core: mutating operation inside a read-only transaction")
+	}
+}
+
+func (t *Tx) checkRange(p ptm.Ptr, n int) {
+	if int(p)+n > t.e.regionSize {
+		panic(fmt.Sprintf("core: access [%d,%d) outside region of %d bytes", p, int(p)+n, t.e.regionSize))
+	}
+}
+
+// Load8 implements ptm.Tx.
+func (t *Tx) Load8(p ptm.Ptr) byte { t.checkRange(p, 1); return t.e.dev.Load8(t.base + int(p)) }
+
+// Load16 implements ptm.Tx.
+func (t *Tx) Load16(p ptm.Ptr) uint16 { t.checkRange(p, 2); return t.e.dev.Load16(t.base + int(p)) }
+
+// Load32 implements ptm.Tx.
+func (t *Tx) Load32(p ptm.Ptr) uint32 { t.checkRange(p, 4); return t.e.dev.Load32(t.base + int(p)) }
+
+// Load64 implements ptm.Tx.
+func (t *Tx) Load64(p ptm.Ptr) uint64 { t.checkRange(p, 8); return t.e.dev.Load64(t.base + int(p)) }
+
+// LoadBytes implements ptm.Tx.
+func (t *Tx) LoadBytes(p ptm.Ptr, dst []byte) {
+	t.checkRange(p, len(dst))
+	t.e.dev.LoadBytes(t.base+int(p), dst)
+}
+
+// store interposition: in-place modification of main, log entry (address
+// and length only), and a write-back of the modified line. The paper notes
+// the order of the three steps is free as long as the pwb follows the
+// store.
+func (t *Tx) flush(off, n int) {
+	if !t.e.cfg.DeferPwb {
+		t.e.dev.PwbRange(off, n)
+	}
+}
+
+// Store8 implements ptm.Tx.
+func (t *Tx) Store8(p ptm.Ptr, v byte) {
+	t.mustWrite()
+	t.checkRange(p, 1)
+	off := t.e.mainBase + int(p)
+	t.e.dev.Store8(off, v)
+	t.log.add(uint64(p), 1)
+	t.flush(off, 1)
+}
+
+// Store16 implements ptm.Tx.
+func (t *Tx) Store16(p ptm.Ptr, v uint16) {
+	t.mustWrite()
+	t.checkRange(p, 2)
+	off := t.e.mainBase + int(p)
+	t.e.dev.Store16(off, v)
+	t.log.add(uint64(p), 2)
+	t.flush(off, 2)
+}
+
+// Store32 implements ptm.Tx.
+func (t *Tx) Store32(p ptm.Ptr, v uint32) {
+	t.mustWrite()
+	t.checkRange(p, 4)
+	off := t.e.mainBase + int(p)
+	t.e.dev.Store32(off, v)
+	t.log.add(uint64(p), 4)
+	t.flush(off, 4)
+}
+
+// Store64 implements ptm.Tx.
+func (t *Tx) Store64(p ptm.Ptr, v uint64) {
+	t.mustWrite()
+	t.checkRange(p, 8)
+	off := t.e.mainBase + int(p)
+	t.e.dev.Store64(off, v)
+	t.log.add(uint64(p), 8)
+	t.flush(off, 8)
+}
+
+// StoreBytes implements ptm.Tx.
+func (t *Tx) StoreBytes(p ptm.Ptr, src []byte) {
+	t.mustWrite()
+	t.checkRange(p, len(src))
+	off := t.e.mainBase + int(p)
+	t.e.dev.StoreBytes(off, src)
+	t.log.add(uint64(p), uint64(len(src)))
+	t.flush(off, len(src))
+}
+
+// memset zeroes a fresh allocation through the same interposition path.
+func (t *Tx) memset(p ptm.Ptr, n int) {
+	off := t.e.mainBase + int(p)
+	t.e.dev.Memset(off, 0, n)
+	t.log.add(uint64(p), uint64(n))
+	t.flush(off, n)
+}
+
+// Alloc implements ptm.Tx: transactional allocation from the persistent
+// heap. The returned memory is zeroed.
+func (t *Tx) Alloc(n int) (ptm.Ptr, error) {
+	t.mustWrite()
+	p, err := t.e.heap.Alloc(n)
+	if err != nil {
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			return 0, ptm.ErrOutOfMemory
+		}
+		return 0, err
+	}
+	t.e.bumpWatermark()
+	if n > 0 {
+		t.memset(ptm.Ptr(p), n)
+	}
+	return ptm.Ptr(p), nil
+}
+
+// Free implements ptm.Tx: transactional release back to the heap.
+func (t *Tx) Free(p ptm.Ptr) error {
+	t.mustWrite()
+	if err := t.e.heap.Free(uint64(p)); err != nil {
+		if errors.Is(err, alloc.ErrBadFree) {
+			return ptm.ErrBadFree
+		}
+		return err
+	}
+	return nil
+}
+
+// Root implements ptm.Tx.
+func (t *Tx) Root(i int) ptm.Ptr {
+	if i < 0 || i >= ptm.NumRoots {
+		panic(fmt.Sprintf("core: root index %d out of [0,%d)", i, ptm.NumRoots))
+	}
+	return ptm.Ptr(t.e.dev.Load64(t.base + rootsOff + 8*i))
+}
+
+// SetRoot implements ptm.Tx.
+func (t *Tx) SetRoot(i int, p ptm.Ptr) {
+	if i < 0 || i >= ptm.NumRoots {
+		panic(fmt.Sprintf("core: root index %d out of [0,%d)", i, ptm.NumRoots))
+	}
+	t.Store64(ptm.Ptr(rootsOff+8*i), uint64(p))
+}
+
+// Handle carries the per-goroutine state (flat-combining slot, read
+// indicator slot) of one logical thread. Acquire one per worker goroutine
+// on hot paths; the engine-level Update/Read draw from an internal pool.
+type Handle struct {
+	e   *Engine
+	tid int
+	rtx Tx // reusable read transaction
+}
+
+var _ ptm.Handle = (*Handle)(nil)
+
+// NewHandle registers a logical thread with the engine.
+func (e *Engine) NewHandle() (ptm.Handle, error) {
+	return e.newHandle()
+}
+
+func (e *Engine) newHandle() (*Handle, error) {
+	tid, err := e.reg.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{e: e, tid: tid}
+	h.rtx = Tx{e: e, readOnly: true, base: e.mainBase}
+	return h, nil
+}
+
+// Release returns the handle's thread ID for reuse. The handle must not be
+// used afterwards.
+func (h *Handle) Release() { h.e.reg.Release(h.tid) }
+
+// Update runs fn in a durable update transaction (see ptm.PTM).
+func (h *Handle) Update(fn func(ptm.Tx) error) error {
+	e := h.e
+	op := func(t *Tx) error { return fn(t) }
+	var err error
+	if e.cfg.DisableFlatCombining {
+		err = e.updateNoCombining(op)
+	} else {
+		err = e.comb.Execute(h.tid, op)
+	}
+	if err == nil {
+		e.updates.Add(1)
+	}
+	return err
+}
+
+// updateNoCombining is the ablation path: plain spin lock, no aggregation.
+// Errors and panics from op roll the transaction back, like the combiner.
+func (e *Engine) updateNoCombining(op func(*Tx) error) error {
+	e.wlock.Lock()
+	defer e.wlock.Unlock()
+	t := e.hooks.Begin()
+	committed := false
+	defer func() {
+		if !committed {
+			e.hooks.Rollback(t)
+		}
+	}()
+	if err := op(t); err != nil {
+		return err // deferred rollback fires
+	}
+	e.hooks.Commit(t)
+	committed = true
+	return nil
+}
+
+// Read runs fn in a read-only transaction (see ptm.PTM).
+func (h *Handle) Read(fn func(ptm.Tx) error) error {
+	e := h.e
+	t := &h.rtx
+	if e.cfg.Variant == RomLR {
+		vi := e.lr.Arrive(h.tid)
+		defer e.lr.Depart(h.tid, vi)
+		if e.lr.Read() == leftright.Back {
+			t.base = e.backBase // synthetic pointers: +regionSize on every access
+		} else {
+			t.base = e.mainBase
+		}
+	} else {
+		e.rw.SharedLock(h.tid)
+		defer e.rw.SharedUnlock(h.tid)
+		t.base = e.mainBase
+	}
+	e.reads.Add(1)
+	return fn(t)
+}
+
+// Update implements ptm.PTM using a pooled handle.
+func (e *Engine) Update(fn func(ptm.Tx) error) error {
+	h, err := e.poolGet()
+	if err != nil {
+		return err
+	}
+	defer e.poolPut(h)
+	return h.Update(fn)
+}
+
+// Read implements ptm.PTM using a pooled handle.
+func (e *Engine) Read(fn func(ptm.Tx) error) error {
+	h, err := e.poolGet()
+	if err != nil {
+		return err
+	}
+	defer e.poolPut(h)
+	return h.Read(fn)
+}
+
+func (e *Engine) poolGet() (*Handle, error) {
+	select {
+	case h := <-e.handles:
+		return h, nil
+	default:
+		return e.newHandle()
+	}
+}
+
+func (e *Engine) poolPut(h *Handle) {
+	select {
+	case e.handles <- h:
+	default:
+		h.Release()
+	}
+}

@@ -1,0 +1,210 @@
+// Package crashtest runs randomized crash-recovery campaigns against the
+// Romulus engines: random transaction workloads on a persistent hash map,
+// a simulated power failure at a random persistence event under a random
+// adversary policy, recovery, and full validation of the recovered state
+// against a tracked model. It is the repository's long-running torture
+// harness (cmd/romulus-crashtest) and is also exercised by the test suite
+// at small scale.
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/pstruct"
+	"repro/internal/ptm"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Rounds is the number of build/crash/recover cycles.
+	Rounds int
+	// Seed makes campaigns reproducible.
+	Seed int64
+	// Keys bounds the keyspace (default 64).
+	Keys int
+	// TxPerRound bounds committed transactions before the crash (default 20).
+	TxPerRound int
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Rounds         int
+	CrashedMidTx   int // crashes that landed inside the final transaction
+	RolledBack     int // recoveries that rolled the final transaction back
+	CarriedForward int // recoveries where the final transaction survived
+}
+
+// Run executes the campaign, returning an error describing the first
+// safety violation found (nil if all rounds validate).
+func Run(cfg Config) (Report, error) {
+	if cfg.Keys == 0 {
+		cfg.Keys = 64
+	}
+	if cfg.TxPerRound == 0 {
+		cfg.TxPerRound = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rep Report
+	variants := []core.Variant{core.Rom, core.RomLog, core.RomLR}
+	for round := 0; round < cfg.Rounds; round++ {
+		v := variants[rng.Intn(len(variants))]
+		if err := runRound(rng, cfg, v, &rep); err != nil {
+			return rep, fmt.Errorf("round %d (%v, seed %d): %w", round, v, cfg.Seed, err)
+		}
+		rep.Rounds++
+	}
+	return rep, nil
+}
+
+// mutate applies a random operation to both the persistent map and the
+// model.
+func mutate(tx ptm.Tx, m *pstruct.HashMap, model map[uint64]uint64, rng *rand.Rand, keys int) error {
+	k := uint64(rng.Intn(keys))
+	if rng.Intn(3) == 0 {
+		if _, err := m.Remove(tx, k); err != nil {
+			return err
+		}
+		delete(model, k)
+		return nil
+	}
+	val := rng.Uint64()
+	if _, err := m.Put(tx, k, val); err != nil {
+		return err
+	}
+	model[k] = val
+	return nil
+}
+
+func runRound(rng *rand.Rand, cfg Config, v core.Variant, rep *Report) error {
+	e, err := core.New(1<<20, core.Config{Variant: v})
+	if err != nil {
+		return err
+	}
+	var m *pstruct.HashMap
+	if err := e.Update(func(tx ptm.Tx) error {
+		mm, err := pstruct.NewHashMap(tx, 0)
+		m = mm
+		return err
+	}); err != nil {
+		return err
+	}
+	model := map[uint64]uint64{}
+	// Committed prefix.
+	nTx := 1 + rng.Intn(cfg.TxPerRound)
+	for i := 0; i < nTx; i++ {
+		ops := 1 + rng.Intn(5)
+		if err := e.Update(func(tx ptm.Tx) error {
+			for o := 0; o < ops; o++ {
+				if err := mutate(tx, m, model, rng, cfg.Keys); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	// Final transaction, crashed at a random persistence event under a
+	// random policy.
+	policy := pmem.CrashPolicy{
+		QueuedPersistProb: rng.Float64(),
+		EvictDirtyProb:    rng.Float64() * 0.5,
+		TearWords:         rng.Intn(2) == 0,
+		Rand:              rand.New(rand.NewSource(rng.Int63())),
+	}
+	crashAt := uint64(1 + rng.Intn(60))
+	dev := e.Device()
+	var img []byte
+	var events uint64
+	hook := func() {
+		events++
+		if img == nil && events == crashAt {
+			img = dev.CrashImage(policy)
+		}
+	}
+	dev.SetStoreHook(func(uint64) { hook() })
+	dev.SetPwbHook(func(uint64) { hook() })
+	dev.SetFenceHook(hook)
+	modelAfter := map[uint64]uint64{}
+	for k, val := range model {
+		modelAfter[k] = val
+	}
+	finalOps := 1 + rng.Intn(8)
+	if err := e.Update(func(tx ptm.Tx) error {
+		for o := 0; o < finalOps; o++ {
+			if err := mutate(tx, m, modelAfter, rng, cfg.Keys); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	dev.SetStoreHook(nil)
+	dev.SetPwbHook(nil)
+	dev.SetFenceHook(nil)
+	if img == nil {
+		// The transaction finished before the chosen event: crash now,
+		// post-commit.
+		img = dev.CrashImage(policy)
+	} else {
+		rep.CrashedMidTx++
+	}
+
+	// Recover and validate: the map must equal the pre- or post-final-tx
+	// model exactly.
+	re, err := core.Open(pmem.FromImage(img, pmem.ModelDRAM), core.Config{Variant: v})
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	if err := re.CheckHeap(); err != nil {
+		return fmt.Errorf("heap after recovery: %w", err)
+	}
+	if off := re.Verify(); off >= 0 {
+		return fmt.Errorf("twin copies diverge at offset %d after recovery", off)
+	}
+	rm := pstruct.AttachHashMap(0)
+	var matchBefore, matchAfter bool
+	err = re.Read(func(tx ptm.Tx) error {
+		matchBefore = mapEquals(tx, rm, model)
+		matchAfter = mapEquals(tx, rm, modelAfter)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case matchAfter:
+		rep.CarriedForward++
+	case matchBefore:
+		rep.RolledBack++
+	default:
+		return fmt.Errorf("recovered state matches neither pre- nor post-crash model (crash at event %d, policy %+v)", crashAt, policy)
+	}
+	// The recovered engine must keep working.
+	if err := re.Update(func(tx ptm.Tx) error {
+		_, err := rm.Put(tx, 0, 1)
+		return err
+	}); err != nil {
+		return fmt.Errorf("recovered engine unusable: %w", err)
+	}
+	return nil
+}
+
+func mapEquals(tx ptm.Tx, m *pstruct.HashMap, model map[uint64]uint64) bool {
+	if m.Len(tx) != len(model) {
+		return false
+	}
+	equal := true
+	m.Range(tx, func(k, v uint64) bool {
+		if model[k] != v {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}

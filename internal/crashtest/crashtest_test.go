@@ -1,0 +1,57 @@
+package crashtest
+
+import "testing"
+
+func TestCampaignSmall(t *testing.T) {
+	rep, err := Run(Config{Rounds: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != 25 {
+		t.Errorf("rounds = %d", rep.Rounds)
+	}
+	if rep.RolledBack+rep.CarriedForward != 25 {
+		t.Errorf("outcomes do not add up: %+v", rep)
+	}
+	t.Logf("report: %+v", rep)
+}
+
+func TestCampaignHitsBothOutcomes(t *testing.T) {
+	// Across enough seeds, both recovery outcomes (rollback and carry
+	// forward) must occur — otherwise the harness is not actually crashing
+	// mid-transaction.
+	var total Report
+	for seed := int64(0); seed < 8; seed++ {
+		rep, err := Run(Config{Rounds: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.RolledBack += rep.RolledBack
+		total.CarriedForward += rep.CarriedForward
+		total.CrashedMidTx += rep.CrashedMidTx
+	}
+	if total.RolledBack == 0 {
+		t.Error("no crash ever rolled back — adversary too weak")
+	}
+	if total.CarriedForward == 0 {
+		t.Error("no crash ever carried forward")
+	}
+	if total.CrashedMidTx == 0 {
+		t.Error("no crash landed mid-transaction")
+	}
+	t.Logf("total: %+v", total)
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	a, err := Run(Config{Rounds: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Rounds: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different reports: %+v vs %+v", a, b)
+	}
+}

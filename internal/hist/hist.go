@@ -1,0 +1,174 @@
+// Package hist provides a small fixed-bucket histogram used to study
+// per-transaction persistence behaviour — the paper's §6.2 analysis of pwb
+// counts per transaction (the linked list averages ~10 pwbs, the red-black
+// tree shows peaks at 50 and 130).
+package hist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// maxTracked is the largest individually-tracked value; larger samples land
+// in the overflow bucket.
+const maxTracked = 1024
+
+// Histogram counts integer samples in [0, maxTracked] plus overflow. The
+// zero value is ready to use. Not safe for concurrent use; the PTM engines
+// record from the single writer.
+type Histogram struct {
+	buckets  [maxTracked + 1]uint64
+	overflow uint64
+	count    uint64
+	sum      uint64
+	max      uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	if v <= maxTracked {
+		h.buckets[v]++
+	} else {
+		h.overflow++
+	}
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample seen.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the tracked range.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen uint64
+	for v, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return uint64(v)
+		}
+	}
+	return h.max
+}
+
+// Modes returns up to n local peaks of the distribution (bucket values with
+// the highest counts, at least minGap apart), largest count first. This is
+// what surfaces the paper's "two peaks at 50 and 130" observation.
+func (h *Histogram) Modes(n, minGap int) []uint64 {
+	type vc struct {
+		v uint64
+		c uint64
+	}
+	var all []vc
+	for v, c := range h.buckets {
+		if c > 0 {
+			all = append(all, vc{uint64(v), c})
+		}
+	}
+	// Selection sort by count (n is tiny).
+	var out []uint64
+	for len(out) < n && len(all) > 0 {
+		best := 0
+		for i, e := range all {
+			if e.c > all[best].c {
+				best = i
+			}
+		}
+		cand := all[best].v
+		all = append(all[:best], all[best+1:]...)
+		ok := true
+		for _, m := range out {
+			d := int64(cand) - int64(m)
+			if d < 0 {
+				d = -d
+			}
+			if d < int64(minGap) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// Snapshot returns a copy.
+func (h *Histogram) Snapshot() Histogram { return *h }
+
+// String renders a compact summary with an ASCII bar chart over up to 16
+// ranges.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "hist: empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50=%d p99=%d max=%d\n",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+	// Bucket into 16 ranges up to the max tracked value with samples.
+	hi := int(h.max)
+	if hi > maxTracked {
+		hi = maxTracked
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	step := (hi + 15) / 16
+	if step == 0 {
+		step = 1
+	}
+	var rows []struct {
+		lo, hi int
+		c      uint64
+	}
+	var peak uint64
+	for lo := 0; lo <= hi; lo += step {
+		end := lo + step - 1
+		if end > maxTracked {
+			end = maxTracked
+		}
+		var c uint64
+		for v := lo; v <= end; v++ {
+			c += h.buckets[v]
+		}
+		rows = append(rows, struct {
+			lo, hi int
+			c      uint64
+		}{lo, end, c})
+		if c > peak {
+			peak = c
+		}
+	}
+	for _, r := range rows {
+		bar := 0
+		if peak > 0 {
+			bar = int(r.c * 40 / peak)
+		}
+		fmt.Fprintf(&b, "%5d-%-5d %8d %s\n", r.lo, r.hi, r.c, strings.Repeat("#", bar))
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, ">%d: %d samples\n", maxTracked, h.overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package hist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Error("empty histogram not zero")
+	}
+	if h.String() != "hist: empty" {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 4, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 22 {
+		t.Errorf("Mean = %f", h.Mean())
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %d", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("p100 = %d", got)
+	}
+}
+
+func TestOverflow(t *testing.T) {
+	var h Histogram
+	h.Add(5000)
+	h.Add(10)
+	if h.Max() != 5000 || h.Count() != 2 {
+		t.Error("overflow sample lost")
+	}
+	if !strings.Contains(h.String(), ">1024") {
+		t.Errorf("String missing overflow note:\n%s", h.String())
+	}
+}
+
+func TestModesFindsTwoPeaks(t *testing.T) {
+	var h Histogram
+	// Two clear peaks at 50 and 130, like the paper's red-black tree.
+	for i := 0; i < 100; i++ {
+		h.Add(50)
+	}
+	for i := 0; i < 80; i++ {
+		h.Add(130)
+	}
+	for v := uint64(10); v < 200; v += 7 {
+		h.Add(v)
+	}
+	modes := h.Modes(2, 20)
+	if len(modes) != 2 {
+		t.Fatalf("modes = %v", modes)
+	}
+	if modes[0] != 50 || modes[1] != 130 {
+		t.Errorf("modes = %v, want [50 130]", modes)
+	}
+}
+
+func TestModesRespectsGap(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Add(50)
+	}
+	for i := 0; i < 9; i++ {
+		h.Add(52) // within the gap of 50
+	}
+	for i := 0; i < 8; i++ {
+		h.Add(200)
+	}
+	modes := h.Modes(2, 20)
+	if len(modes) != 2 || modes[0] != 50 || modes[1] != 200 {
+		t.Errorf("modes = %v, want [50 200]", modes)
+	}
+}
+
+func TestSnapshotIsIndependent(t *testing.T) {
+	var h Histogram
+	h.Add(7)
+	s := h.Snapshot()
+	h.Add(7)
+	if s.Count() != 1 || h.Count() != 2 {
+		t.Error("snapshot shares state")
+	}
+}
+
+// Property: mean and quantiles are consistent with the sample multiset.
+func TestQuickStatsConsistent(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var h Histogram
+		var sum uint64
+		for _, v := range raw {
+			h.Add(uint64(v % 1025))
+			sum += uint64(v % 1025)
+		}
+		if h.Count() != uint64(len(raw)) {
+			return false
+		}
+		if len(raw) > 0 {
+			if h.Mean() != float64(sum)/float64(len(raw)) {
+				return false
+			}
+			if h.Quantile(0) > h.Quantile(0.5) || h.Quantile(0.5) > h.Quantile(1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

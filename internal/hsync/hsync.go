@@ -1,0 +1,131 @@
+// Package hsync provides the low-level synchronization building blocks
+// shared by the concurrency mechanisms of §5 of the Romulus paper: a test
+// and-test-and-set spin lock, a distributed read indicator with per-thread
+// cache-padded slots, and a registry that hands out small dense thread IDs
+// (Go has no thread-local storage, so per-"thread" state is keyed by
+// explicitly acquired IDs).
+//
+// Everything in this package lives in volatile memory. As the paper notes
+// (§5.2), none of the lock state needs to be persistent: correct recovery
+// depends only on the persistent state machine, not on who held which lock.
+package hsync
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxThreads is the maximum number of simultaneously registered threads
+// (goroutines holding a Handle). It bounds the size of flat-combining
+// arrays and read indicators, mirroring the statically-assigned per-thread
+// entries of the original implementation.
+const MaxThreads = 256
+
+// SpinLock is a test-and-test-and-set mutual exclusion lock with
+// exponential backoff. The zero value is unlocked.
+type SpinLock struct {
+	held atomic.Bool
+}
+
+// TryLock attempts to acquire the lock without blocking.
+func (l *SpinLock) TryLock() bool {
+	return !l.held.Load() && l.held.CompareAndSwap(false, true)
+}
+
+// Lock acquires the lock, spinning with backoff.
+func (l *SpinLock) Lock() {
+	for spins := 0; ; spins++ {
+		if l.TryLock() {
+			return
+		}
+		if spins > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the lock. Calling Unlock on an unlocked SpinLock is a
+// programming error and panics.
+func (l *SpinLock) Unlock() {
+	if !l.held.CompareAndSwap(true, false) {
+		panic("hsync: unlock of unlocked SpinLock")
+	}
+}
+
+// padding guarantees each slot of a ReadIndicator extends over two cache
+// lines (128 bytes), avoiding false sharing between reader threads — the
+// layout the paper uses for its C-RW-WP read indicator (§5.2).
+type paddedCounter struct {
+	n atomic.Int64
+	_ [120]byte
+}
+
+// ReadIndicator is a distributed counter recording the presence of readers.
+// Arrive and Depart touch only the caller's own slot; IsEmpty scans all
+// slots. This gives readers an uncontended single store each way at the
+// price of a writer-side scan, the right trade for read-mostly workloads.
+type ReadIndicator struct {
+	slots [MaxThreads]paddedCounter
+}
+
+// Arrive marks the thread with the given ID as reading.
+func (r *ReadIndicator) Arrive(tid int) { r.slots[tid].n.Add(1) }
+
+// Depart clears the thread's reading mark.
+func (r *ReadIndicator) Depart(tid int) { r.slots[tid].n.Add(-1) }
+
+// IsEmpty reports whether no reader is present. It is not a snapshot:
+// concurrent arrivals may race with the scan; callers combine it with a
+// writer flag that blocks new arrivals (C-RW-WP) or a version toggle (LR).
+func (r *ReadIndicator) IsEmpty() bool {
+	for i := range r.slots {
+		if r.slots[i].n.Load() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitEmpty spins until the indicator is empty.
+func (r *ReadIndicator) WaitEmpty() {
+	for spins := 0; !r.IsEmpty(); spins++ {
+		if spins > 16 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Registry hands out dense thread IDs in [0, MaxThreads). IDs identify
+// flat-combining slots and read-indicator slots.
+type Registry struct {
+	mu   sync.Mutex
+	free []int
+	next int
+}
+
+// Acquire reserves a thread ID. It returns an error when MaxThreads IDs are
+// simultaneously live, which indicates handles are being leaked.
+func (r *Registry) Acquire() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.free); n > 0 {
+		id := r.free[n-1]
+		r.free = r.free[:n-1]
+		return id, nil
+	}
+	if r.next >= MaxThreads {
+		return 0, fmt.Errorf("hsync: all %d thread IDs in use (leaked handles?)", MaxThreads)
+	}
+	id := r.next
+	r.next++
+	return id, nil
+}
+
+// Release returns a thread ID to the registry for reuse.
+func (r *Registry) Release(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.free = append(r.free, id)
+}

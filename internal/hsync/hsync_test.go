@@ -1,0 +1,193 @@
+package hsync
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	var counter int
+	var wg sync.WaitGroup
+	const workers, iters = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Errorf("counter = %d, want %d", counter, workers*iters)
+	}
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestSpinLockUnlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock of unlocked lock did not panic")
+		}
+	}()
+	var l SpinLock
+	l.Unlock()
+}
+
+func TestReadIndicatorArriveDepart(t *testing.T) {
+	var r ReadIndicator
+	if !r.IsEmpty() {
+		t.Fatal("fresh indicator not empty")
+	}
+	r.Arrive(3)
+	if r.IsEmpty() {
+		t.Fatal("indicator empty with one reader")
+	}
+	r.Arrive(7)
+	r.Depart(3)
+	if r.IsEmpty() {
+		t.Fatal("indicator empty with reader 7 present")
+	}
+	r.Depart(7)
+	if !r.IsEmpty() {
+		t.Fatal("indicator not empty after all depart")
+	}
+}
+
+func TestReadIndicatorReentrant(t *testing.T) {
+	var r ReadIndicator
+	r.Arrive(0)
+	r.Arrive(0)
+	r.Depart(0)
+	if r.IsEmpty() {
+		t.Fatal("nested arrival lost")
+	}
+	r.Depart(0)
+	if !r.IsEmpty() {
+		t.Fatal("indicator stuck after nested departs")
+	}
+}
+
+func TestWaitEmpty(t *testing.T) {
+	var r ReadIndicator
+	r.Arrive(1)
+	done := make(chan struct{})
+	go func() {
+		r.WaitEmpty()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("WaitEmpty returned with a reader present")
+	default:
+	}
+	r.Depart(1)
+	<-done // must terminate
+}
+
+func TestRegistryAcquireRelease(t *testing.T) {
+	var reg Registry
+	a, err := reg.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("duplicate IDs: %d", a)
+	}
+	reg.Release(a)
+	c, err := reg.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Errorf("released ID not reused: got %d, want %d", c, a)
+	}
+}
+
+func TestRegistryExhaustion(t *testing.T) {
+	var reg Registry
+	ids := map[int]bool{}
+	for i := 0; i < MaxThreads; i++ {
+		id, err := reg.Acquire()
+		if err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+		if ids[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		ids[id] = true
+	}
+	if _, err := reg.Acquire(); err == nil {
+		t.Error("Acquire beyond MaxThreads succeeded")
+	}
+	reg.Release(0)
+	if _, err := reg.Acquire(); err != nil {
+		t.Errorf("Acquire after release: %v", err)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	var reg Registry
+	var wg sync.WaitGroup
+	var inUse [MaxThreads]atomic.Bool
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id, err := reg.Acquire()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if inUse[id].Swap(true) {
+					t.Errorf("ID %d handed out twice", id)
+					return
+				}
+				inUse[id].Store(false)
+				reg.Release(id)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkReadIndicatorArriveDepart(b *testing.B) {
+	var r ReadIndicator
+	var reg Registry
+	b.RunParallel(func(pb *testing.PB) {
+		id, err := reg.Acquire()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer reg.Release(id)
+		for pb.Next() {
+			r.Arrive(id)
+			r.Depart(id)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+// Package kvstore implements RomulusDB (§6.4 of the paper): a persistent
+// key-value store exposing a LevelDB-style interface — Put, Get, Delete,
+// atomic write batches, and full iteration — built by wrapping a persistent
+// hash map (pstruct.ByteMap) in a RomulusLog PTM.
+//
+// Unlike LevelDB, every update is a real durable transaction: when Put
+// returns, the pair is persistent, with no WriteOptions.sync flag needed
+// and no buffered-durability window in which completed operations can be
+// lost. Batches are durable and atomic as a unit. Read operations run as
+// Romulus read-only transactions and therefore scale with reader threads.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/pstruct"
+	"repro/internal/ptm"
+)
+
+// ErrNotFound is returned by Get when the key is absent.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// rootIdx is the root-pointer slot holding the map object.
+const rootIdx = 0
+
+// Options configure Open.
+type Options struct {
+	// RegionSize is the persistent heap size per twin copy (default 64 MiB).
+	RegionSize int
+	// Variant selects the Romulus engine (default RomLog, as in the paper;
+	// RomLR gives wait-free readers).
+	Variant core.Variant
+	// Model is the persistence model (default DRAM-like NVDIMM).
+	Model pmem.Model
+	// Path, when non-empty, backs the store with an image file: Open loads
+	// it if present, and Close writes it back. An empty path keeps the
+	// store in memory only (still crash-consistent within the process).
+	Path string
+	// InitialBuckets presizes the hash map (0 = default).
+	InitialBuckets int
+}
+
+const defaultRegionSize = 64 << 20
+
+// DB is a RomulusDB instance.
+type DB struct {
+	eng  *core.Engine
+	m    *pstruct.ByteMap
+	path string
+}
+
+// Open creates or reopens a store.
+func Open(opts Options) (*DB, error) {
+	if opts.RegionSize == 0 {
+		opts.RegionSize = defaultRegionSize
+	}
+	cfg := core.Config{Variant: opts.Variant, Model: opts.Model} // zero Variant = RomLog
+	var eng *core.Engine
+	var err error
+	if opts.Path != "" {
+		if _, statErr := os.Stat(opts.Path); statErr == nil {
+			dev, loadErr := pmem.LoadFile(opts.Path, opts.Model)
+			if loadErr != nil {
+				return nil, fmt.Errorf("kvstore: %w", loadErr)
+			}
+			eng, err = core.Open(dev, cfg)
+		} else {
+			eng, err = core.New(opts.RegionSize, cfg)
+		}
+	} else {
+		eng, err = core.New(opts.RegionSize, cfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	db := &DB{eng: eng, path: opts.Path}
+	err = db.eng.Update(func(tx ptm.Tx) error {
+		m, err := pstruct.NewByteMap(tx, rootIdx, opts.InitialBuckets)
+		if err != nil {
+			return err
+		}
+		db.m = m
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: initializing map: %w", err)
+	}
+	return db, nil
+}
+
+// Engine exposes the underlying PTM engine (statistics, crash testing).
+func (db *DB) Engine() *core.Engine { return db.eng }
+
+// Put durably stores the key/value pair.
+func (db *DB) Put(key, val []byte) error {
+	return db.eng.Update(func(tx ptm.Tx) error {
+		_, err := db.m.Put(tx, key, val)
+		return err
+	})
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	var out []byte
+	err := db.eng.Read(func(tx ptm.Tx) error {
+		v, err := db.m.Get(tx, key, nil)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	})
+	if errors.Is(err, pstruct.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return out, err
+}
+
+// Delete durably removes key (a no-op if absent).
+func (db *DB) Delete(key []byte) error {
+	return db.eng.Update(func(tx ptm.Tx) error {
+		_, err := db.m.Delete(tx, key)
+		return err
+	})
+}
+
+// Len returns the number of live pairs.
+func (db *DB) Len() int {
+	var n int
+	db.eng.Read(func(tx ptm.Tx) error {
+		n = db.m.Len(tx)
+		return nil
+	})
+	return n
+}
+
+// Range iterates all pairs within a single read-only transaction (a
+// consistent snapshot), forward or reverse, until fn returns false. This
+// is what the readseq/readreverse benchmarks use.
+func (db *DB) Range(reverse bool, fn func(key, val []byte) bool) error {
+	return db.eng.Read(func(tx ptm.Tx) error {
+		db.m.Range(tx, reverse, fn)
+		return nil
+	})
+}
+
+// Stats reports store-level counters and capacity.
+type Stats struct {
+	// Pairs is the number of live key-value pairs.
+	Pairs int
+	// UsedBytes is the persistent-heap high-water mark (what recovery
+	// would copy).
+	UsedBytes int
+	// RegionBytes is the capacity of each twin copy.
+	RegionBytes int
+	// UpdateTxs and ReadTxs count transactions since open.
+	UpdateTxs uint64
+	ReadTxs   uint64
+}
+
+// Stats returns a snapshot of store statistics.
+func (db *DB) Stats() Stats {
+	ts := db.eng.Stats()
+	return Stats{
+		Pairs:       db.Len(),
+		UsedBytes:   db.eng.Watermark(),
+		RegionBytes: db.eng.RegionSize(),
+		UpdateTxs:   ts.UpdateTxs,
+		ReadTxs:     ts.ReadTxs,
+	}
+}
+
+// Close writes the image back to Path (if configured). The store must be
+// quiescent.
+func (db *DB) Close() error {
+	if db.path != "" {
+		if err := db.eng.Device().SaveFile(db.path); err != nil {
+			return err
+		}
+	}
+	return db.eng.Close()
+}
+
+// Batch collects operations for atomic, durable application via Write —
+// genuine transactional semantics, strictly stronger than LevelDB's
+// write batches.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	del      bool
+	key, val []byte
+}
+
+// Put queues a durable insertion/replacement.
+func (b *Batch) Put(key, val []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), val: append([]byte(nil), val...)})
+}
+
+// Delete queues a removal.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{del: true, key: append([]byte(nil), key...)})
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// Write applies the batch atomically in one durable transaction.
+func (db *DB) Write(b *Batch) error {
+	return db.eng.Update(func(tx ptm.Tx) error {
+		for _, op := range b.ops {
+			if op.del {
+				if _, err := db.m.Delete(tx, op.key); err != nil {
+					return err
+				}
+			} else if _, err := db.m.Put(tx, op.key, op.val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Session is a per-goroutine handle for hot paths: it pins the engine's
+// per-thread slots, avoiding pool traffic on every operation.
+type Session struct {
+	db *DB
+	h  ptm.Handle
+}
+
+// NewSession creates a session; call Close when the goroutine is done.
+func (db *DB) NewSession() (*Session, error) {
+	h, err := db.eng.NewHandle()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{db: db, h: h}, nil
+}
+
+// Put durably stores the pair using the session's handle.
+func (s *Session) Put(key, val []byte) error {
+	return s.h.Update(func(tx ptm.Tx) error {
+		_, err := s.db.m.Put(tx, key, val)
+		return err
+	})
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (s *Session) Get(key []byte, dst []byte) ([]byte, error) {
+	var out []byte
+	err := s.h.Read(func(tx ptm.Tx) error {
+		v, err := s.db.m.Get(tx, key, dst)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	})
+	if errors.Is(err, pstruct.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return out, err
+}
+
+// Delete durably removes key.
+func (s *Session) Delete(key []byte) error {
+	return s.h.Update(func(tx ptm.Tx) error {
+		_, err := s.db.m.Delete(tx, key)
+		return err
+	})
+}
+
+// Write applies a batch atomically.
+func (s *Session) Write(b *Batch) error {
+	return s.h.Update(func(tx ptm.Tx) error {
+		for _, op := range b.ops {
+			if op.del {
+				if _, err := s.db.m.Delete(tx, op.key); err != nil {
+					return err
+				}
+			} else if _, err := s.db.m.Put(tx, op.key, op.val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Range iterates within one read transaction on the session's handle.
+func (s *Session) Range(reverse bool, fn func(key, val []byte) bool) error {
+	return s.h.Read(func(tx ptm.Tx) error {
+		s.db.m.Range(tx, reverse, fn)
+		return nil
+	})
+}
+
+// Close releases the session's thread slots.
+func (s *Session) Close() { s.h.Release() }

@@ -1,0 +1,11 @@
+package leftright
+
+import "sync/atomic"
+
+// atomicInstance is an atomic Instance value.
+type atomicInstance struct {
+	v atomic.Int32
+}
+
+func (a *atomicInstance) Load() Instance   { return Instance(a.v.Load()) }
+func (a *atomicInstance) Store(i Instance) { a.v.Store(int32(i)) }

@@ -1,0 +1,143 @@
+// Package linearize is a small linearizability checker in the style of
+// Wing & Gong, used to validate the engines' concurrency claims: Romulus
+// transactions are "irrevocable" and serialized by a single combiner, and
+// the paper asserts durable linearizability (§5.2) — every operation
+// appears to take effect atomically between its invocation and response,
+// with durability before visibility.
+//
+// The checker takes a concurrent history of operations (invocation and
+// response timestamps plus observed results) and a sequential model, and
+// searches for a legal linear order: operations may be reordered only when
+// their real-time intervals overlap. The search is exponential in the
+// worst case, so tests keep histories small; with a single-writer PTM the
+// histories are nearly sequential and the search is fast.
+package linearize
+
+import "sort"
+
+// Op is one completed operation in a concurrent history.
+type Op struct {
+	// Invoke and Return are logical timestamps (any monotonic clock).
+	Invoke, Return int64
+	// Kind and Arg describe the operation for the model.
+	Kind string
+	Arg  uint64
+	// Result is the value the concurrent execution observed.
+	Result uint64
+}
+
+// Model is a sequential specification: Apply returns the expected result
+// of op in the given state and the successor state. States must be
+// comparable via the Hash for memoization.
+type Model interface {
+	// Init returns the initial state.
+	Init() any
+	// Apply runs op against state, returning the model result and the new
+	// state. It must not mutate state in place.
+	Apply(state any, op Op) (result uint64, newState any)
+	// Hash fingerprints a state for memoization.
+	Hash(state any) uint64
+}
+
+// Check reports whether history is linearizable with respect to the model.
+func Check(model Model, history []Op) bool {
+	n := len(history)
+	if n == 0 {
+		return true
+	}
+	if n > 20 {
+		// Guard against accidental exponential blow-ups in tests.
+		panic("linearize: history too large for exact checking")
+	}
+	ops := append([]Op(nil), history...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	type memoKey struct {
+		taken     uint32
+		stateHash uint64
+	}
+	seen := map[memoKey]bool{}
+
+	var search func(taken uint32, state any) bool
+	search = func(taken uint32, state any) bool {
+		if taken == (1<<uint(n))-1 {
+			return true
+		}
+		key := memoKey{taken, model.Hash(state)}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		// The earliest return time among pending ops bounds which ops may
+		// linearize next: an op can only go first if no pending op
+		// returned strictly before it was invoked.
+		minReturn := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if taken&(1<<uint(i)) == 0 && ops[i].Return < minReturn {
+				minReturn = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if taken&(1<<uint(i)) != 0 {
+				continue
+			}
+			if ops[i].Invoke > minReturn {
+				continue // a pending op returned before this one started
+			}
+			res, next := model.Apply(state, ops[i])
+			if res != ops[i].Result {
+				continue
+			}
+			if search(taken|1<<uint(i), next) {
+				return true
+			}
+		}
+		return false
+	}
+	return search(0, model.Init())
+}
+
+// RegisterModel is a sequential model of a single uint64 register with
+// "read" and "write" operations, the canonical linearizability test
+// object.
+type RegisterModel struct{}
+
+// Init implements Model.
+func (RegisterModel) Init() any { return uint64(0) }
+
+// Apply implements Model.
+func (RegisterModel) Apply(state any, op Op) (uint64, any) {
+	v := state.(uint64)
+	switch op.Kind {
+	case "write":
+		return 0, op.Arg
+	case "read":
+		return v, v
+	}
+	panic("linearize: unknown register op " + op.Kind)
+}
+
+// Hash implements Model.
+func (RegisterModel) Hash(state any) uint64 { return state.(uint64) }
+
+// CounterModel is a sequential model of a fetch-and-add counter with
+// "add" (returns the pre-increment value) and "read".
+type CounterModel struct{}
+
+// Init implements Model.
+func (CounterModel) Init() any { return uint64(0) }
+
+// Apply implements Model.
+func (CounterModel) Apply(state any, op Op) (uint64, any) {
+	v := state.(uint64)
+	switch op.Kind {
+	case "add":
+		return v, v + op.Arg
+	case "read":
+		return v, v
+	}
+	panic("linearize: unknown counter op " + op.Kind)
+}
+
+// Hash implements Model.
+func (CounterModel) Hash(state any) uint64 { return state.(uint64) }

@@ -1,0 +1,98 @@
+package linearize
+
+import "testing"
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(RegisterModel{}, nil) {
+		t.Error("empty history not linearizable")
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	h := []Op{
+		{Invoke: 0, Return: 1, Kind: "write", Arg: 5},
+		{Invoke: 2, Return: 3, Kind: "read", Result: 5},
+		{Invoke: 4, Return: 5, Kind: "write", Arg: 7},
+		{Invoke: 6, Return: 7, Kind: "read", Result: 7},
+	}
+	if !Check(RegisterModel{}, h) {
+		t.Error("valid sequential history rejected")
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	h := []Op{
+		{Invoke: 0, Return: 1, Kind: "write", Arg: 5},
+		{Invoke: 2, Return: 3, Kind: "read", Result: 0}, // stale: write already returned
+	}
+	if Check(RegisterModel{}, h) {
+		t.Error("stale read accepted")
+	}
+}
+
+func TestConcurrentReadMaySeeEitherValue(t *testing.T) {
+	// A read overlapping a write may return the old or the new value.
+	for _, result := range []uint64{0, 5} {
+		h := []Op{
+			{Invoke: 0, Return: 10, Kind: "write", Arg: 5},
+			{Invoke: 1, Return: 9, Kind: "read", Result: result},
+		}
+		if !Check(RegisterModel{}, h) {
+			t.Errorf("overlapping read of %d rejected", result)
+		}
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// read=5 then non-overlapping read=0 cannot both be right without a
+	// concurrent second write.
+	h := []Op{
+		{Invoke: 0, Return: 1, Kind: "write", Arg: 5},
+		{Invoke: 2, Return: 3, Kind: "read", Result: 5},
+		{Invoke: 4, Return: 5, Kind: "read", Result: 0},
+	}
+	if Check(RegisterModel{}, h) {
+		t.Error("time-travelling read accepted")
+	}
+}
+
+func TestNewOldInversionRejected(t *testing.T) {
+	// Two sequential reads observing new-then-old around a concurrent
+	// write is the classic non-linearizable inversion.
+	h := []Op{
+		{Invoke: 0, Return: 100, Kind: "write", Arg: 9},
+		{Invoke: 10, Return: 20, Kind: "read", Result: 9},
+		{Invoke: 30, Return: 40, Kind: "read", Result: 0},
+	}
+	if Check(RegisterModel{}, h) {
+		t.Error("new-old inversion accepted")
+	}
+}
+
+func TestCounterModelConcurrentAdds(t *testing.T) {
+	// Two overlapping add(1) ops: the one that observed 0 linearizes
+	// first; a later read must see 2.
+	h := []Op{
+		{Invoke: 0, Return: 10, Kind: "add", Arg: 1, Result: 0},
+		{Invoke: 1, Return: 9, Kind: "add", Arg: 1, Result: 1},
+		{Invoke: 20, Return: 21, Kind: "read", Result: 2},
+	}
+	if !Check(CounterModel{}, h) {
+		t.Error("valid concurrent adds rejected")
+	}
+	// Both observing 0 would be a lost update.
+	h[1].Result = 0
+	h[2].Result = 1
+	if Check(CounterModel{}, h) {
+		t.Error("lost update accepted")
+	}
+}
+
+func TestHistoryTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized history did not panic")
+		}
+	}()
+	Check(RegisterModel{}, make([]Op, 21))
+}

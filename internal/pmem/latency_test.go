@@ -1,0 +1,49 @@
+package pmem
+
+import (
+	"testing"
+	"time"
+)
+
+// The injected media latencies must actually materialize: under the PCM
+// model a pfence costs at least its configured 500 ns.
+func TestLatencyInjection(t *testing.T) {
+	d := New(4096, ModelPCM)
+	const n = 200
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		d.Pfence()
+	}
+	per := time.Since(start) / n
+	if per < ModelPCM.PfenceLatency {
+		t.Errorf("pfence cost %v under PCM, want >= %v", per, ModelPCM.PfenceLatency)
+	}
+
+	d2 := New(4096, ModelSTT)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		d2.Store64(0, uint64(i))
+		d2.Pwb(0)
+	}
+	per = time.Since(start) / n
+	if per < ModelSTT.PwbLatency {
+		t.Errorf("pwb cost %v under STT, want >= %v", per, ModelSTT.PwbLatency)
+	}
+}
+
+// DRAM-like models must not inject delays (sanity bound: far below the
+// PCM latency).
+func TestNoLatencyUnderDRAM(t *testing.T) {
+	d := New(4096, ModelDRAM)
+	const n = 10000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		d.Store64(0, uint64(i))
+		d.Pwb(0)
+		d.Pfence()
+	}
+	per := time.Since(start) / n
+	if per > 2*time.Microsecond {
+		t.Errorf("DRAM-model cycle cost %v, expected well under PCM latencies", per)
+	}
+}

@@ -1,0 +1,465 @@
+// Package pmem simulates byte-addressable persistent memory with explicit
+// persistence primitives, for reproducing persistent-transactional-memory
+// algorithms on hardware (and runtimes) that lack flush intrinsics.
+//
+// A Device holds two images of the same region:
+//
+//   - the volatile image, standing in for CPU caches plus DRAM, where every
+//     store lands immediately; and
+//   - the persisted image, standing in for the NVM media, which only receives
+//     data through write-backs.
+//
+// Stores mark 64-byte cache lines dirty. Pwb queues a line for write-back,
+// Pfence orders and completes queued write-backs, and Psync additionally
+// waits for durability (in this simulation Pfence and Psync both drain the
+// queue; they differ only in injected latency, mirroring how SFENCE serves
+// both roles on x86). Under the CLFLUSH model, Pwb is self-ordering and
+// synchronous and the fences are no-ops, exactly as in the paper's setup.
+//
+// Crash discards the volatile image and applies an adversarial policy to
+// lines that were dirty or queued but not yet fenced, producing the set of
+// post-crash images real hardware could produce. Recovery code then runs
+// against the surviving persisted image.
+//
+// The data path (loads, stores, write-backs) is deliberately unsynchronized:
+// the transactional layers above guarantee that at most one mutator runs at a
+// time and that readers never race with the mutator on the same locations,
+// matching the C++ memory-model assumptions of the original algorithms.
+// Statistics counters are plain fields owned by the mutator; snapshot them
+// only at quiescent points or from the mutating goroutine.
+package pmem
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// LineSize is the simulated cache-line size in bytes. All dirtiness and
+// write-back tracking happens at this granularity, like CLFLUSH/CLWB.
+const LineSize = 64
+
+const lineShift = 6 // log2(LineSize)
+
+// Stats counts persistence-relevant events since the last ResetStats. The
+// counters feed Table 1 (fences per transaction, write amplification) and the
+// pwb histograms discussed in §6.2 of the paper.
+type Stats struct {
+	Stores         uint64 // store operations issued
+	BytesStored    uint64 // bytes written to the volatile image
+	Pwbs           uint64 // persist write-backs issued
+	Pfences        uint64 // persist fences issued
+	Psyncs         uint64 // persist syncs issued
+	LinesPersisted uint64 // cache lines actually written to the persisted image
+	BytesPersisted uint64 // bytes written to the persisted image
+}
+
+// Device is a simulated persistent-memory region. The zero value is not
+// usable; create one with New.
+type Device struct {
+	mem    []byte // volatile image: caches + DRAM
+	pm     []byte // persisted image: NVM media
+	dirty  bitmap // stored but not yet queued for write-back
+	queued bitmap // queued by Pwb, not yet fenced
+	// queuedLines tracks the order in which lines were queued so that fences
+	// can drain them without scanning the whole bitmap.
+	queuedLines []int64
+	model       Model
+	stats       Stats
+	pwbHook     func(n uint64) // test hook, called after every Pwb
+	storeHook   func(n uint64) // test hook, called after every store
+	fenceHook   func()         // test hook, called after every Pfence/Psync
+}
+
+// New creates a Device of the given size (rounded up to a whole number of
+// cache lines) using the given persistence model.
+func New(size int, model Model) *Device {
+	if size <= 0 {
+		panic("pmem: non-positive device size")
+	}
+	size = (size + LineSize - 1) &^ (LineSize - 1)
+	lines := size >> lineShift
+	return &Device{
+		mem:    make([]byte, size),
+		pm:     make([]byte, size),
+		dirty:  newBitmap(lines),
+		queued: newBitmap(lines),
+		model:  model,
+	}
+}
+
+// Size returns the size of the region in bytes.
+func (d *Device) Size() int { return len(d.mem) }
+
+// Model returns the current persistence model.
+func (d *Device) Model() Model { return d.model }
+
+// SetModel replaces the persistence model. Intended for parameter sweeps at
+// quiescent points.
+func (d *Device) SetModel(m Model) { d.model = m }
+
+// Stats returns a snapshot of the event counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the event counters.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// SetPwbHook installs a test hook invoked after every Pwb with the total
+// number of Pwbs issued so far. The hook may panic to simulate a crash at an
+// exact persistence point.
+func (d *Device) SetPwbHook(fn func(n uint64)) { d.pwbHook = fn }
+
+// SetStoreHook installs a test hook invoked after every store with the total
+// number of stores issued so far.
+func (d *Device) SetStoreHook(fn func(n uint64)) { d.storeHook = fn }
+
+// SetFenceHook installs a test hook invoked after every Pfence or Psync.
+func (d *Device) SetFenceHook(fn func()) { d.fenceHook = fn }
+
+func (d *Device) markStored(off, n int) {
+	d.stats.Stores++
+	d.stats.BytesStored += uint64(n)
+	first := off >> lineShift
+	last := (off + n - 1) >> lineShift
+	for l := first; l <= last; l++ {
+		d.dirty.set(l)
+	}
+	if d.storeHook != nil {
+		d.storeHook(d.stats.Stores)
+	}
+}
+
+// Store8 writes one byte at off.
+func (d *Device) Store8(off int, v byte) {
+	d.mem[off] = v
+	d.markStored(off, 1)
+}
+
+// Store16 writes a little-endian 16-bit value at off.
+func (d *Device) Store16(off int, v uint16) {
+	d.mem[off] = byte(v)
+	d.mem[off+1] = byte(v >> 8)
+	d.markStored(off, 2)
+}
+
+// Store32 writes a little-endian 32-bit value at off.
+func (d *Device) Store32(off int, v uint32) {
+	_ = d.mem[off+3]
+	d.mem[off] = byte(v)
+	d.mem[off+1] = byte(v >> 8)
+	d.mem[off+2] = byte(v >> 16)
+	d.mem[off+3] = byte(v >> 24)
+	d.markStored(off, 4)
+}
+
+// Store64 writes a little-endian 64-bit value at off.
+func (d *Device) Store64(off int, v uint64) {
+	_ = d.mem[off+7]
+	d.mem[off] = byte(v)
+	d.mem[off+1] = byte(v >> 8)
+	d.mem[off+2] = byte(v >> 16)
+	d.mem[off+3] = byte(v >> 24)
+	d.mem[off+4] = byte(v >> 32)
+	d.mem[off+5] = byte(v >> 40)
+	d.mem[off+6] = byte(v >> 48)
+	d.mem[off+7] = byte(v >> 56)
+	d.markStored(off, 8)
+}
+
+// StoreBytes copies src into the region at off.
+func (d *Device) StoreBytes(off int, src []byte) {
+	if len(src) == 0 {
+		return
+	}
+	copy(d.mem[off:], src)
+	d.markStored(off, len(src))
+}
+
+// Memset fills n bytes at off with v.
+func (d *Device) Memset(off int, v byte, n int) {
+	if n == 0 {
+		return
+	}
+	s := d.mem[off : off+n]
+	for i := range s {
+		s[i] = v
+	}
+	d.markStored(off, n)
+}
+
+// Load8 reads one byte at off.
+func (d *Device) Load8(off int) byte { return d.mem[off] }
+
+// Load16 reads a little-endian 16-bit value at off.
+func (d *Device) Load16(off int) uint16 {
+	return uint16(d.mem[off]) | uint16(d.mem[off+1])<<8
+}
+
+// Load32 reads a little-endian 32-bit value at off.
+func (d *Device) Load32(off int) uint32 {
+	_ = d.mem[off+3]
+	return uint32(d.mem[off]) | uint32(d.mem[off+1])<<8 |
+		uint32(d.mem[off+2])<<16 | uint32(d.mem[off+3])<<24
+}
+
+// Load64 reads a little-endian 64-bit value at off.
+func (d *Device) Load64(off int) uint64 {
+	_ = d.mem[off+7]
+	return uint64(d.mem[off]) | uint64(d.mem[off+1])<<8 |
+		uint64(d.mem[off+2])<<16 | uint64(d.mem[off+3])<<24 |
+		uint64(d.mem[off+4])<<32 | uint64(d.mem[off+5])<<40 |
+		uint64(d.mem[off+6])<<48 | uint64(d.mem[off+7])<<56
+}
+
+// LoadBytes copies len(dst) bytes starting at off into dst.
+func (d *Device) LoadBytes(off int, dst []byte) {
+	copy(dst, d.mem[off:off+len(dst)])
+}
+
+// Bytes returns the volatile image slice for [off, off+n). The caller must
+// respect the same synchronization rules as Load/Store. Intended for bulk
+// operations such as the main-to-back copy.
+func (d *Device) Bytes(off, n int) []byte { return d.mem[off : off+n] }
+
+// CopyWithin copies n bytes from src to dst inside the region through the
+// volatile image, marking destination lines dirty. It is the raw memcpy used
+// for the twin-copy replication; callers must still issue Pwb for the
+// destination range.
+func (d *Device) CopyWithin(dst, src, n int) {
+	if n == 0 {
+		return
+	}
+	copy(d.mem[dst:dst+n], d.mem[src:src+n])
+	d.markStored(dst, n)
+}
+
+// Pwb initiates write-back of the cache line containing off. Under an
+// ordered model (CLFLUSH) the line is persisted immediately; otherwise it is
+// queued until the next Pfence or Psync. Pwb of a clean, unqueued line is a
+// no-op apart from the injected latency, like flushing a clean line.
+func (d *Device) Pwb(off int) {
+	d.stats.Pwbs++
+	d.model.delayPwb()
+	line := off >> lineShift
+	if d.dirty.test(line) {
+		d.dirty.clear(line)
+		if d.model.OrderedPwb {
+			d.persistLine(line)
+		} else if !d.queued.test(line) {
+			d.queued.set(line)
+			d.queuedLines = append(d.queuedLines, int64(line))
+		}
+	}
+	if d.pwbHook != nil {
+		d.pwbHook(d.stats.Pwbs)
+	}
+}
+
+// PwbRange issues Pwb for every cache line overlapping [off, off+n).
+func (d *Device) PwbRange(off, n int) {
+	if n <= 0 {
+		return
+	}
+	first := off >> lineShift
+	last := (off + n - 1) >> lineShift
+	for l := first; l <= last; l++ {
+		d.Pwb(l << lineShift)
+	}
+}
+
+// Pfence orders preceding write-backs: every line queued by Pwb becomes
+// persistent before the fence returns.
+func (d *Device) Pfence() {
+	d.stats.Pfences++
+	d.model.delayPfence()
+	d.drainQueue()
+	if d.fenceHook != nil {
+		d.fenceHook()
+	}
+}
+
+// Psync blocks until all preceding write-backs are persistent.
+func (d *Device) Psync() {
+	d.stats.Psyncs++
+	d.model.delayPsync()
+	d.drainQueue()
+	if d.fenceHook != nil {
+		d.fenceHook()
+	}
+}
+
+func (d *Device) drainQueue() {
+	for _, l := range d.queuedLines {
+		line := int(l)
+		if d.queued.test(line) {
+			d.queued.clear(line)
+			d.persistLine(line)
+		}
+	}
+	d.queuedLines = d.queuedLines[:0]
+}
+
+func (d *Device) persistLine(line int) {
+	off := line << lineShift
+	copy(d.pm[off:off+LineSize], d.mem[off:off+LineSize])
+	d.stats.LinesPersisted++
+	d.stats.BytesPersisted += LineSize
+}
+
+// PersistAll force-persists the entire volatile image, as if every line had
+// been flushed and fenced. Used when formatting a fresh region.
+func (d *Device) PersistAll() {
+	copy(d.pm, d.mem)
+	d.dirty.reset()
+	d.queued.reset()
+	d.queuedLines = d.queuedLines[:0]
+}
+
+// Persisted returns a copy of the persisted image, for inspection in tests.
+func (d *Device) Persisted() []byte {
+	out := make([]byte, len(d.pm))
+	copy(out, d.pm)
+	return out
+}
+
+// CrashPolicy controls the fate of not-yet-durable data at a simulated power
+// failure.
+type CrashPolicy struct {
+	// QueuedPersistProb is the probability that a line queued by Pwb but not
+	// yet fenced reaches the media anyway (write-backs may have completed
+	// before the failure). 0 drops all, 1 persists all.
+	QueuedPersistProb float64
+	// EvictDirtyProb is the probability that a dirty line that was never
+	// flushed reaches the media anyway, modelling cache evictions. Correct
+	// algorithms must tolerate any value; 0 is the common deterministic case.
+	EvictDirtyProb float64
+	// TearWords, when true, applies the above decisions independently per
+	// 8-byte word instead of per cache line, modelling word-granularity
+	// persistence with torn lines.
+	TearWords bool
+	// Rand supplies randomness; nil means a fixed-seed source (deterministic).
+	Rand *rand.Rand
+}
+
+// DropAll is the deterministic worst case for unfenced data: everything that
+// was not fenced is lost.
+var DropAll = CrashPolicy{}
+
+// KeepQueued persists everything that was at least queued by a Pwb, the
+// deterministic best case.
+var KeepQueued = CrashPolicy{QueuedPersistProb: 1}
+
+// applyCrash writes the post-failure media contents into img (which must
+// start as a copy of the persisted image), consuming no device state.
+func (d *Device) applyCrash(img []byte, p CrashPolicy) {
+	rng := p.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	decide := func(prob float64) bool {
+		if prob <= 0 {
+			return false
+		}
+		if prob >= 1 {
+			return true
+		}
+		return rng.Float64() < prob
+	}
+	persistPartial := func(line int, prob float64) {
+		off := line << lineShift
+		if !p.TearWords {
+			if decide(prob) {
+				copy(img[off:off+LineSize], d.mem[off:off+LineSize])
+			}
+			return
+		}
+		for w := 0; w < LineSize; w += 8 {
+			if decide(prob) {
+				copy(img[off+w:off+w+8], d.mem[off+w:off+w+8])
+			}
+		}
+	}
+	for _, l := range d.queuedLines {
+		line := int(l)
+		if d.queued.test(line) {
+			persistPartial(line, p.QueuedPersistProb)
+		}
+	}
+	if p.EvictDirtyProb > 0 {
+		d.dirty.forEach(func(line int) {
+			persistPartial(line, p.EvictDirtyProb)
+		})
+	}
+}
+
+// Crash simulates a power failure followed by a restart: the policy decides
+// which in-flight lines reached the media, the volatile image is discarded,
+// and the region is re-mapped from the persisted image. After Crash the
+// device is quiescent and ready for recovery code.
+func (d *Device) Crash(p CrashPolicy) {
+	d.applyCrash(d.pm, p)
+	d.dirty.reset()
+	d.queued.reset()
+	d.queuedLines = d.queuedLines[:0]
+	// Restart: the volatile image is re-mapped from the media.
+	copy(d.mem, d.pm)
+}
+
+// CrashImage returns the media contents a failure at this exact point would
+// leave behind under the given policy, without disturbing the device.
+// Crash-injection tests capture images at every persistence event of a live
+// run and recover each one separately.
+func (d *Device) CrashImage(p CrashPolicy) []byte {
+	img := make([]byte, len(d.pm))
+	copy(img, d.pm)
+	d.applyCrash(img, p)
+	return img
+}
+
+// FromImage creates a quiescent device whose volatile and persisted views
+// both equal img, as if a machine rebooted with that media content.
+func FromImage(img []byte, model Model) *Device {
+	if len(img) == 0 || len(img)%LineSize != 0 {
+		panic(fmt.Sprintf("pmem: image size %d is not a positive multiple of %d", len(img), LineSize))
+	}
+	d := New(len(img), model)
+	copy(d.pm, img)
+	copy(d.mem, img)
+	return d
+}
+
+// SaveFile writes the persisted image to path, allowing a region to survive
+// process restarts in examples and tools.
+func (d *Device) SaveFile(path string) error {
+	if err := os.WriteFile(path, d.pm, 0o644); err != nil {
+		return fmt.Errorf("pmem: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile creates a Device from an image previously written by SaveFile.
+func LoadFile(path string, model Model) (*Device, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: load %s: %w", path, err)
+	}
+	if len(data) == 0 || len(data)%LineSize != 0 {
+		return nil, fmt.Errorf("pmem: load %s: image size %d is not a positive multiple of %d", path, len(data), LineSize)
+	}
+	d := New(len(data), model)
+	copy(d.pm, data)
+	copy(d.mem, data)
+	return d, nil
+}
+
+// spin busy-waits for roughly dur, simulating media latency without yielding
+// the processor (matching how the paper injects rdtsc-measured delays).
+func spin(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < dur {
+	}
+}

@@ -1,0 +1,9 @@
+package pmem
+
+import "os"
+
+// writeFile is a test helper kept separate so pmem.go stays free of
+// test-only imports.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,181 @@
+package pstruct
+
+import "repro/internal/ptm"
+
+// HashMap is the resizable chained hash map of §6.2: buckets double when
+// the load factor exceeds 2, and a shared element counter is updated by
+// every insertion and removal. On the Romulus engines the counter is
+// harmless (writers are serialized anyway); on a fine-grained STM like the
+// Mnemosyne baseline it makes every pair of concurrent updates conflict —
+// the scalability collapse the paper demonstrates in Figure 4.
+//
+// Map object layout (24 bytes): +0 buckets ptr, +8 bucket count, +16 size.
+// Node layout (24 bytes): +0 key, +8 value, +16 next.
+type HashMap struct {
+	root int
+}
+
+const (
+	hmBuckets = 0
+	hmNBkts   = 8
+	hmSize    = 16
+
+	hmNodeKey  = 0
+	hmNodeVal  = 8
+	hmNodeNext = 16
+	hmNodeSize = 24
+
+	hmInitialBuckets = 16
+	hmMaxLoad        = 2 // resize when size > hmMaxLoad * buckets
+)
+
+// NewHashMap creates a map under the root index if absent and returns a
+// handle.
+func NewHashMap(tx ptm.Tx, root int) (*HashMap, error) {
+	if !tx.Root(root).IsNil() {
+		return &HashMap{root: root}, nil
+	}
+	obj, err := tx.Alloc(24)
+	if err != nil {
+		return nil, err
+	}
+	bkts, err := tx.Alloc(hmInitialBuckets * 8)
+	if err != nil {
+		return nil, err
+	}
+	setField(tx, obj, hmBuckets, bkts)
+	tx.Store64(obj+hmNBkts, hmInitialBuckets)
+	tx.SetRoot(root, obj)
+	return &HashMap{root: root}, nil
+}
+
+// AttachHashMap returns a handle to an existing map.
+func AttachHashMap(root int) *HashMap { return &HashMap{root: root} }
+
+func (m *HashMap) bucket(tx ptm.Tx, obj ptm.Ptr, key uint64) ptm.Ptr {
+	n := tx.Load64(obj + hmNBkts)
+	idx := hash64(key) % n
+	return field(tx, obj, hmBuckets) + ptm.Ptr(idx*8)
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (m *HashMap) Get(tx ptm.Tx, key uint64) (uint64, error) {
+	obj := tx.Root(m.root)
+	for n := ptm.Ptr(tx.Load64(m.bucket(tx, obj, key))); !n.IsNil(); n = field(tx, n, hmNodeNext) {
+		if tx.Load64(n+hmNodeKey) == key {
+			return tx.Load64(n + hmNodeVal), nil
+		}
+	}
+	return 0, ErrNotFound
+}
+
+// Contains reports whether key is present.
+func (m *HashMap) Contains(tx ptm.Tx, key uint64) bool {
+	_, err := m.Get(tx, key)
+	return err == nil
+}
+
+// Put inserts or updates key, reporting whether it was absent.
+func (m *HashMap) Put(tx ptm.Tx, key, val uint64) (bool, error) {
+	obj := tx.Root(m.root)
+	slot := m.bucket(tx, obj, key)
+	for n := ptm.Ptr(tx.Load64(slot)); !n.IsNil(); n = field(tx, n, hmNodeNext) {
+		if tx.Load64(n+hmNodeKey) == key {
+			tx.Store64(n+hmNodeVal, val)
+			return false, nil
+		}
+	}
+	node, err := tx.Alloc(hmNodeSize)
+	if err != nil {
+		return false, err
+	}
+	tx.Store64(node+hmNodeKey, key)
+	tx.Store64(node+hmNodeVal, val)
+	tx.Store64(node+hmNodeNext, tx.Load64(slot))
+	tx.Store64(slot, uint64(node))
+	size := tx.Load64(obj+hmSize) + 1
+	tx.Store64(obj+hmSize, size) // the shared counter
+	if size > hmMaxLoad*tx.Load64(obj+hmNBkts) {
+		if err := m.resize(tx, obj); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Remove deletes key, reporting whether it was present.
+func (m *HashMap) Remove(tx ptm.Tx, key uint64) (bool, error) {
+	obj := tx.Root(m.root)
+	slot := m.bucket(tx, obj, key)
+	prev := ptm.Ptr(0)
+	for n := ptm.Ptr(tx.Load64(slot)); !n.IsNil(); n = field(tx, n, hmNodeNext) {
+		if tx.Load64(n+hmNodeKey) == key {
+			next := tx.Load64(n + hmNodeNext)
+			if prev.IsNil() {
+				tx.Store64(slot, next)
+			} else {
+				tx.Store64(prev+hmNodeNext, next)
+			}
+			tx.Store64(obj+hmSize, tx.Load64(obj+hmSize)-1)
+			return true, tx.Free(n)
+		}
+		prev = n
+	}
+	return false, nil
+}
+
+// resize doubles the bucket array and rehashes every node, all within the
+// caller's transaction (a deliberately large transaction, as in the paper's
+// implementation).
+func (m *HashMap) resize(tx ptm.Tx, obj ptm.Ptr) error {
+	oldN := tx.Load64(obj + hmNBkts)
+	oldB := field(tx, obj, hmBuckets)
+	newN := oldN * 2
+	newB, err := tx.Alloc(int(newN * 8))
+	if err != nil {
+		// Out of space for a bigger table: keep the old one (chains grow).
+		if err == ptm.ErrOutOfMemory {
+			return nil
+		}
+		return err
+	}
+	for i := uint64(0); i < oldN; i++ {
+		n := ptm.Ptr(tx.Load64(oldB + ptm.Ptr(i*8)))
+		for !n.IsNil() {
+			next := field(tx, n, hmNodeNext)
+			idx := hash64(tx.Load64(n+hmNodeKey)) % newN
+			slot := newB + ptm.Ptr(idx*8)
+			tx.Store64(n+hmNodeNext, tx.Load64(slot))
+			tx.Store64(slot, uint64(n))
+			n = next
+		}
+	}
+	setField(tx, obj, hmBuckets, newB)
+	tx.Store64(obj+hmNBkts, newN)
+	return tx.Free(oldB)
+}
+
+// Len returns the number of entries (the shared counter).
+func (m *HashMap) Len(tx ptm.Tx) int {
+	return int(tx.Load64(tx.Root(m.root) + hmSize))
+}
+
+// Buckets returns the current bucket count.
+func (m *HashMap) Buckets(tx ptm.Tx) int {
+	return int(tx.Load64(tx.Root(m.root) + hmNBkts))
+}
+
+// Range calls fn for every (key, value) pair until fn returns false.
+// Iteration order is by bucket, then chain.
+func (m *HashMap) Range(tx ptm.Tx, fn func(key, val uint64) bool) {
+	obj := tx.Root(m.root)
+	nb := tx.Load64(obj + hmNBkts)
+	bkts := field(tx, obj, hmBuckets)
+	for i := uint64(0); i < nb; i++ {
+		for n := ptm.Ptr(tx.Load64(bkts + ptm.Ptr(i*8))); !n.IsNil(); n = field(tx, n, hmNodeNext) {
+			if !fn(tx.Load64(n+hmNodeKey), tx.Load64(n+hmNodeVal)) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package pstruct
+
+import "repro/internal/ptm"
+
+// HashMapFixed is the statically-dimensioned hash map built for Figure 5 of
+// the paper: a fixed number of buckets (2,048 in the paper's experiment),
+// no shared size counter on the hot path beyond an informational one, and
+// byte-slice values of configurable size — the value-size sweep (8 B to
+// 1,024 B) is the experiment's x-axis.
+//
+// Map object layout (24 bytes): +0 buckets ptr, +8 bucket count, +16 size.
+// Node layout: +0 key, +8 next, +16 value length, +24 value bytes (inline).
+type HashMapFixed struct {
+	root int
+}
+
+const (
+	hfBuckets = 0
+	hfNBkts   = 8
+	hfSize    = 16
+
+	hfNodeKey    = 0
+	hfNodeNext   = 8
+	hfNodeValLen = 16
+	hfNodeVal    = 24
+)
+
+// NewHashMapFixed creates a fixed map with the given bucket count under the
+// root index if absent.
+func NewHashMapFixed(tx ptm.Tx, root, buckets int) (*HashMapFixed, error) {
+	if !tx.Root(root).IsNil() {
+		return &HashMapFixed{root: root}, nil
+	}
+	obj, err := tx.Alloc(24)
+	if err != nil {
+		return nil, err
+	}
+	bkts, err := tx.Alloc(buckets * 8)
+	if err != nil {
+		return nil, err
+	}
+	setField(tx, obj, hfBuckets, bkts)
+	tx.Store64(obj+hfNBkts, uint64(buckets))
+	tx.SetRoot(root, obj)
+	return &HashMapFixed{root: root}, nil
+}
+
+// AttachHashMapFixed returns a handle to an existing fixed map.
+func AttachHashMapFixed(root int) *HashMapFixed { return &HashMapFixed{root: root} }
+
+func (m *HashMapFixed) slot(tx ptm.Tx, obj ptm.Ptr, key uint64) ptm.Ptr {
+	n := tx.Load64(obj + hfNBkts)
+	return field(tx, obj, hfBuckets) + ptm.Ptr(hash64(key)%n*8)
+}
+
+func (m *HashMapFixed) findNode(tx ptm.Tx, obj ptm.Ptr, key uint64) (node, prev ptm.Ptr) {
+	slot := m.slot(tx, obj, key)
+	prev = 0
+	for n := ptm.Ptr(tx.Load64(slot)); !n.IsNil(); n = field(tx, n, hfNodeNext) {
+		if tx.Load64(n+hfNodeKey) == key {
+			return n, prev
+		}
+		prev = n
+	}
+	return 0, prev
+}
+
+// Get copies the value for key into dst (allocating if dst is short) and
+// returns it, or ErrNotFound.
+func (m *HashMapFixed) Get(tx ptm.Tx, key uint64, dst []byte) ([]byte, error) {
+	obj := tx.Root(m.root)
+	n, _ := m.findNode(tx, obj, key)
+	if n.IsNil() {
+		return nil, ErrNotFound
+	}
+	vl := int(tx.Load64(n + hfNodeValLen))
+	if cap(dst) < vl {
+		dst = make([]byte, vl)
+	}
+	dst = dst[:vl]
+	tx.LoadBytes(n+hfNodeVal, dst)
+	return dst, nil
+}
+
+// Put inserts or replaces key's value, reporting whether key was absent.
+// Replacement reuses the node when the new value fits its allocation.
+func (m *HashMapFixed) Put(tx ptm.Tx, key uint64, val []byte) (bool, error) {
+	obj := tx.Root(m.root)
+	n, _ := m.findNode(tx, obj, key)
+	if !n.IsNil() {
+		if int(tx.Load64(n+hfNodeValLen)) >= len(val) {
+			tx.Store64(n+hfNodeValLen, uint64(len(val)))
+			tx.StoreBytes(n+hfNodeVal, val)
+			return false, nil
+		}
+		if _, err := m.removeNode(tx, obj, key); err != nil {
+			return false, err
+		}
+	}
+	node, err := tx.Alloc(hfNodeVal + len(val))
+	if err != nil {
+		return false, err
+	}
+	tx.Store64(node+hfNodeKey, key)
+	tx.Store64(node+hfNodeValLen, uint64(len(val)))
+	tx.StoreBytes(node+hfNodeVal, val)
+	slot := m.slot(tx, obj, key)
+	tx.Store64(node+hfNodeNext, tx.Load64(slot))
+	tx.Store64(slot, uint64(node))
+	tx.Store64(obj+hfSize, tx.Load64(obj+hfSize)+1)
+	return n.IsNil(), nil
+}
+
+// Remove deletes key, reporting whether it was present.
+func (m *HashMapFixed) Remove(tx ptm.Tx, key uint64) (bool, error) {
+	obj := tx.Root(m.root)
+	return m.removeNode(tx, obj, key)
+}
+
+func (m *HashMapFixed) removeNode(tx ptm.Tx, obj ptm.Ptr, key uint64) (bool, error) {
+	n, prev := m.findNode(tx, obj, key)
+	if n.IsNil() {
+		return false, nil
+	}
+	next := tx.Load64(n + hfNodeNext)
+	if prev.IsNil() {
+		tx.Store64(m.slot(tx, obj, key), next)
+	} else {
+		tx.Store64(prev+hfNodeNext, next)
+	}
+	tx.Store64(obj+hfSize, tx.Load64(obj+hfSize)-1)
+	return true, tx.Free(n)
+}
+
+// Len returns the number of entries.
+func (m *HashMapFixed) Len(tx ptm.Tx) int {
+	return int(tx.Load64(tx.Root(m.root) + hfSize))
+}

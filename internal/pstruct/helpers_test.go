@@ -1,0 +1,11 @@
+package pstruct_test
+
+import (
+	"repro/internal/pmem"
+)
+
+func crashKeepQueued() pmem.CrashPolicy { return pmem.KeepQueued }
+
+func deviceFromImage(img []byte) *pmem.Device {
+	return pmem.FromImage(img, pmem.ModelDRAM)
+}

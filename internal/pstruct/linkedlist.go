@@ -1,0 +1,134 @@
+package pstruct
+
+import "repro/internal/ptm"
+
+// LinkedListSet is the persistent sorted linked-list set of Algorithm 2 in
+// the paper: a singly-linked list with head and tail sentinels, keys stored
+// in ascending order.
+//
+// Layout of the set object (24 bytes):
+//
+//	+0 head node   +8 tail node   +16 size
+//
+// Node layout (16 bytes): +0 key, +8 next.
+type LinkedListSet struct {
+	root int
+}
+
+const (
+	llsHead = 0
+	llsTail = 8
+	llsSize = 16
+
+	llNodeKey  = 0
+	llNodeNext = 8
+	llNodeSize = 16
+)
+
+// NewLinkedListSet creates the set object under root index root if that
+// root is nil, and returns a handle either way. Call inside an update
+// transaction for creation; a handle to an existing set can also be
+// obtained with AttachLinkedListSet.
+func NewLinkedListSet(tx ptm.Tx, root int) (*LinkedListSet, error) {
+	if !tx.Root(root).IsNil() {
+		return &LinkedListSet{root: root}, nil
+	}
+	obj, err := tx.Alloc(24)
+	if err != nil {
+		return nil, err
+	}
+	head, err := tx.Alloc(llNodeSize)
+	if err != nil {
+		return nil, err
+	}
+	tail, err := tx.Alloc(llNodeSize)
+	if err != nil {
+		return nil, err
+	}
+	tx.Store64(head+llNodeNext, uint64(tail))
+	tx.Store64(tail+llNodeKey, ^uint64(0))
+	setField(tx, obj, llsHead, head)
+	setField(tx, obj, llsTail, tail)
+	tx.SetRoot(root, obj)
+	return &LinkedListSet{root: root}, nil
+}
+
+// AttachLinkedListSet returns a handle to a set previously created under
+// the given root index.
+func AttachLinkedListSet(root int) *LinkedListSet {
+	return &LinkedListSet{root: root}
+}
+
+// find returns the first node with key >= k and its predecessor, exactly as
+// Algorithm 2's find().
+func (l *LinkedListSet) find(tx ptm.Tx, k uint64) (prev, node ptm.Ptr) {
+	obj := tx.Root(l.root)
+	tail := field(tx, obj, llsTail)
+	prev = field(tx, obj, llsHead)
+	for {
+		node = field(tx, prev, llNodeNext)
+		if node == tail || tx.Load64(node+llNodeKey) >= k {
+			return prev, node
+		}
+		prev = node
+	}
+}
+
+// Contains reports whether k is in the set. Read-only.
+func (l *LinkedListSet) Contains(tx ptm.Tx, k uint64) bool {
+	obj := tx.Root(l.root)
+	tail := field(tx, obj, llsTail)
+	_, node := l.find(tx, k)
+	return node != tail && tx.Load64(node+llNodeKey) == k
+}
+
+// Add inserts k, reporting whether it was absent. Update transaction only.
+func (l *LinkedListSet) Add(tx ptm.Tx, k uint64) (bool, error) {
+	obj := tx.Root(l.root)
+	tail := field(tx, obj, llsTail)
+	prev, node := l.find(tx, k)
+	if node != tail && tx.Load64(node+llNodeKey) == k {
+		return false, nil
+	}
+	n, err := tx.Alloc(llNodeSize)
+	if err != nil {
+		return false, err
+	}
+	tx.Store64(n+llNodeKey, k)
+	tx.Store64(n+llNodeNext, uint64(node))
+	tx.Store64(prev+llNodeNext, uint64(n))
+	tx.Store64(obj+llsSize, tx.Load64(obj+llsSize)+1)
+	return true, nil
+}
+
+// Remove deletes k, reporting whether it was present. Update transaction
+// only.
+func (l *LinkedListSet) Remove(tx ptm.Tx, k uint64) (bool, error) {
+	obj := tx.Root(l.root)
+	tail := field(tx, obj, llsTail)
+	prev, node := l.find(tx, k)
+	if node == tail || tx.Load64(node+llNodeKey) != k {
+		return false, nil
+	}
+	tx.Store64(prev+llNodeNext, tx.Load64(node+llNodeNext))
+	tx.Store64(obj+llsSize, tx.Load64(obj+llsSize)-1)
+	if err := tx.Free(node); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Len returns the number of keys.
+func (l *LinkedListSet) Len(tx ptm.Tx) int {
+	return int(tx.Load64(tx.Root(l.root) + llsSize))
+}
+
+// Keys appends all keys in ascending order to dst and returns it.
+func (l *LinkedListSet) Keys(tx ptm.Tx, dst []uint64) []uint64 {
+	obj := tx.Root(l.root)
+	tail := field(tx, obj, llsTail)
+	for n := field(tx, field(tx, obj, llsHead), llNodeNext); n != tail; n = field(tx, n, llNodeNext) {
+		dst = append(dst, tx.Load64(n+llNodeKey))
+	}
+	return dst
+}

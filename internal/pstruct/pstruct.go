@@ -1,0 +1,49 @@
+// Package pstruct implements the persistent data structures the Romulus
+// paper evaluates (§6.2): a sorted linked-list set (Algorithm 2), a
+// resizable chained hash map whose shared element counter is the contention
+// point discussed for Figure 4/5, a statically-dimensioned hash map with
+// variable-size byte values (Figure 5), and a red-black tree. A byte-key
+// map backs the RomulusDB key-value store (§6.4).
+//
+// Every structure is engine-agnostic: all state lives in persistent memory
+// reached through ptm.Tx, and the structure handles themselves are
+// stateless (they hold only a root-pointer index), so they survive restarts
+// and work identically on all five PTM engines.
+package pstruct
+
+import (
+	"errors"
+
+	"repro/internal/ptm"
+)
+
+// ErrNotFound is returned by lookup-style operations that miss.
+var ErrNotFound = errors.New("pstruct: key not found")
+
+// hash64 is Fibonacci hashing for integer keys.
+func hash64(key uint64) uint64 {
+	return key * 0x9E3779B97F4A7C15
+}
+
+// hashBytes is FNV-1a for byte-string keys.
+func hashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// field reads the 8-byte field at byte offset off of the object at p.
+func field(tx ptm.Tx, p ptm.Ptr, off int) ptm.Ptr {
+	return ptm.Ptr(tx.Load64(p + ptm.Ptr(off)))
+}
+
+func setField(tx ptm.Tx, p ptm.Ptr, off int, v ptm.Ptr) {
+	tx.Store64(p+ptm.Ptr(off), uint64(v))
+}

@@ -1,0 +1,94 @@
+package pstruct
+
+import "repro/internal/ptm"
+
+// Queue is a persistent FIFO queue of uint64 values — not part of the
+// paper's benchmark set, but the natural first structure a PTM user builds
+// and a useful smoke test for pointer-heavy churn (every operation
+// allocates or frees).
+//
+// Queue object layout (24 bytes): +0 head, +8 tail, +16 length.
+// Node layout (16 bytes): +0 value, +8 next.
+type Queue struct {
+	root int
+}
+
+const (
+	qHead = 0
+	qTail = 8
+	qLen  = 16
+
+	qNodeVal  = 0
+	qNodeNext = 8
+	qNodeSize = 16
+)
+
+// NewQueue creates a queue under the root index if absent.
+func NewQueue(tx ptm.Tx, root int) (*Queue, error) {
+	if !tx.Root(root).IsNil() {
+		return &Queue{root: root}, nil
+	}
+	obj, err := tx.Alloc(24)
+	if err != nil {
+		return nil, err
+	}
+	tx.SetRoot(root, obj)
+	return &Queue{root: root}, nil
+}
+
+// AttachQueue returns a handle to an existing queue.
+func AttachQueue(root int) *Queue { return &Queue{root: root} }
+
+// Enqueue appends v at the tail.
+func (q *Queue) Enqueue(tx ptm.Tx, v uint64) error {
+	obj := tx.Root(q.root)
+	n, err := tx.Alloc(qNodeSize)
+	if err != nil {
+		return err
+	}
+	tx.Store64(n+qNodeVal, v)
+	tail := field(tx, obj, qTail)
+	if tail.IsNil() {
+		setField(tx, obj, qHead, n)
+	} else {
+		setField(tx, tail, qNodeNext, n)
+	}
+	setField(tx, obj, qTail, n)
+	tx.Store64(obj+qLen, tx.Load64(obj+qLen)+1)
+	return nil
+}
+
+// Dequeue removes and returns the head value; ok is false when empty.
+func (q *Queue) Dequeue(tx ptm.Tx) (v uint64, ok bool, err error) {
+	obj := tx.Root(q.root)
+	head := field(tx, obj, qHead)
+	if head.IsNil() {
+		return 0, false, nil
+	}
+	v = tx.Load64(head + qNodeVal)
+	next := field(tx, head, qNodeNext)
+	setField(tx, obj, qHead, next)
+	if next.IsNil() {
+		setField(tx, obj, qTail, 0)
+	}
+	tx.Store64(obj+qLen, tx.Load64(obj+qLen)-1)
+	if err := tx.Free(head); err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// Peek returns the head value without removing it; ok is false when empty.
+func (q *Queue) Peek(tx ptm.Tx) (v uint64, ok bool) {
+	obj := tx.Root(q.root)
+	head := field(tx, obj, qHead)
+	if head.IsNil() {
+		return 0, false
+	}
+	return tx.Load64(head + qNodeVal), true
+}
+
+// Len returns the number of queued values.
+func (q *Queue) Len(tx ptm.Tx) int {
+	return int(tx.Load64(tx.Root(q.root) + qLen))
+}

@@ -1,0 +1,148 @@
+package pstruct_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/pstruct"
+	"repro/internal/ptm"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	e := romlog(t)
+	var q *pstruct.Queue
+	e.Update(func(tx ptm.Tx) error {
+		var err error
+		q, err = pstruct.NewQueue(tx, 0)
+		return err
+	})
+	e.Read(func(tx ptm.Tx) error {
+		if _, ok := q.Peek(tx); ok {
+			t.Error("Peek on empty queue")
+		}
+		if q.Len(tx) != 0 {
+			t.Error("fresh queue not empty")
+		}
+		return nil
+	})
+	e.Update(func(tx ptm.Tx) error {
+		if _, ok, err := q.Dequeue(tx); ok || err != nil {
+			t.Errorf("Dequeue empty = %v, %v", ok, err)
+		}
+		for v := uint64(1); v <= 5; v++ {
+			if err := q.Enqueue(tx, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	e.Update(func(tx ptm.Tx) error {
+		if v, ok := q.Peek(tx); !ok || v != 1 {
+			t.Errorf("Peek = %d, %v", v, ok)
+		}
+		for want := uint64(1); want <= 5; want++ {
+			v, ok, err := q.Dequeue(tx)
+			if err != nil || !ok || v != want {
+				t.Fatalf("Dequeue = %d, %v, %v; want %d", v, ok, err, want)
+			}
+		}
+		if _, ok, _ := q.Dequeue(tx); ok {
+			t.Error("Dequeue after drain succeeded")
+		}
+		return nil
+	})
+}
+
+func TestQueueModel(t *testing.T) {
+	e := romlog(t)
+	var q *pstruct.Queue
+	e.Update(func(tx ptm.Tx) error {
+		var err error
+		q, err = pstruct.NewQueue(tx, 0)
+		return err
+	})
+	rng := rand.New(rand.NewSource(8))
+	var model []uint64
+	for i := 0; i < 500; i++ {
+		if len(model) == 0 || rng.Intn(2) == 0 {
+			v := rng.Uint64()
+			if err := e.Update(func(tx ptm.Tx) error { return q.Enqueue(tx, v) }); err != nil {
+				t.Fatal(err)
+			}
+			model = append(model, v)
+		} else {
+			var got uint64
+			var ok bool
+			if err := e.Update(func(tx ptm.Tx) error {
+				var err error
+				got, ok, err = q.Dequeue(tx)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !ok || got != model[0] {
+				t.Fatalf("Dequeue = %d, %v; want %d", got, ok, model[0])
+			}
+			model = model[1:]
+		}
+		e.Read(func(tx ptm.Tx) error {
+			if q.Len(tx) != len(model) {
+				t.Fatalf("Len = %d, model %d", q.Len(tx), len(model))
+			}
+			return nil
+		})
+	}
+}
+
+func TestQueueSurvivesCrash(t *testing.T) {
+	e, err := core.New(1<<20, core.Config{Variant: core.RomLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q *pstruct.Queue
+	e.Update(func(tx ptm.Tx) error {
+		var err error
+		q, err = pstruct.NewQueue(tx, 0)
+		if err != nil {
+			return err
+		}
+		for v := uint64(0); v < 10; v++ {
+			if err := q.Enqueue(tx, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	dev := e.Device()
+	var img []byte
+	dev.SetPwbHook(func(n uint64) {
+		if img == nil && n > 3 {
+			img = dev.CrashImage(pmem.KeepQueued)
+		}
+	})
+	// Mid-transaction crash during a dequeue+enqueue pair.
+	e.Update(func(tx ptm.Tx) error {
+		if _, _, err := q.Dequeue(tx); err != nil {
+			return err
+		}
+		return q.Enqueue(tx, 100)
+	})
+	dev.SetPwbHook(nil)
+	re, err := core.Open(pmem.FromImage(img, pmem.ModelDRAM), core.Config{Variant: core.RomLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := pstruct.AttachQueue(0)
+	re.Read(func(tx ptm.Tx) error {
+		n := q2.Len(tx)
+		if n != 10 {
+			t.Errorf("Len after rollback = %d, want 10", n)
+		}
+		if v, ok := q2.Peek(tx); !ok || v != 0 {
+			t.Errorf("head after rollback = %d, %v", v, ok)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,429 @@
+package pstruct
+
+import "repro/internal/ptm"
+
+// RBTree is a persistent red-black tree (sorted map from uint64 keys to
+// uint64 values), the third data structure of the paper's §6.2 evaluation.
+// It follows the classic CLRS formulation with an allocated sentinel node
+// standing in for nil leaves (the sentinel's parent field is scratch space
+// during delete fix-up, exactly as in CLRS).
+//
+// Tree object layout (24 bytes): +0 root node, +8 size, +16 sentinel.
+// Node layout (48 bytes): key, value, left, right, parent, color.
+type RBTree struct {
+	root int
+}
+
+const (
+	rbRoot = 0
+	rbSize = 8
+	rbNil  = 16
+
+	rbKey    = 0
+	rbVal    = 8
+	rbLeft   = 16
+	rbRight  = 24
+	rbParent = 32
+	rbColor  = 40
+	rbNode   = 48
+
+	black = 0
+	red   = 1
+)
+
+// NewRBTree creates a tree under the root index if absent.
+func NewRBTree(tx ptm.Tx, root int) (*RBTree, error) {
+	if !tx.Root(root).IsNil() {
+		return &RBTree{root: root}, nil
+	}
+	obj, err := tx.Alloc(24)
+	if err != nil {
+		return nil, err
+	}
+	sentinel, err := tx.Alloc(rbNode)
+	if err != nil {
+		return nil, err
+	}
+	// Sentinel is black; its children point at itself.
+	tx.Store64(sentinel+rbLeft, uint64(sentinel))
+	tx.Store64(sentinel+rbRight, uint64(sentinel))
+	setField(tx, obj, rbRoot, sentinel)
+	setField(tx, obj, rbNil, sentinel)
+	tx.SetRoot(root, obj)
+	return &RBTree{root: root}, nil
+}
+
+// AttachRBTree returns a handle to an existing tree.
+func AttachRBTree(root int) *RBTree { return &RBTree{root: root} }
+
+// cursor bundles the per-operation context so the CLRS procedures read
+// naturally.
+type rbCursor struct {
+	tx   ptm.Tx
+	obj  ptm.Ptr
+	nil_ ptm.Ptr
+}
+
+func (t *RBTree) cur(tx ptm.Tx) rbCursor {
+	obj := tx.Root(t.root)
+	return rbCursor{tx: tx, obj: obj, nil_: field(tx, obj, rbNil)}
+}
+
+func (c rbCursor) key(n ptm.Ptr) uint64           { return c.tx.Load64(n + rbKey) }
+func (c rbCursor) val(n ptm.Ptr) uint64           { return c.tx.Load64(n + rbVal) }
+func (c rbCursor) left(n ptm.Ptr) ptm.Ptr         { return field(c.tx, n, rbLeft) }
+func (c rbCursor) right(n ptm.Ptr) ptm.Ptr        { return field(c.tx, n, rbRight) }
+func (c rbCursor) parent(n ptm.Ptr) ptm.Ptr       { return field(c.tx, n, rbParent) }
+func (c rbCursor) color(n ptm.Ptr) uint64         { return c.tx.Load64(n + rbColor) }
+func (c rbCursor) setKey(n ptm.Ptr, k uint64)     { c.tx.Store64(n+rbKey, k) }
+func (c rbCursor) setVal(n ptm.Ptr, v uint64)     { c.tx.Store64(n+rbVal, v) }
+func (c rbCursor) setLeft(n, v ptm.Ptr)           { setField(c.tx, n, rbLeft, v) }
+func (c rbCursor) setRight(n, v ptm.Ptr)          { setField(c.tx, n, rbRight, v) }
+func (c rbCursor) setParent(n, v ptm.Ptr)         { setField(c.tx, n, rbParent, v) }
+func (c rbCursor) setColor(n ptm.Ptr, col uint64) { c.tx.Store64(n+rbColor, col) }
+func (c rbCursor) treeRoot() ptm.Ptr              { return field(c.tx, c.obj, rbRoot) }
+func (c rbCursor) setTreeRoot(n ptm.Ptr)          { setField(c.tx, c.obj, rbRoot, n) }
+
+func (c rbCursor) search(k uint64) ptm.Ptr {
+	n := c.treeRoot()
+	for n != c.nil_ {
+		nk := c.key(n)
+		switch {
+		case k < nk:
+			n = c.left(n)
+		case k > nk:
+			n = c.right(n)
+		default:
+			return n
+		}
+	}
+	return c.nil_
+}
+
+// Get returns the value for k, or ErrNotFound.
+func (t *RBTree) Get(tx ptm.Tx, k uint64) (uint64, error) {
+	c := t.cur(tx)
+	n := c.search(k)
+	if n == c.nil_ {
+		return 0, ErrNotFound
+	}
+	return c.val(n), nil
+}
+
+// Contains reports whether k is present.
+func (t *RBTree) Contains(tx ptm.Tx, k uint64) bool {
+	c := t.cur(tx)
+	return c.search(k) != c.nil_
+}
+
+// Len returns the number of keys.
+func (t *RBTree) Len(tx ptm.Tx) int {
+	return int(tx.Load64(tx.Root(t.root) + rbSize))
+}
+
+func (c rbCursor) rotateLeft(x ptm.Ptr) {
+	y := c.right(x)
+	yl := c.left(y)
+	c.setRight(x, yl)
+	if yl != c.nil_ {
+		c.setParent(yl, x)
+	}
+	xp := c.parent(x)
+	c.setParent(y, xp)
+	if x == c.treeRoot() {
+		c.setTreeRoot(y)
+	} else if x == c.left(xp) {
+		c.setLeft(xp, y)
+	} else {
+		c.setRight(xp, y)
+	}
+	c.setLeft(y, x)
+	c.setParent(x, y)
+}
+
+func (c rbCursor) rotateRight(x ptm.Ptr) {
+	y := c.left(x)
+	yr := c.right(y)
+	c.setLeft(x, yr)
+	if yr != c.nil_ {
+		c.setParent(yr, x)
+	}
+	xp := c.parent(x)
+	c.setParent(y, xp)
+	if x == c.treeRoot() {
+		c.setTreeRoot(y)
+	} else if x == c.right(xp) {
+		c.setRight(xp, y)
+	} else {
+		c.setLeft(xp, y)
+	}
+	c.setRight(y, x)
+	c.setParent(x, y)
+}
+
+// Put inserts or updates k, reporting whether it was absent.
+func (t *RBTree) Put(tx ptm.Tx, k, v uint64) (bool, error) {
+	c := t.cur(tx)
+	parent := c.nil_
+	n := c.treeRoot()
+	for n != c.nil_ {
+		parent = n
+		nk := c.key(n)
+		switch {
+		case k < nk:
+			n = c.left(n)
+		case k > nk:
+			n = c.right(n)
+		default:
+			c.setVal(n, v)
+			return false, nil
+		}
+	}
+	z, err := tx.Alloc(rbNode)
+	if err != nil {
+		return false, err
+	}
+	c.setKey(z, k)
+	c.setVal(z, v)
+	c.setLeft(z, c.nil_)
+	c.setRight(z, c.nil_)
+	c.setParent(z, parent)
+	c.setColor(z, red)
+	if parent == c.nil_ {
+		c.setTreeRoot(z)
+	} else if k < c.key(parent) {
+		c.setLeft(parent, z)
+	} else {
+		c.setRight(parent, z)
+	}
+	c.insertFixup(z)
+	tx.Store64(c.obj+rbSize, tx.Load64(c.obj+rbSize)+1)
+	return true, nil
+}
+
+func (c rbCursor) insertFixup(z ptm.Ptr) {
+	for c.color(c.parent(z)) == red {
+		zp := c.parent(z)
+		zpp := c.parent(zp)
+		if zp == c.left(zpp) {
+			y := c.right(zpp) // uncle
+			if c.color(y) == red {
+				c.setColor(zp, black)
+				c.setColor(y, black)
+				c.setColor(zpp, red)
+				z = zpp
+			} else {
+				if z == c.right(zp) {
+					z = zp
+					c.rotateLeft(z)
+					zp = c.parent(z)
+					zpp = c.parent(zp)
+				}
+				c.setColor(zp, black)
+				c.setColor(zpp, red)
+				c.rotateRight(zpp)
+			}
+		} else {
+			y := c.left(zpp)
+			if c.color(y) == red {
+				c.setColor(zp, black)
+				c.setColor(y, black)
+				c.setColor(zpp, red)
+				z = zpp
+			} else {
+				if z == c.left(zp) {
+					z = zp
+					c.rotateRight(z)
+					zp = c.parent(z)
+					zpp = c.parent(zp)
+				}
+				c.setColor(zp, black)
+				c.setColor(zpp, red)
+				c.rotateLeft(zpp)
+			}
+		}
+	}
+	c.setColor(c.treeRoot(), black)
+}
+
+func (c rbCursor) transplant(u, v ptm.Ptr) {
+	up := c.parent(u)
+	if up == c.nil_ {
+		c.setTreeRoot(v)
+	} else if u == c.left(up) {
+		c.setLeft(up, v)
+	} else {
+		c.setRight(up, v)
+	}
+	c.setParent(v, up)
+}
+
+func (c rbCursor) minimum(n ptm.Ptr) ptm.Ptr {
+	for c.left(n) != c.nil_ {
+		n = c.left(n)
+	}
+	return n
+}
+
+// Remove deletes k, reporting whether it was present.
+func (t *RBTree) Remove(tx ptm.Tx, k uint64) (bool, error) {
+	c := t.cur(tx)
+	z := c.search(k)
+	if z == c.nil_ {
+		return false, nil
+	}
+	y := z
+	yColor := c.color(y)
+	var x ptm.Ptr
+	switch {
+	case c.left(z) == c.nil_:
+		x = c.right(z)
+		c.transplant(z, x)
+	case c.right(z) == c.nil_:
+		x = c.left(z)
+		c.transplant(z, x)
+	default:
+		y = c.minimum(c.right(z))
+		yColor = c.color(y)
+		x = c.right(y)
+		if c.parent(y) == z {
+			c.setParent(x, y) // x may be the sentinel; scratch parent
+		} else {
+			c.transplant(y, x)
+			zr := c.right(z)
+			c.setRight(y, zr)
+			c.setParent(zr, y)
+		}
+		c.transplant(z, y)
+		zl := c.left(z)
+		c.setLeft(y, zl)
+		c.setParent(zl, y)
+		c.setColor(y, c.color(z))
+	}
+	if yColor == black {
+		c.deleteFixup(x)
+	}
+	tx.Store64(c.obj+rbSize, tx.Load64(c.obj+rbSize)-1)
+	if err := tx.Free(z); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (c rbCursor) deleteFixup(x ptm.Ptr) {
+	for x != c.treeRoot() && c.color(x) == black {
+		xp := c.parent(x)
+		if x == c.left(xp) {
+			w := c.right(xp)
+			if c.color(w) == red {
+				c.setColor(w, black)
+				c.setColor(xp, red)
+				c.rotateLeft(xp)
+				xp = c.parent(x)
+				w = c.right(xp)
+			}
+			if c.color(c.left(w)) == black && c.color(c.right(w)) == black {
+				c.setColor(w, red)
+				x = xp
+			} else {
+				if c.color(c.right(w)) == black {
+					c.setColor(c.left(w), black)
+					c.setColor(w, red)
+					c.rotateRight(w)
+					xp = c.parent(x)
+					w = c.right(xp)
+				}
+				c.setColor(w, c.color(xp))
+				c.setColor(xp, black)
+				c.setColor(c.right(w), black)
+				c.rotateLeft(xp)
+				x = c.treeRoot()
+			}
+		} else {
+			w := c.left(xp)
+			if c.color(w) == red {
+				c.setColor(w, black)
+				c.setColor(xp, red)
+				c.rotateRight(xp)
+				xp = c.parent(x)
+				w = c.left(xp)
+			}
+			if c.color(c.right(w)) == black && c.color(c.left(w)) == black {
+				c.setColor(w, red)
+				x = xp
+			} else {
+				if c.color(c.left(w)) == black {
+					c.setColor(c.right(w), black)
+					c.setColor(w, red)
+					c.rotateLeft(w)
+					xp = c.parent(x)
+					w = c.left(xp)
+				}
+				c.setColor(w, c.color(xp))
+				c.setColor(xp, black)
+				c.setColor(c.left(w), black)
+				c.rotateRight(xp)
+				x = c.treeRoot()
+			}
+		}
+	}
+	c.setColor(x, black)
+}
+
+// Range calls fn for every pair in ascending key order until fn returns
+// false, using an iterative in-order traversal.
+func (t *RBTree) Range(tx ptm.Tx, fn func(k, v uint64) bool) {
+	c := t.cur(tx)
+	var stack []ptm.Ptr
+	n := c.treeRoot()
+	for n != c.nil_ || len(stack) > 0 {
+		for n != c.nil_ {
+			stack = append(stack, n)
+			n = c.left(n)
+		}
+		n = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(c.key(n), c.val(n)) {
+			return
+		}
+		n = c.right(n)
+	}
+}
+
+// CheckInvariants verifies the red-black properties: root is black, no red
+// node has a red child, and every root-to-leaf path has the same black
+// height. Returns the black height or an error description via ok=false.
+func (t *RBTree) CheckInvariants(tx ptm.Tx) bool {
+	c := t.cur(tx)
+	root := c.treeRoot()
+	if root != c.nil_ && c.color(root) != black {
+		return false
+	}
+	_, ok := c.checkNode(root)
+	return ok
+}
+
+func (c rbCursor) checkNode(n ptm.Ptr) (blackHeight int, ok bool) {
+	if n == c.nil_ {
+		return 1, true
+	}
+	l, r := c.left(n), c.right(n)
+	if c.color(n) == red && (c.color(l) == red || c.color(r) == red) {
+		return 0, false
+	}
+	if l != c.nil_ && c.key(l) >= c.key(n) {
+		return 0, false
+	}
+	if r != c.nil_ && c.key(r) <= c.key(n) {
+		return 0, false
+	}
+	lh, lok := c.checkNode(l)
+	rh, rok := c.checkNode(r)
+	if !lok || !rok || lh != rh {
+		return 0, false
+	}
+	if c.color(n) == black {
+		lh++
+	}
+	return lh, true
+}

@@ -1,0 +1,111 @@
+package pstruct
+
+import "repro/internal/ptm"
+
+// Ordered-map navigation for RBTree: minimum, maximum, floor, ceiling and
+// bounded range scans. These extend the paper's benchmark structure into
+// the sorted-map API a downstream user of a persistent tree actually
+// needs; all run in O(log n) loads plus output size.
+
+// Min returns the smallest key and its value; ok is false for an empty
+// tree.
+func (t *RBTree) Min(tx ptm.Tx) (k, v uint64, ok bool) {
+	c := t.cur(tx)
+	n := c.treeRoot()
+	if n == c.nil_ {
+		return 0, 0, false
+	}
+	n = c.minimum(n)
+	return c.key(n), c.val(n), true
+}
+
+// Max returns the largest key and its value; ok is false for an empty
+// tree.
+func (t *RBTree) Max(tx ptm.Tx) (k, v uint64, ok bool) {
+	c := t.cur(tx)
+	n := c.treeRoot()
+	if n == c.nil_ {
+		return 0, 0, false
+	}
+	for c.right(n) != c.nil_ {
+		n = c.right(n)
+	}
+	return c.key(n), c.val(n), true
+}
+
+// Floor returns the largest key <= bound; ok is false when every key is
+// greater.
+func (t *RBTree) Floor(tx ptm.Tx, bound uint64) (k, v uint64, ok bool) {
+	c := t.cur(tx)
+	best := c.nil_
+	n := c.treeRoot()
+	for n != c.nil_ {
+		nk := c.key(n)
+		switch {
+		case nk == bound:
+			return nk, c.val(n), true
+		case nk < bound:
+			best = n
+			n = c.right(n)
+		default:
+			n = c.left(n)
+		}
+	}
+	if best == c.nil_ {
+		return 0, 0, false
+	}
+	return c.key(best), c.val(best), true
+}
+
+// Ceiling returns the smallest key >= bound; ok is false when every key is
+// smaller.
+func (t *RBTree) Ceiling(tx ptm.Tx, bound uint64) (k, v uint64, ok bool) {
+	c := t.cur(tx)
+	best := c.nil_
+	n := c.treeRoot()
+	for n != c.nil_ {
+		nk := c.key(n)
+		switch {
+		case nk == bound:
+			return nk, c.val(n), true
+		case nk > bound:
+			best = n
+			n = c.left(n)
+		default:
+			n = c.right(n)
+		}
+	}
+	if best == c.nil_ {
+		return 0, 0, false
+	}
+	return c.key(best), c.val(best), true
+}
+
+// RangeBetween calls fn for every pair with lo <= key <= hi, ascending,
+// until fn returns false. It visits only the O(log n + output) relevant
+// part of the tree.
+func (t *RBTree) RangeBetween(tx ptm.Tx, lo, hi uint64, fn func(k, v uint64) bool) {
+	c := t.cur(tx)
+	c.rangeNode(c.treeRoot(), lo, hi, fn)
+}
+
+func (c rbCursor) rangeNode(n ptm.Ptr, lo, hi uint64, fn func(k, v uint64) bool) bool {
+	if n == c.nil_ {
+		return true
+	}
+	k := c.key(n)
+	if k > lo {
+		if !c.rangeNode(c.left(n), lo, hi, fn) {
+			return false
+		}
+	}
+	if k >= lo && k <= hi {
+		if !fn(k, c.val(n)) {
+			return false
+		}
+	}
+	if k < hi {
+		return c.rangeNode(c.right(n), lo, hi, fn)
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package pstruct_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/pstruct"
+	"repro/internal/ptm"
+)
+
+func navTree(t *testing.T, keys []uint64) (interface {
+	Read(fn func(ptm.Tx) error) error
+}, *pstruct.RBTree) {
+	t.Helper()
+	e := romlog(t)
+	var tree *pstruct.RBTree
+	if err := e.Update(func(tx ptm.Tx) error {
+		var err error
+		tree, err = pstruct.NewRBTree(tx, 0)
+		if err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := tree.Put(tx, k, k*3); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e, tree
+}
+
+func TestRBTreeMinMaxEmpty(t *testing.T) {
+	e, tree := navTree(t, nil)
+	e.Read(func(tx ptm.Tx) error {
+		if _, _, ok := tree.Min(tx); ok {
+			t.Error("Min on empty tree reported ok")
+		}
+		if _, _, ok := tree.Max(tx); ok {
+			t.Error("Max on empty tree reported ok")
+		}
+		if _, _, ok := tree.Floor(tx, 10); ok {
+			t.Error("Floor on empty tree reported ok")
+		}
+		if _, _, ok := tree.Ceiling(tx, 10); ok {
+			t.Error("Ceiling on empty tree reported ok")
+		}
+		return nil
+	})
+}
+
+func TestRBTreeNavigation(t *testing.T) {
+	keys := []uint64{10, 20, 30, 40, 50}
+	e, tree := navTree(t, keys)
+	e.Read(func(tx ptm.Tx) error {
+		if k, v, ok := tree.Min(tx); !ok || k != 10 || v != 30 {
+			t.Errorf("Min = %d,%d,%v", k, v, ok)
+		}
+		if k, _, ok := tree.Max(tx); !ok || k != 50 {
+			t.Errorf("Max = %d,%v", k, ok)
+		}
+		// Floor: exact, between, below-all.
+		if k, _, ok := tree.Floor(tx, 30); !ok || k != 30 {
+			t.Errorf("Floor(30) = %d,%v", k, ok)
+		}
+		if k, _, ok := tree.Floor(tx, 35); !ok || k != 30 {
+			t.Errorf("Floor(35) = %d,%v", k, ok)
+		}
+		if _, _, ok := tree.Floor(tx, 5); ok {
+			t.Error("Floor(5) should miss")
+		}
+		// Ceiling: exact, between, above-all.
+		if k, _, ok := tree.Ceiling(tx, 30); !ok || k != 30 {
+			t.Errorf("Ceiling(30) = %d,%v", k, ok)
+		}
+		if k, _, ok := tree.Ceiling(tx, 35); !ok || k != 40 {
+			t.Errorf("Ceiling(35) = %d,%v", k, ok)
+		}
+		if _, _, ok := tree.Ceiling(tx, 55); ok {
+			t.Error("Ceiling(55) should miss")
+		}
+		return nil
+	})
+}
+
+func TestRBTreeRangeBetween(t *testing.T) {
+	var keys []uint64
+	for k := uint64(0); k < 100; k += 2 {
+		keys = append(keys, k)
+	}
+	e, tree := navTree(t, keys)
+	e.Read(func(tx ptm.Tx) error {
+		var got []uint64
+		tree.RangeBetween(tx, 10, 30, func(k, v uint64) bool {
+			got = append(got, k)
+			return true
+		})
+		want := []uint64{10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}
+		if len(got) != len(want) {
+			t.Fatalf("RangeBetween = %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("RangeBetween = %v", got)
+			}
+		}
+		// Early stop.
+		n := 0
+		tree.RangeBetween(tx, 0, 98, func(k, v uint64) bool { n++; return n < 3 })
+		if n != 3 {
+			t.Errorf("early stop visited %d", n)
+		}
+		// Empty interval.
+		n = 0
+		tree.RangeBetween(tx, 11, 11, func(k, v uint64) bool { n++; return true })
+		if n != 0 {
+			t.Errorf("odd-key interval visited %d", n)
+		}
+		return nil
+	})
+}
+
+func TestRBTreeNavigationRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var keys []uint64
+	seen := map[uint64]bool{}
+	for len(keys) < 200 {
+		k := uint64(rng.Intn(10_000))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	e, tree := navTree(t, keys)
+	e.Read(func(tx ptm.Tx) error {
+		for trial := 0; trial < 200; trial++ {
+			bound := uint64(rng.Intn(10_000))
+			// Reference floor/ceiling by scanning the sorted slice.
+			var wantFloor, wantCeil uint64
+			haveFloor, haveCeil := false, false
+			for _, k := range sorted {
+				if k <= bound {
+					wantFloor, haveFloor = k, true
+				}
+				if k >= bound && !haveCeil {
+					wantCeil, haveCeil = k, true
+				}
+			}
+			k, _, ok := tree.Floor(tx, bound)
+			if ok != haveFloor || (ok && k != wantFloor) {
+				t.Fatalf("Floor(%d) = %d,%v want %d,%v", bound, k, ok, wantFloor, haveFloor)
+			}
+			k, _, ok = tree.Ceiling(tx, bound)
+			if ok != haveCeil || (ok && k != wantCeil) {
+				t.Fatalf("Ceiling(%d) = %d,%v want %d,%v", bound, k, ok, wantCeil, haveCeil)
+			}
+		}
+		return nil
+	})
+}

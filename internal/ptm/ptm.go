@@ -1,0 +1,125 @@
+// Package ptm defines the persistent-transactional-memory interface shared
+// by every engine in this repository: the three Romulus variants, the
+// undo-log baseline (PMDK-style) and the redo-log baseline (Mnemosyne-style).
+//
+// Persistent data lives in a simulated persistent region (internal/pmem) and
+// is addressed by Ptr values: byte offsets from the start of the user heap's
+// address space (the "main" region in Romulus terms). Ptr 0 is the nil
+// pointer. Because Go has no operator overloading, the persist<T>
+// interposition of the original C++ implementation becomes explicit: all
+// loads and stores of persistent data go through a Tx, which is where each
+// engine hooks its logging, flushing, and (for RomulusLR readers and the
+// redo-log engine) load redirection.
+package ptm
+
+import "errors"
+
+// Ptr is a persistent pointer: a byte offset within the persistent heap
+// address space. The zero value is the nil pointer.
+type Ptr uint64
+
+// IsNil reports whether p is the nil persistent pointer.
+func (p Ptr) IsNil() bool { return p == 0 }
+
+// NumRoots is the size of the root-pointer array (the paper's "objects
+// array") through which user code reaches persisted objects after a restart.
+const NumRoots = 64
+
+// ErrOutOfMemory is returned by Tx.Alloc when the persistent heap cannot
+// satisfy the request.
+var ErrOutOfMemory = errors.New("ptm: persistent heap exhausted")
+
+// ErrBadFree is returned by Tx.Free for a pointer that does not address an
+// allocated block.
+var ErrBadFree = errors.New("ptm: free of invalid pointer")
+
+// Tx is a transaction handle. All accesses to persistent data inside a
+// transaction must go through it. A Tx is only valid for the duration of the
+// function it was passed to and must not be retained or shared.
+//
+// Read-only transactions must not call the mutating methods; engines are
+// free to panic if they do.
+type Tx interface {
+	// Load8, Load16, Load32 and Load64 read little-endian values at p.
+	Load8(p Ptr) byte
+	Load16(p Ptr) uint16
+	Load32(p Ptr) uint32
+	Load64(p Ptr) uint64
+	// LoadBytes fills dst from the bytes starting at p.
+	LoadBytes(p Ptr, dst []byte)
+
+	// Store8, Store16, Store32 and Store64 write little-endian values at p.
+	Store8(p Ptr, v byte)
+	Store16(p Ptr, v uint16)
+	Store32(p Ptr, v uint32)
+	Store64(p Ptr, v uint64)
+	// StoreBytes writes src at p.
+	StoreBytes(p Ptr, src []byte)
+
+	// Alloc allocates n bytes of zeroed persistent memory. The allocation is
+	// part of the transaction: if the transaction does not commit, neither
+	// does the allocation (no leaks, no metadata corruption; §4.4).
+	Alloc(n int) (Ptr, error)
+	// Free releases an allocation made by Alloc, also transactionally.
+	Free(p Ptr) error
+
+	// Root returns root pointer i (0 <= i < NumRoots).
+	Root(i int) Ptr
+	// SetRoot durably publishes a root pointer. Mutating; update-only.
+	SetRoot(i int, p Ptr)
+}
+
+// TxStats counts transactions executed by an engine.
+type TxStats struct {
+	UpdateTxs uint64 // committed update transactions
+	ReadTxs   uint64 // completed read-only transactions
+	Aborts    uint64 // internal aborts/retries (only the redo-log STM aborts)
+	Rollbacks uint64 // user-requested rollbacks (fn returned an error)
+	Combined  uint64 // update operations executed by a flat-combining pass on behalf of another thread
+}
+
+// PTM is a persistent transactional memory engine.
+//
+// Update runs fn in a durably-linearizable update transaction. If fn returns
+// nil, all its persistent effects are atomically durable when Update
+// returns. If fn returns an error (or panics), the engine rolls every
+// persistent effect back — Romulus engines do this with the twin copy, the
+// baselines with their logs — and Update returns the error (or re-panics).
+//
+// Read runs fn in a read-only transaction. Read transactions never abort;
+// under RomulusLR they are wait-free.
+//
+// Engines that keep per-thread state (flat-combining slots, read-indicator
+// slots) resolve it internally; Update and Read are safe for concurrent use
+// from any goroutine.
+type PTM interface {
+	// Name identifies the engine in benchmark output ("rom", "romlog",
+	// "romlr", "mne", "pmdk").
+	Name() string
+	Update(fn func(Tx) error) error
+	Read(fn func(Tx) error) error
+	// Stats returns transaction counters since engine creation.
+	Stats() TxStats
+	// Close releases engine resources. The persistent image remains valid.
+	Close() error
+}
+
+// Handle is a per-goroutine transaction context. Engines keep per-thread
+// announcement and read-indicator slots; acquiring a Handle pins one slot,
+// avoiding per-transaction registry traffic on hot paths. A Handle must be
+// used by one goroutine at a time and Released when done.
+type Handle interface {
+	Update(fn func(Tx) error) error
+	Read(fn func(Tx) error) error
+	Release()
+}
+
+// HandlePTM is implemented by engines that expose per-thread handles (all
+// engines in this repository do).
+type HandlePTM interface {
+	PTM
+	NewHandle() (Handle, error)
+}
+
+// Align rounds n up to the next multiple of a (a power of two).
+func Align(n, a int) int { return (n + a - 1) &^ (a - 1) }

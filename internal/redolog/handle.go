@@ -1,0 +1,139 @@
+package redolog
+
+import "repro/internal/ptm"
+
+// Handle is a per-goroutine transaction context holding a reusable
+// transaction object and this thread's log-segment assignment.
+type Handle struct {
+	e   *Engine
+	tid int
+	tx  Tx
+}
+
+var _ ptm.Handle = (*Handle)(nil)
+
+// NewHandle implements ptm.HandlePTM.
+func (e *Engine) NewHandle() (ptm.Handle, error) {
+	return e.newHandle()
+}
+
+func (e *Engine) newHandle() (*Handle, error) {
+	tid, err := e.reg.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{e: e, tid: tid}
+	h.tx = Tx{e: e, writes: make(map[uint64]uint64)}
+	return h, nil
+}
+
+// Release implements ptm.Handle.
+func (h *Handle) Release() { h.e.reg.Release(h.tid) }
+
+// Update runs fn as an update transaction, retrying on conflict aborts
+// until it commits. fn may run multiple times and must confine its side
+// effects to the transaction and captured variables, as with any STM.
+func (h *Handle) Update(fn func(ptm.Tx) error) error {
+	e := h.e
+	seg := h.tid % e.numSegs
+	for attempt := 0; ; attempt++ {
+		err, aborted := h.tryUpdate(fn, seg)
+		if !aborted {
+			if err == nil {
+				e.updates.Add(1)
+			}
+			return err
+		}
+		e.aborts.Add(1)
+		backoff(attempt)
+	}
+}
+
+func (h *Handle) tryUpdate(fn func(ptm.Tx) error, seg int) (err error, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	t := &h.tx
+	t.reset(false)
+	if err := fn(t); err != nil {
+		return err, false // lazy versioning: nothing to undo
+	}
+	// Serialize committers sharing this log segment.
+	h.e.segMu[seg].Lock()
+	defer h.e.segMu[seg].Unlock()
+	return t.commit(seg), false
+}
+
+// Read runs fn as a read-only transaction, retrying on validation aborts.
+// Loads validate inline against the snapshot version, so a completed fn saw
+// a consistent snapshot.
+func (h *Handle) Read(fn func(ptm.Tx) error) error {
+	e := h.e
+	for attempt := 0; ; attempt++ {
+		err, aborted := h.tryRead(fn)
+		if !aborted {
+			e.readTxs.Add(1)
+			return err
+		}
+		e.aborts.Add(1)
+		backoff(attempt)
+	}
+}
+
+func (h *Handle) tryRead(fn func(ptm.Tx) error) (err error, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	t := &h.tx
+	t.reset(true)
+	return fn(t), false
+}
+
+// Update implements ptm.PTM using a pooled handle.
+func (e *Engine) Update(fn func(ptm.Tx) error) error {
+	h, err := e.poolGet()
+	if err != nil {
+		return err
+	}
+	defer e.poolPut(h)
+	return h.Update(fn)
+}
+
+// Read implements ptm.PTM using a pooled handle.
+func (e *Engine) Read(fn func(ptm.Tx) error) error {
+	h, err := e.poolGet()
+	if err != nil {
+		return err
+	}
+	defer e.poolPut(h)
+	return h.Read(fn)
+}
+
+func (e *Engine) poolGet() (*Handle, error) {
+	select {
+	case h := <-e.handles:
+		return h, nil
+	default:
+		return e.newHandle()
+	}
+}
+
+func (e *Engine) poolPut(h *Handle) {
+	select {
+	case e.handles <- h:
+	default:
+		h.Release()
+	}
+}

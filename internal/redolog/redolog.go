@@ -1,0 +1,285 @@
+// Package redolog implements a Mnemosyne-style persistent transactional
+// memory: a word-granularity software transactional memory (TL2-flavoured,
+// standing in for TinySTM) combined with a persistent redo log, as
+// described for Mnemosyne in §2 of the Romulus paper.
+//
+// Characteristics reproduced from the paper's comparison (Table 1, §6):
+//
+//   - loads AND stores are interposed: every load must first check the
+//     transaction's write set, which grows costlier with transaction size;
+//   - each stored word consumes 8 words of persistent log (entry plus
+//     metadata/padding), giving 300–600% write amplification;
+//   - a transaction needs 4 persistence fences at minimum, and more under
+//     contention because aborted commit attempts repeat log work;
+//   - transactions on disjoint data run concurrently (fine-grained
+//     stripes), but conflicts — such as every update hitting a shared
+//     element counter in a resizable hash map — cause aborts and retries,
+//     the scalability collapse of Figure 4/5.
+//
+// Like the real Mnemosyne (paper footnote 2), very large transactions are
+// rejected rather than supported: a write set that outgrows its log
+// segment fails with ErrTxTooLarge.
+package redolog
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/hsync"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// Device layout:
+//
+//	[ head : headSize ][ main : regionSize ][ seg 0 ][ seg 1 ] ...
+//
+// Each log segment belongs to one committing transaction at a time:
+//
+//	+0  committed flag   +8  word count   +16 entries (64 B each)
+const (
+	offMagic      = 0
+	offVersion    = 8
+	offRegionSize = 16
+	offSegSize    = 24
+	offNumSegs    = 32
+	headSize      = 256
+
+	segCommitted = 0
+	segCount     = 8
+	segEntries   = 16
+	entrySize    = 64 // 8 words per stored word, per the paper's Table 1
+)
+
+const (
+	magicValue    = 0x4D4E454D4F53594E // "MNEMOSYN"
+	layoutVersion = 1
+)
+
+// Main-region layout matches the other engines so data structures are
+// engine-agnostic.
+const (
+	rootsOff = 64
+	heapBase = rootsOff + ptm.NumRoots*8
+)
+
+// ErrTxTooLarge is returned when a transaction's write set exceeds a log
+// segment.
+var ErrTxTooLarge = errors.New("redolog: transaction write set exceeds log segment")
+
+// Config tunes the engine.
+type Config struct {
+	// Model is the persistence model for freshly created devices.
+	Model pmem.Model
+	// SegmentSize is the per-transaction redo-log capacity in bytes
+	// (default 256 KiB, i.e. 4K stored words).
+	SegmentSize int
+	// Segments is the number of concurrent commit logs (default 8).
+	Segments int
+}
+
+const (
+	defaultSegSize  = 256 << 10
+	defaultSegments = 8
+)
+
+// Engine is the redo-log STM PTM. It implements ptm.HandlePTM.
+type Engine struct {
+	dev        *pmem.Device
+	mainBase   int
+	logBase    int
+	regionSize int
+	segSize    int
+	numSegs    int
+	heap       *alloc.Heap
+
+	clock   atomic.Uint64
+	stripes []atomic.Uint64 // one versioned lock per 8-byte word
+	segMu   []sync.Mutex
+	reg     hsync.Registry
+	handles chan *Handle
+
+	updates atomic.Uint64
+	readTxs atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+var _ ptm.HandlePTM = (*Engine)(nil)
+
+// MinRegionSize is the smallest usable main-region size.
+const MinRegionSize = heapBase + alloc.MinSize
+
+// New creates and formats a fresh engine.
+func New(regionSize int, cfg Config) (*Engine, error) {
+	applyDefaults(&cfg)
+	if regionSize < MinRegionSize {
+		return nil, fmt.Errorf("redolog: region size %d below minimum %d", regionSize, MinRegionSize)
+	}
+	regionSize = ptm.Align(regionSize, pmem.LineSize)
+	dev := pmem.New(headSize+regionSize+cfg.Segments*cfg.SegmentSize, cfg.Model)
+	return Open(dev, cfg)
+}
+
+func applyDefaults(cfg *Config) {
+	if cfg.SegmentSize == 0 {
+		cfg.SegmentSize = defaultSegSize
+	}
+	cfg.SegmentSize = ptm.Align(cfg.SegmentSize, pmem.LineSize)
+	if cfg.Segments == 0 {
+		cfg.Segments = defaultSegments
+	}
+}
+
+// Open attaches to a device, formatting a blank one and replaying any
+// committed-but-unapplied redo logs otherwise.
+func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
+	applyDefaults(&cfg)
+	regionSize := dev.Size() - headSize - cfg.Segments*cfg.SegmentSize
+	if regionSize < MinRegionSize {
+		return nil, fmt.Errorf("redolog: device too small for region and %d log segments", cfg.Segments)
+	}
+	e := &Engine{
+		dev:        dev,
+		mainBase:   headSize,
+		logBase:    headSize + regionSize,
+		regionSize: regionSize,
+		segSize:    cfg.SegmentSize,
+		numSegs:    cfg.Segments,
+		stripes:    make([]atomic.Uint64, regionSize/8),
+		segMu:      make([]sync.Mutex, cfg.Segments),
+		handles:    make(chan *Handle, hsync.MaxThreads),
+	}
+	if dev.Load64(offMagic) != magicValue {
+		if err := e.format(); err != nil {
+			return nil, err
+		}
+	} else {
+		if got := dev.Load64(offRegionSize); got != uint64(regionSize) {
+			return nil, fmt.Errorf("redolog: header region size %d, device implies %d", got, regionSize)
+		}
+		if got := dev.Load64(offSegSize); got != uint64(cfg.SegmentSize) {
+			return nil, fmt.Errorf("redolog: header segment size %d, config says %d", got, cfg.SegmentSize)
+		}
+		e.recover()
+	}
+	heap, err := alloc.Open(rawMem{e}, heapBase)
+	if err != nil {
+		return nil, fmt.Errorf("redolog: opening allocator: %w", err)
+	}
+	e.heap = heap
+	return e, nil
+}
+
+func (e *Engine) format() error {
+	d := e.dev
+	d.Store64(offVersion, layoutVersion)
+	d.Store64(offRegionSize, uint64(e.regionSize))
+	d.Store64(offSegSize, uint64(e.segSize))
+	d.Store64(offNumSegs, uint64(e.numSegs))
+	for s := 0; s < e.numSegs; s++ {
+		d.Store64(e.segBase(s)+segCommitted, 0)
+	}
+	if _, err := alloc.Format(rawMem{e}, heapBase, uint64(e.regionSize-heapBase)); err != nil {
+		return fmt.Errorf("redolog: formatting heap: %w", err)
+	}
+	top := int(mustHeapTop(e))
+	d.PwbRange(0, headSize)
+	d.PwbRange(e.mainBase, top)
+	for s := 0; s < e.numSegs; s++ {
+		d.Pwb(e.segBase(s) + segCommitted)
+	}
+	d.Pfence()
+	d.Store64(offMagic, magicValue)
+	d.Pwb(offMagic)
+	d.Pfence()
+	return nil
+}
+
+func mustHeapTop(e *Engine) uint64 {
+	h, err := alloc.Open(rawMem{e}, heapBase)
+	if err != nil {
+		panic(fmt.Sprintf("redolog: heap vanished after format: %v", err))
+	}
+	return h.Top()
+}
+
+func (e *Engine) segBase(s int) int { return e.logBase + s*e.segSize }
+
+// recover replays every committed redo-log segment: the logged values are
+// the transaction's durable effects; re-applying them is idempotent.
+func (e *Engine) recover() {
+	d := e.dev
+	for s := 0; s < e.numSegs; s++ {
+		base := e.segBase(s)
+		if d.Load64(base+segCommitted) == 0 {
+			continue
+		}
+		n := int(d.Load64(base + segCount))
+		for i := 0; i < n; i++ {
+			o := base + segEntries + i*entrySize
+			addr := int(d.Load64(o))
+			val := d.Load64(o + 8)
+			d.Store64(e.mainBase+addr, val)
+			d.Pwb(e.mainBase + addr)
+		}
+		d.Pfence()
+		d.Store64(base+segCommitted, 0)
+		d.Pwb(base + segCommitted)
+		d.Pfence()
+	}
+}
+
+// stripe returns the versioned lock guarding the aligned word at w.
+func (e *Engine) stripe(w uint64) *atomic.Uint64 { return &e.stripes[w>>3] }
+
+const lockedBit = 1
+
+func version(v uint64) uint64 { return v >> 1 }
+func isLocked(v uint64) bool  { return v&lockedBit != 0 }
+
+// Name implements ptm.PTM. The engine reports as "mne", its role in the
+// paper's evaluation.
+func (e *Engine) Name() string { return "mne" }
+
+// Stats implements ptm.PTM.
+func (e *Engine) Stats() ptm.TxStats {
+	return ptm.TxStats{
+		UpdateTxs: e.updates.Load(),
+		ReadTxs:   e.readTxs.Load(),
+		Aborts:    e.aborts.Load(),
+	}
+}
+
+// Device exposes the underlying device for statistics and crash testing.
+func (e *Engine) Device() *pmem.Device { return e.dev }
+
+// CheckHeap validates allocator invariants; used by recovery tests.
+func (e *Engine) CheckHeap() error { return e.heap.CheckInvariants() }
+
+// Close implements ptm.PTM.
+func (e *Engine) Close() error { return nil }
+
+// rawMem gives the allocator direct access during format/validation; at
+// runtime allocator calls flow through transactions instead (txMem).
+type rawMem struct{ e *Engine }
+
+func (m rawMem) Load64(off uint64) uint64     { return m.e.dev.Load64(m.e.mainBase + int(off)) }
+func (m rawMem) Store64(off uint64, v uint64) { m.e.dev.Store64(m.e.mainBase+int(off), v) }
+
+// backoff yields with quadratic growth after aborts.
+func backoff(attempt int) {
+	if attempt < 2 {
+		return
+	}
+	spins := attempt * attempt
+	if spins > 64 {
+		spins = 64
+	}
+	for i := 0; i < spins; i++ {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,97 @@
+package redolog
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ptm"
+)
+
+// Property: arbitrary unaligned, word-crossing stores of every width read
+// back exactly like a plain byte array — exercising the write-set
+// read-modify-write machinery of the load/store interposition.
+func TestQuickSpanStoreLoadMatchesByteArray(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := newEngine(t)
+		var p ptm.Ptr
+		if err := e.Update(func(tx ptm.Tx) error {
+			var err error
+			p, err = tx.Alloc(256)
+			return err
+		}); err != nil {
+			return false
+		}
+		ref := make([]byte, 256)
+		ok := true
+		err := e.Update(func(tx ptm.Tx) error {
+			for op := 0; op < 60; op++ {
+				off := rng.Intn(240)
+				switch rng.Intn(5) {
+				case 0:
+					v := byte(rng.Uint32())
+					tx.Store8(p+ptm.Ptr(off), v)
+					ref[off] = v
+				case 1:
+					v := uint16(rng.Uint32())
+					tx.Store16(p+ptm.Ptr(off), v)
+					ref[off] = byte(v)
+					ref[off+1] = byte(v >> 8)
+				case 2:
+					v := rng.Uint32()
+					tx.Store32(p+ptm.Ptr(off), v)
+					for b := 0; b < 4; b++ {
+						ref[off+b] = byte(v >> (8 * b))
+					}
+				case 3:
+					v := rng.Uint64()
+					tx.Store64(p+ptm.Ptr(off), v)
+					for b := 0; b < 8; b++ {
+						ref[off+b] = byte(v >> (8 * b))
+					}
+				case 4:
+					n := 1 + rng.Intn(16)
+					src := make([]byte, n)
+					rng.Read(src)
+					tx.StoreBytes(p+ptm.Ptr(off), src)
+					copy(ref[off:], src)
+				}
+				// Read back through every accessor width.
+				roff := rng.Intn(240)
+				if tx.Load8(p+ptm.Ptr(roff)) != ref[roff] {
+					ok = false
+				}
+				got16 := tx.Load16(p + ptm.Ptr(roff))
+				want16 := uint16(ref[roff]) | uint16(ref[roff+1])<<8
+				if got16 != want16 {
+					ok = false
+				}
+				got64 := tx.Load64(p + ptm.Ptr(roff))
+				var want64 uint64
+				for b := 0; b < 8; b++ {
+					want64 |= uint64(ref[roff+b]) << (8 * b)
+				}
+				if got64 != want64 {
+					ok = false
+				}
+			}
+			return nil
+		})
+		if err != nil || !ok {
+			return false
+		}
+		// After commit, the durable image must equal the reference.
+		var final []byte
+		e.Read(func(tx ptm.Tx) error {
+			final = make([]byte, 256)
+			tx.LoadBytes(p, final)
+			return nil
+		})
+		return bytes.Equal(final, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,369 @@
+// Package undolog implements a PMDK-style undo-log persistent transactional
+// memory, the strongest baseline the Romulus paper compares against
+// (libpmemobj; §2 and §6). Before each first modification of a word inside
+// a transaction, the word's old value is appended to a persistent undo log
+// and made durable (two fences per logged range: entry, then count); only
+// then is the in-place store issued. Commit drains outstanding write-backs
+// and truncates the log. Recovery applies the log backwards, restoring the
+// pre-transaction state.
+//
+// Concurrency follows the paper's evaluation setup: PMDK has no built-in
+// concurrent transactions, so accesses are guarded by a global
+// reader-preference reader-writer lock (the C++ benchmark used
+// std::shared_timed_mutex). Reader preference is what starves writers at
+// high reader counts in Figure 7 — reproduced faithfully here.
+package undolog
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// Device layout:
+//
+//	[ head : headSize ][ main : regionSize ][ log : logSize ]
+const (
+	offMagic      = 0
+	offVersion    = 8
+	offRegionSize = 16
+	offLogSize    = 24
+	offLogCount   = 64 // number of valid undo entries, own cache line
+	headSize      = 256
+)
+
+const (
+	magicValue    = 0x504D444B554E444F // "PMDKUNDO"
+	layoutVersion = 1
+)
+
+// Main-region layout mirrors the Romulus engines: reserved line, roots,
+// heap — so the same data-structure code runs unchanged on this engine.
+const (
+	rootsOff = 64
+	heapBase = rootsOff + ptm.NumRoots*8
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Model is the persistence model for freshly created devices.
+	Model pmem.Model
+	// LogSize is the undo-log capacity in bytes (default 1 MiB). A
+	// transaction whose log outgrows it fails with ErrLogFull.
+	LogSize int
+}
+
+// ErrLogFull is returned when a transaction overflows the undo log.
+var ErrLogFull = errors.New("undolog: transaction exceeds undo log capacity")
+
+const defaultLogSize = 1 << 20
+
+// Engine is the undo-log PTM. It implements ptm.HandlePTM.
+type Engine struct {
+	dev        *pmem.Device
+	mainBase   int
+	logBase    int
+	regionSize int
+	logSize    int
+	heap       *alloc.Heap
+
+	wmu sync.Mutex // serializes writers (the "W" side of the global lock)
+	rw  prefLock   // reader-preference reader-writer lock
+
+	wtx Tx // single writer transaction, reused
+
+	updates   atomic.Uint64
+	reads     atomic.Uint64
+	rollbacks atomic.Uint64
+}
+
+var _ ptm.HandlePTM = (*Engine)(nil)
+
+// MinRegionSize is the smallest usable main-region size.
+const MinRegionSize = heapBase + alloc.MinSize
+
+// New creates and formats a fresh engine with the given main-region size.
+func New(regionSize int, cfg Config) (*Engine, error) {
+	if cfg.LogSize == 0 {
+		cfg.LogSize = defaultLogSize
+	}
+	if regionSize < MinRegionSize {
+		return nil, fmt.Errorf("undolog: region size %d below minimum %d", regionSize, MinRegionSize)
+	}
+	regionSize = ptm.Align(regionSize, pmem.LineSize)
+	cfg.LogSize = ptm.Align(cfg.LogSize, pmem.LineSize)
+	dev := pmem.New(headSize+regionSize+cfg.LogSize, cfg.Model)
+	return Open(dev, cfg)
+}
+
+// Open attaches to a device, formatting a blank one and recovering a used
+// one (rolling back any in-flight transaction recorded in the log).
+func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
+	if cfg.LogSize == 0 {
+		cfg.LogSize = defaultLogSize
+	}
+	cfg.LogSize = ptm.Align(cfg.LogSize, pmem.LineSize)
+	regionSize := dev.Size() - headSize - cfg.LogSize
+	if regionSize < MinRegionSize {
+		return nil, fmt.Errorf("undolog: device too small for region+log")
+	}
+	e := &Engine{
+		dev:        dev,
+		mainBase:   headSize,
+		logBase:    headSize + regionSize,
+		regionSize: regionSize,
+		logSize:    cfg.LogSize,
+	}
+	e.wtx = Tx{e: e, logged: make(map[uint64]bool)}
+	if dev.Load64(offMagic) != magicValue {
+		if err := e.format(); err != nil {
+			return nil, err
+		}
+	} else {
+		if got := dev.Load64(offRegionSize); got != uint64(regionSize) {
+			return nil, fmt.Errorf("undolog: header region size %d, device implies %d", got, regionSize)
+		}
+		e.recover()
+	}
+	heap, err := alloc.Open((*heapMem)(e), heapBase)
+	if err != nil {
+		return nil, fmt.Errorf("undolog: opening allocator: %w", err)
+	}
+	e.heap = heap
+	return e, nil
+}
+
+func (e *Engine) format() error {
+	d := e.dev
+	d.Store64(offVersion, layoutVersion)
+	d.Store64(offRegionSize, uint64(e.regionSize))
+	d.Store64(offLogSize, uint64(e.logSize))
+	d.Store64(offLogCount, 0)
+	if _, err := alloc.Format((*rawMem)(e), heapBase, uint64(e.regionSize-heapBase)); err != nil {
+		return fmt.Errorf("undolog: formatting heap: %w", err)
+	}
+	wm := e.rawHeapTop()
+	d.PwbRange(0, headSize)
+	d.PwbRange(e.mainBase, int(wm))
+	d.Pfence()
+	d.Store64(offMagic, magicValue)
+	d.Pwb(offMagic)
+	d.Pfence()
+	return nil
+}
+
+func (e *Engine) rawHeapTop() uint64 {
+	h, err := alloc.Open((*rawMem)(e), heapBase)
+	if err != nil {
+		panic(fmt.Sprintf("undolog: heap vanished after format: %v", err))
+	}
+	return h.Top()
+}
+
+// recover rolls back an interrupted transaction by applying the undo log in
+// reverse, then truncates the log.
+func (e *Engine) recover() {
+	d := e.dev
+	count := int(d.Load64(offLogCount))
+	if count == 0 {
+		return
+	}
+	// Walk forward to find entry offsets, then apply in reverse.
+	offs := make([]int, 0, count)
+	off := e.logBase
+	for i := 0; i < count; i++ {
+		offs = append(offs, off)
+		n := int(d.Load64(off + 8))
+		off += 16 + ptm.Align(n, 8)
+	}
+	for i := count - 1; i >= 0; i-- {
+		o := offs[i]
+		addr := int(d.Load64(o))
+		n := int(d.Load64(o + 8))
+		d.CopyWithin(e.mainBase+addr, o+16, n)
+		d.PwbRange(e.mainBase+addr, n)
+	}
+	d.Pfence()
+	d.Store64(offLogCount, 0)
+	d.Pwb(offLogCount)
+	d.Pfence()
+}
+
+// beginTx prepares the writer transaction. Caller holds the writer lock.
+func (e *Engine) beginTx() *Tx {
+	t := &e.wtx
+	t.logTail = e.logBase
+	t.failed = nil
+	// Go maps never shrink their bucket arrays: after one huge transaction
+	// (e.g. a hash-map resize), even an emptied map costs O(capacity) to
+	// iterate. Replace oversized maps instead of clearing them.
+	if len(t.logged) > 4096 {
+		t.logged = make(map[uint64]bool)
+	} else {
+		for k := range t.logged {
+			delete(t.logged, k)
+		}
+	}
+	return t
+}
+
+// commitTx: make all in-place stores durable, then truncate the log.
+func (e *Engine) commitTx() {
+	d := e.dev
+	d.Pfence() // drain data write-backs
+	d.Store64(offLogCount, 0)
+	d.Pwb(offLogCount)
+	d.Psync()
+}
+
+// rollbackTx restores pre-transaction state from the undo log (same code
+// path recovery uses).
+func (e *Engine) rollbackTx() {
+	e.recover()
+	e.rollbacks.Add(1)
+}
+
+// Name implements ptm.PTM. The engine reports as "pmdk", its role in the
+// paper's evaluation.
+func (e *Engine) Name() string { return "pmdk" }
+
+// Stats implements ptm.PTM.
+func (e *Engine) Stats() ptm.TxStats {
+	return ptm.TxStats{
+		UpdateTxs: e.updates.Load(),
+		ReadTxs:   e.reads.Load(),
+		Rollbacks: e.rollbacks.Load(),
+	}
+}
+
+// Device exposes the underlying device for statistics and crash testing.
+func (e *Engine) Device() *pmem.Device { return e.dev }
+
+// CheckHeap validates allocator invariants; used by recovery tests.
+func (e *Engine) CheckHeap() error { return e.heap.CheckInvariants() }
+
+// Close implements ptm.PTM.
+func (e *Engine) Close() error { return nil }
+
+// Update implements ptm.PTM.
+func (e *Engine) Update(fn func(ptm.Tx) error) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	e.rw.writerLock()
+	defer e.rw.writerUnlock()
+	t := e.beginTx()
+	committed := false
+	defer func() {
+		if !committed {
+			e.rollbackTx()
+		}
+	}()
+	if err := fn(t); err != nil {
+		return err
+	}
+	if t.failed != nil {
+		return t.failed
+	}
+	e.commitTx()
+	committed = true
+	e.updates.Add(1)
+	return nil
+}
+
+// Read implements ptm.PTM.
+func (e *Engine) Read(fn func(ptm.Tx) error) error {
+	e.rw.readerLock()
+	defer e.rw.readerUnlock()
+	e.reads.Add(1)
+	t := Tx{e: e, readOnly: true}
+	return fn(&t)
+}
+
+// NewHandle implements ptm.HandlePTM. The global lock needs no per-thread
+// state, so handles simply delegate.
+func (e *Engine) NewHandle() (ptm.Handle, error) { return handle{e}, nil }
+
+type handle struct{ e *Engine }
+
+func (h handle) Update(fn func(ptm.Tx) error) error { return h.e.Update(fn) }
+func (h handle) Read(fn func(ptm.Tx) error) error   { return h.e.Read(fn) }
+func (h handle) Release()                           {}
+
+// prefLock is a reader-preference reader-writer lock: readers never check
+// for *waiting* writers, only *active* ones, so a steady stream of readers
+// starves writers — the behaviour the paper observed when wrapping PMDK in
+// std::shared_timed_mutex (Figure 7).
+type prefLock struct {
+	readers      atomic.Int64
+	writerActive atomic.Bool
+}
+
+func (l *prefLock) readerLock() {
+	for {
+		l.readers.Add(1)
+		if !l.writerActive.Load() {
+			return
+		}
+		l.readers.Add(-1)
+		for spins := 0; l.writerActive.Load(); spins++ {
+			if spins > 16 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+func (l *prefLock) readerUnlock() { l.readers.Add(-1) }
+
+// writerLock is called with the writer-writer mutex held.
+func (l *prefLock) writerLock() {
+	for spins := 0; ; spins++ {
+		if l.readers.Load() == 0 {
+			l.writerActive.Store(true)
+			if l.readers.Load() == 0 {
+				return
+			}
+			// A reader slipped in between the check and the flag; it will
+			// observe the flag and depart. Retract and retry.
+			l.writerActive.Store(false)
+		}
+		if spins > 16 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (l *prefLock) writerUnlock() { l.writerActive.Store(false) }
+
+// rawMem adapts the device for allocator formatting (plain stores).
+type rawMem Engine
+
+func (m *rawMem) Load64(off uint64) uint64 {
+	e := (*Engine)(m)
+	return e.dev.Load64(e.mainBase + int(off))
+}
+
+func (m *rawMem) Store64(off uint64, v uint64) {
+	e := (*Engine)(m)
+	e.dev.Store64(e.mainBase+int(off), v)
+}
+
+// heapMem routes allocator accesses through the writer transaction so that
+// metadata mutations are undo-logged like user data.
+type heapMem Engine
+
+func (m *heapMem) Load64(off uint64) uint64 {
+	e := (*Engine)(m)
+	return e.dev.Load64(e.mainBase + int(off))
+}
+
+func (m *heapMem) Store64(off uint64, v uint64) {
+	e := (*Engine)(m)
+	e.wtx.Store64(ptm.Ptr(off), v)
+}

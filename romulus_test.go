@@ -1,0 +1,145 @@
+package romulus_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	romulus "repro"
+)
+
+// TestPublicAPIQuickstart walks the README quick-start path end to end
+// through the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	eng, err := romulus.New(4<<20, romulus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Update(func(tx romulus.Tx) error {
+		p, err := tx.Alloc(16)
+		if err != nil {
+			return err
+		}
+		tx.Store64(p, 42)
+		tx.SetRoot(0, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Read(func(tx romulus.Tx) error {
+		if got := tx.Load64(tx.Root(0)); got != 42 {
+			return fmt.Errorf("got %d", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIVariantsAndModels(t *testing.T) {
+	for _, v := range []romulus.Variant{romulus.Rom, romulus.RomLog, romulus.RomLR} {
+		eng, err := romulus.New(2<<20, romulus.Config{Variant: v, Model: romulus.ModelSTT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Update(func(tx romulus.Tx) error {
+			_, err := tx.Alloc(8)
+			return err
+		}); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestPublicAPIStructures(t *testing.T) {
+	eng, err := romulus.New(4<<20, romulus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var set *romulus.LinkedListSet
+	var tree *romulus.RBTree
+	if err := eng.Update(func(tx romulus.Tx) error {
+		var err error
+		if set, err = romulus.NewLinkedListSet(tx, 0); err != nil {
+			return err
+		}
+		if tree, err = romulus.NewRBTree(tx, 1); err != nil {
+			return err
+		}
+		if _, err := set.Add(tx, 7); err != nil {
+			return err
+		}
+		_, err = tree.Put(tx, 7, 70)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Read(func(tx romulus.Tx) error {
+		if !set.Contains(tx, 7) {
+			t.Error("set lost 7")
+		}
+		if v, err := tree.Get(tx, 7); err != nil || v != 70 {
+			t.Errorf("tree Get = %d, %v", v, err)
+		}
+		return nil
+	})
+}
+
+func TestPublicAPIFilePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "region.pm")
+	eng, err := romulus.New(2<<20, romulus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Update(func(tx romulus.Tx) error {
+		p, err := tx.Alloc(8)
+		if err != nil {
+			return err
+		}
+		tx.Store64(p, 99)
+		tx.SetRoot(3, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Device().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := romulus.OpenFile(path, romulus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Read(func(tx romulus.Tx) error {
+		if got := tx.Load64(tx.Root(3)); got != 99 {
+			t.Errorf("after reopen: %d", got)
+		}
+		return nil
+	})
+}
+
+func TestPublicAPIDB(t *testing.T) {
+	db, err := romulus.OpenDB(romulus.DBOptions{RegionSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get([]byte("k"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := db.Get([]byte("nope")); !errors.Is(err, romulus.ErrDBNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+	var b romulus.DBBatch
+	b.Put([]byte("a"), []byte("1"))
+	b.Delete([]byte("k"))
+	if err := db.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
