@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench tools experiments crashtest fuzz clean
+.PHONY: all build test race bench tools experiments crashtest crashtest-short fuzz clean
 
 all: build test
 
 build:
 	go build ./...
 
-test:
+test: crashtest-short
 	go test ./...
 
 race:
@@ -34,7 +34,11 @@ experiments: tools
 	./bin/romulus-bench -pwbhist                                     | tee results/pwbhist.txt
 
 crashtest: tools
-	./bin/romulus-crashtest -rounds 10000
+	./bin/romulus-crashtest -rounds 2000 -chain 3 -engines all -threads 4
+
+# Quick crash-chain pass under the race detector; part of `make test`.
+crashtest-short:
+	go run -race ./cmd/romulus-crashtest -seed 1 -rounds 250 -chain 3 -engines all -threads 4
 
 fuzz:
 	go test -fuzz FuzzAllocFree -fuzztime 60s ./internal/alloc

@@ -1,40 +1,90 @@
-// Command romulus-crashtest runs randomized crash-recovery torture
-// campaigns: random transactions on a persistent hash map, a simulated
-// power failure at a random persistence event under a random adversary
-// policy (unfenced lines dropped, kept, torn at word granularity, dirty
-// lines randomly evicted), recovery, and validation that the recovered
-// state matches exactly the pre- or post-crash model.
+// Command romulus-crashtest runs randomized crash-chain torture campaigns
+// against every engine: concurrent random transactions on a persistent map,
+// a simulated power failure at a random persistence event under a random
+// adversary policy (unfenced lines dropped, kept, torn at word granularity,
+// dirty lines randomly evicted), then recovery that is itself crashed again
+// up to -chain times, and validation that each worker's recovered keys match
+// a durable prefix of its committed transactions.
 //
-//	romulus-crashtest -rounds 10000 -seed 7
+//	romulus-crashtest -rounds 2000 -chain 3 -engines all -threads 4
+//
+// Failures print a JSON record with the campaign seed, round seed, thread
+// count and full crash chain; re-running with the same -seed, -threads 1 and
+// the same flags reproduces any single-threaded round exactly.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/crashtest"
 )
 
 func main() {
-	rounds := flag.Int("rounds", 1000, "crash/recover cycles to run")
+	rounds := flag.Int("rounds", 1000, "crash/recover cycles per engine")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "campaign seed (printed for reproduction)")
 	keys := flag.Int("keys", 64, "keyspace size")
-	txs := flag.Int("txs", 20, "max committed transactions before each crash")
+	txs := flag.Int("txs", 12, "max committed transactions per worker before each crash")
+	threads := flag.Int("threads", 2, "workload goroutines (engines that cannot share the device use 1)")
+	chain := flag.Int("chain", 1, "max crashes per round; beyond 1, later crashes land inside recovery")
+	engines := flag.String("engines", "all", "comma-separated engine list: "+
+		strings.Join(crashtest.EngineNames(), ",")+" (or all)")
+	jsonOut := flag.Bool("json", false, "emit reports (and any failure) as JSON")
 	flag.Parse()
 
-	fmt.Printf("romulus-crashtest: %d rounds, seed %d\n", *rounds, *seed)
-	rep, err := crashtest.Run(crashtest.Config{
+	cfg := crashtest.Config{
 		Rounds:     *rounds,
 		Seed:       *seed,
 		Keys:       *keys,
 		TxPerRound: *txs,
-	})
+		Threads:    *threads,
+		ChainDepth: *chain,
+		Engines:    strings.Split(*engines, ","),
+	}
+	if !*jsonOut {
+		fmt.Printf("romulus-crashtest: %d rounds/engine, seed %d, %d threads, chain depth %d\n",
+			*rounds, *seed, *threads, *chain)
+	}
+	reports, err := crashtest.Run(cfg)
+
+	if *jsonOut {
+		out := struct {
+			Seed    int64              `json:"seed"`
+			Reports []crashtest.Report `json:"reports"`
+			Failure *crashtest.Failure `json:"failure,omitempty"`
+			Error   string             `json:"error,omitempty"`
+		}{Seed: *seed, Reports: reports}
+		if err != nil {
+			var f *crashtest.Failure
+			if errors.As(err, &f) {
+				out.Failure = f
+			} else {
+				out.Error = err.Error()
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, r := range reports {
+		fmt.Printf("%-8s %6d rounds, %d threads — %d mid-tx crashes, %d chain crashes "+
+			"(%d inside recovery), workers: %d rolled back / %d carried forward\n",
+			r.Engine, r.Rounds, r.Threads, r.MidTxCrashes, r.ChainCrashes,
+			r.RecoveryCrashes, r.RolledBack, r.CarriedForward)
+	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "FAILURE after %d rounds: %v\n", rep.Rounds, err)
+		fmt.Fprintf(os.Stderr, "FAILURE: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("OK: %d rounds — %d crashed mid-transaction (%d rolled back, %d carried forward)\n",
-		rep.Rounds, rep.CrashedMidTx, rep.RolledBack, rep.CarriedForward)
+	fmt.Println("OK")
 }

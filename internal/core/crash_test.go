@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -272,7 +273,11 @@ func TestCrashAfterRandomWorkload(t *testing.T) {
 	})
 }
 
-// Crash during initial format must leave the device reformat-able.
+// Crash during initial format, at EVERY persistence event under every
+// adversary policy, must leave the device either fully unformatted (the
+// magic never became durable: the next Open restarts from scratch) or fully
+// formatted — never half-formatted. This is the failure-atomicity claim the
+// comment on format() makes.
 func TestCrashDuringFormat(t *testing.T) {
 	dev := pmem.New(headSize+2*crashRegion, pmem.ModelDRAM)
 	images := captureAll(dev, 3, func() {
@@ -280,10 +285,21 @@ func TestCrashDuringFormat(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	// Sample a spread of points (formatting generates many events).
-	step := len(images)/50 + 1
-	for n := 0; n < len(images); n += step {
-		re, err := Open(pmem.FromImage(images[n], pmem.ModelDRAM), Config{Variant: RomLog})
+	if len(images) < 30 {
+		t.Fatalf("only %d format crash images", len(images))
+	}
+	formatted := 0
+	for n, img := range images {
+		rd := pmem.FromImage(img, pmem.ModelDRAM)
+		if rd.Load64(offMagic) == magicValue {
+			formatted++
+			// Magic durable ⇒ everything before it must be too: the header
+			// checksum must verify and recovery must be a no-op from IDL.
+			if sum := headerChecksum(rd.Load64(offVersion), rd.Load64(offRegionSize)); rd.Load64(offHeadSum) != sum {
+				t.Fatalf("image %d: magic durable but checksum torn", n)
+			}
+		}
+		re, err := Open(rd, Config{Variant: RomLog})
 		if err != nil {
 			t.Fatalf("image %d: %v", n, err)
 		}
@@ -295,6 +311,97 @@ func TestCrashDuringFormat(t *testing.T) {
 			return err
 		}); err != nil {
 			t.Fatalf("image %d: engine unusable after format crash: %v", n, err)
+		}
+		if err := re.CheckHeap(); err != nil {
+			t.Fatalf("image %d: heap corrupt after format crash: %v", n, err)
+		}
+	}
+	t.Logf("%d format crash images verified (%d already formatted)", len(images), formatted)
+}
+
+// A torn (unrecognized) state word must take the conservative default
+// recovery arm — restore main from back and return to IDL — not silently
+// skip reconciliation.
+func TestRecoverForgedStateWord(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		e, err := New(crashRegion, Config{Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p ptm.Ptr
+		if err := e.Update(func(tx ptm.Tx) error {
+			var err error
+			p, err = tx.Alloc(64)
+			tx.SetRoot(0, p)
+			tx.Store64(p, 41)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Forge a garbage state word (no valid IDL/MUT/CPY encoding) and
+		// make it durable, simulating a sub-word tear of the state line.
+		dev := e.Device()
+		dev.Store64(offState, 0xDEADBEEFDEADBEEF)
+		// Also scribble on main beyond the committed state: the default arm
+		// must roll main back from back.
+		dev.Store64(headSize+int(p), 999)
+		dev.PersistAll()
+
+		re, err := Open(pmem.FromImage(dev.Persisted(), pmem.ModelDRAM), Config{Variant: v})
+		if err != nil {
+			t.Fatalf("recovery with forged state word failed: %v", err)
+		}
+		if got := re.Device().Load64(offState); got != stateIDL {
+			t.Errorf("state after recovery = %#x, want IDL", got)
+		}
+		if off := re.Verify(); off >= 0 {
+			t.Errorf("twin copies diverge at %d after forged-state recovery", off)
+		}
+		re.Read(func(tx ptm.Tx) error {
+			if got := tx.Load64(tx.Root(0)); got != 41 {
+				t.Errorf("value = %d after forged-state recovery, want 41 (rolled back)", got)
+			}
+			return nil
+		})
+		// The engine must keep working.
+		if err := re.Update(func(tx ptm.Tx) error {
+			tx.Store64(re.wtx.Root(0), 42)
+			return nil
+		}); err != nil {
+			t.Errorf("engine unusable after forged-state recovery: %v", err)
+		}
+	})
+}
+
+// Torn head metadata under an intact magic must be reported as the typed
+// ErrCorruptHeader, not interpreted as layout.
+func TestOpenTornHeader(t *testing.T) {
+	e, err := New(crashRegion, Config{Variant: RomLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := e.Device()
+	for _, corrupt := range []struct {
+		name string
+		off  int
+	}{
+		{"region size", offRegionSize},
+		{"version", offVersion},
+		{"checksum", offHeadSum},
+	} {
+		img := dev.Persisted()
+		d2 := pmem.FromImage(img, pmem.ModelDRAM)
+		d2.Store64(corrupt.off, d2.Load64(corrupt.off)^0xFF00FF00FF00FF00)
+		d2.PersistAll()
+		_, err := Open(d2, Config{Variant: RomLog})
+		if err == nil {
+			t.Fatalf("%s torn: Open succeeded silently", corrupt.name)
+		}
+		if !errors.Is(err, ErrCorruptHeader) {
+			t.Errorf("%s torn: error %v, want ErrCorruptHeader", corrupt.name, err)
+		}
+		if !errors.Is(err, ptm.ErrCorruptHeader) {
+			t.Errorf("%s torn: error does not match ptm.ErrCorruptHeader", corrupt.name)
 		}
 	}
 }

@@ -97,6 +97,21 @@ var _ ptm.PTM = (*Engine)(nil)
 // recorded layout.
 var ErrRegionMismatch = errors.New("core: device layout does not match persistent header")
 
+// ErrCorruptHeader is returned (wrapped) by Open when the header's magic is
+// present but its checksum does not cover the stored words — torn head
+// metadata. It aliases the repository-wide typed error so callers can match
+// it across engines.
+var ErrCorruptHeader = ptm.ErrCorruptHeader
+
+// headerChecksum covers the static header words, written once at format
+// time. The mutable words (watermark, state) are excluded: the watermark is
+// bounds-checked at recovery and the state machine has a conservative
+// default arm, so neither needs — nor could keep up with — a per-store
+// checksum.
+func headerChecksum(version, regionSize uint64) uint64 {
+	return ptm.HeaderChecksum(magicValue, version, regionSize)
+}
+
 // MinRegionSize is the smallest usable per-copy region size.
 const MinRegionSize = heapBase + alloc.MinSize
 
@@ -140,6 +155,10 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	} else {
+		if sum := headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize)); dev.Load64(offHeadSum) != sum {
+			return nil, fmt.Errorf("core: header checksum %#x, computed %#x: %w",
+				dev.Load64(offHeadSum), sum, ErrCorruptHeader)
+		}
 		if dev.Load64(offVersion) != layoutVersion {
 			return nil, fmt.Errorf("core: layout version %d, want %d", dev.Load64(offVersion), layoutVersion)
 		}
@@ -164,6 +183,7 @@ func (e *Engine) format() error {
 	d := e.dev
 	d.Store64(offVersion, layoutVersion)
 	d.Store64(offRegionSize, uint64(e.regionSize))
+	d.Store64(offHeadSum, headerChecksum(layoutVersion, uint64(e.regionSize)))
 	d.Store64(offState, stateIDL)
 	// Roots are zero (nil) on a fresh device; format the heap.
 	if _, err := alloc.Format((*rawMem)(e), heapBase, uint64(e.regionSize-heapBase)); err != nil {
@@ -185,7 +205,11 @@ func (e *Engine) format() error {
 
 // recover restores consistency after a crash, per Algorithm 1: under MUT
 // the back copy is authoritative, under CPY the main copy is, and under IDL
-// both already agree.
+// both already agree. An unrecognized state word — impossible under the
+// 8-byte-atomic-write assumption of the paper, but conceivable on hardware
+// that tears below word granularity — is treated conservatively like MUT:
+// restore main from back, rolling back whatever transaction the torn word
+// belonged to, rather than silently skipping reconciliation.
 func (e *Engine) recover() {
 	d := e.dev
 	wm := int(d.Load64(offWatermark))
@@ -201,11 +225,33 @@ func (e *Engine) recover() {
 	case stateMUT:
 		d.CopyWithin(e.mainBase, e.backBase, wm)
 		d.PwbRange(e.mainBase, wm)
+	default:
+		d.CopyWithin(e.mainBase, e.backBase, wm)
+		d.PwbRange(e.mainBase, wm)
 	}
 	d.Pfence()
 	d.Store64(offState, stateIDL)
 	d.Pwb(offState)
 	d.Pfence()
+}
+
+// RecoveryPending reports whether opening a device with these media
+// contents would perform actual recovery work: the image holds a formatted
+// region whose transaction state machine is not idle. Crash-chain harnesses
+// use it to tell crashes that landed inside recover() from crashes whose
+// reopen was a no-op.
+func RecoveryPending(img []byte) bool {
+	if len(img) < headSize {
+		return false
+	}
+	load := func(off int) uint64 {
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(img[off+i])
+		}
+		return v
+	}
+	return load(offMagic) == magicValue && load(offState) != stateIDL
 }
 
 // wireConcurrency installs the variant-specific writer hooks and creates

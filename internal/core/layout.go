@@ -27,6 +27,7 @@ const (
 	offVersion    = 8   // layout version
 	offRegionSize = 16  // size of each of main and back
 	offWatermark  = 24  // monotonic high-water mark of used bytes in main
+	offHeadSum    = 32  // checksum of the static header words (magic, version, region size)
 	offState      = 64  // IDL/MUT/CPY, on its own cache line
 	headSize      = 256 // one-time cost; keeps main cache-line aligned
 )

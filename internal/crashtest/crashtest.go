@@ -1,210 +1,371 @@
-// Package crashtest runs randomized crash-recovery campaigns against the
-// Romulus engines: random transaction workloads on a persistent hash map,
-// a simulated power failure at a random persistence event under a random
-// adversary policy, recovery, and full validation of the recovered state
-// against a tracked model. It is the repository's long-running torture
-// harness (cmd/romulus-crashtest) and is also exercised by the test suite
-// at small scale.
+// Package crashtest runs randomized crash-chain campaigns against every
+// engine in the repository: the three Romulus variants, the undo-log and
+// redo-log baselines, and the RomulusDB key-value store.
+//
+// Each round drives a concurrent multi-goroutine workload over a persistent
+// map, captures a simulated power failure at a random persistence event
+// under a random adversary policy, then reopens the crash image. Reopening
+// itself runs under an armed crash scheduler, so the next failure lands
+// *inside* recovery — crash → partial recovery → crash again, as deep as the
+// configured chain. The finally recovered state is validated against
+// per-worker transaction histories: each worker's keys must reflect exactly
+// a durable prefix of that worker's committed transactions.
+//
+// Violations surface as a structured Failure carrying everything needed to
+// replay the round: campaign and round seeds, thread count, and the full
+// crash chain (event indices and whether recovery work was pending).
 package crashtest
 
 import (
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"sync"
 
-	"repro/internal/core"
 	"repro/internal/pmem"
-	"repro/internal/pstruct"
-	"repro/internal/ptm"
 )
 
 // Config parameterizes a campaign.
 type Config struct {
-	// Rounds is the number of build/crash/recover cycles.
+	// Rounds is the number of build/crash/recover cycles per engine.
 	Rounds int
-	// Seed makes campaigns reproducible.
+	// Seed makes campaigns reproducible (fully deterministic at Threads 1).
 	Seed int64
 	// Keys bounds the keyspace (default 64).
 	Keys int
-	// TxPerRound bounds committed transactions before the crash (default 20).
+	// TxPerRound bounds committed transactions per worker before the crash
+	// (default 12).
 	TxPerRound int
+	// Threads is the number of workload goroutines (default 2). Engines
+	// whose commit path cannot share the simulated device run with 1.
+	Threads int
+	// ChainDepth is the maximum crashes per round (default 1): the first
+	// lands in the workload, later ones inside recovery itself.
+	ChainDepth int
+	// Engines selects the subjects by name; empty or "all" means every one.
+	Engines []string
 }
 
-// Report summarizes a campaign.
-type Report struct {
-	Rounds         int
-	CrashedMidTx   int // crashes that landed inside the final transaction
-	RolledBack     int // recoveries that rolled the final transaction back
-	CarriedForward int // recoveries where the final transaction survived
-}
-
-// Run executes the campaign, returning an error describing the first
-// safety violation found (nil if all rounds validate).
-func Run(cfg Config) (Report, error) {
+func (cfg *Config) applyDefaults() {
 	if cfg.Keys == 0 {
 		cfg.Keys = 64
 	}
 	if cfg.TxPerRound == 0 {
-		cfg.TxPerRound = 20
+		cfg.TxPerRound = 12
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var rep Report
-	variants := []core.Variant{core.Rom, core.RomLog, core.RomLR}
+	if cfg.Threads == 0 {
+		cfg.Threads = 2
+	}
+	if cfg.ChainDepth == 0 {
+		cfg.ChainDepth = 1
+	}
+}
+
+// Report summarizes one engine's campaign.
+type Report struct {
+	Engine string `json:"engine"`
+	Rounds int    `json:"rounds"`
+	// Threads is the worker count actually used (engines that cannot share
+	// the device run with 1 regardless of Config.Threads).
+	Threads int `json:"threads"`
+	// MidTxCrashes counts rounds whose first crash interrupted the workload
+	// (the rest crashed post-commit, at a quiescent point).
+	MidTxCrashes int `json:"mid_tx_crashes"`
+	// RolledBack and CarriedForward count workers whose recovered prefix
+	// excluded/included their final committed transaction.
+	RolledBack     int `json:"rolled_back"`
+	CarriedForward int `json:"carried_forward"`
+	// ChainCrashes counts crashes beyond the first, i.e. crashes injected
+	// while an engine was reopening a crash image.
+	ChainCrashes int `json:"chain_crashes"`
+	// RecoveryCrashes counts chain crashes that interrupted real recovery
+	// work (the image had an in-flight transaction or non-empty log).
+	RecoveryCrashes int `json:"recovery_crashes"`
+}
+
+// CrashPoint records one injected failure of a round's crash chain.
+type CrashPoint struct {
+	// Event is the persistence-event index the image was captured at.
+	Event uint64 `json:"event"`
+	// DuringOpen is true for chain crashes injected while reopening.
+	DuringOpen bool `json:"during_open"`
+	// RecoveryPending is true when the image being reopened required real
+	// recovery work.
+	RecoveryPending bool `json:"recovery_pending"`
+}
+
+// Failure describes a safety violation with everything needed to reproduce
+// it. It implements error.
+type Failure struct {
+	Engine       string       `json:"engine"`
+	Round        int          `json:"round"`
+	CampaignSeed int64        `json:"campaign_seed"`
+	RoundSeed    int64        `json:"round_seed"`
+	Threads      int          `json:"threads"`
+	Chain        []CrashPoint `json:"chain"`
+	Reason       string       `json:"reason"`
+}
+
+func (f *Failure) Error() string {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Sprintf("crashtest failure: %s round %d: %s", f.Engine, f.Round, f.Reason)
+	}
+	return "crashtest failure: " + string(b)
+}
+
+// Run executes one campaign per selected engine, returning the per-engine
+// reports and the first Failure found (nil if every round validates).
+// Reports for engines that completed before the failure are still returned.
+func Run(cfg Config) ([]Report, error) {
+	cfg.applyDefaults()
+	tgts, err := selectTargets(cfg.Engines)
+	if err != nil {
+		return nil, err
+	}
+	var reports []Report
+	for _, tgt := range tgts {
+		rep, err := runCampaign(cfg, tgt)
+		reports = append(reports, rep)
+		if err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
+}
+
+// engineSeed derives a per-engine stream so campaigns are reproducible
+// independently of which engines are selected.
+func engineSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+func runCampaign(cfg Config, tgt target) (Report, error) {
+	threads := cfg.Threads
+	if !tgt.concurrent {
+		threads = 1
+	}
+	if threads > cfg.Keys {
+		threads = cfg.Keys
+	}
+	rep := Report{Engine: tgt.name, Threads: threads}
+	rng := rand.New(rand.NewSource(engineSeed(cfg.Seed, tgt.name)))
 	for round := 0; round < cfg.Rounds; round++ {
-		v := variants[rng.Intn(len(variants))]
-		if err := runRound(rng, cfg, v, &rep); err != nil {
-			return rep, fmt.Errorf("round %d (%v, seed %d): %w", round, v, cfg.Seed, err)
+		roundSeed := rng.Int63()
+		if err := runRound(cfg, tgt, threads, round, roundSeed, &rep); err != nil {
+			if f, ok := err.(*Failure); ok {
+				f.Engine = tgt.name
+				f.Round = round
+				f.CampaignSeed = cfg.Seed
+				f.RoundSeed = roundSeed
+				f.Threads = threads
+			}
+			return rep, err
 		}
 		rep.Rounds++
 	}
 	return rep, nil
 }
 
-// mutate applies a random operation to both the persistent map and the
-// model.
-func mutate(tx ptm.Tx, m *pstruct.HashMap, model map[uint64]uint64, rng *rand.Rand, keys int) error {
-	k := uint64(rng.Intn(keys))
-	if rng.Intn(3) == 0 {
-		if _, err := m.Remove(tx, k); err != nil {
-			return err
-		}
-		delete(model, k)
-		return nil
-	}
-	val := rng.Uint64()
-	if _, err := m.Put(tx, k, val); err != nil {
-		return err
-	}
-	model[k] = val
-	return nil
-}
-
-func runRound(rng *rand.Rand, cfg Config, v core.Variant, rep *Report) error {
-	e, err := core.New(1<<20, core.Config{Variant: v})
-	if err != nil {
-		return err
-	}
-	var m *pstruct.HashMap
-	if err := e.Update(func(tx ptm.Tx) error {
-		mm, err := pstruct.NewHashMap(tx, 0)
-		m = mm
-		return err
-	}); err != nil {
-		return err
-	}
-	model := map[uint64]uint64{}
-	// Committed prefix.
-	nTx := 1 + rng.Intn(cfg.TxPerRound)
-	for i := 0; i < nTx; i++ {
-		ops := 1 + rng.Intn(5)
-		if err := e.Update(func(tx ptm.Tx) error {
-			for o := 0; o < ops; o++ {
-				if err := mutate(tx, m, model, rng, cfg.Keys); err != nil {
-					return err
-				}
-			}
-			return nil
-		}); err != nil {
-			return err
-		}
-	}
-	// Final transaction, crashed at a random persistence event under a
-	// random policy.
-	policy := pmem.CrashPolicy{
+func randPolicy(rng *rand.Rand) pmem.CrashPolicy {
+	return pmem.CrashPolicy{
 		QueuedPersistProb: rng.Float64(),
 		EvictDirtyProb:    rng.Float64() * 0.5,
 		TearWords:         rng.Intn(2) == 0,
 		Rand:              rand.New(rand.NewSource(rng.Int63())),
 	}
-	crashAt := uint64(1 + rng.Intn(60))
-	dev := e.Device()
-	var img []byte
-	var events uint64
-	hook := func() {
-		events++
-		if img == nil && events == crashAt {
-			img = dev.CrashImage(policy)
-		}
-	}
-	dev.SetStoreHook(func(uint64) { hook() })
-	dev.SetPwbHook(func(uint64) { hook() })
-	dev.SetFenceHook(hook)
-	modelAfter := map[uint64]uint64{}
-	for k, val := range model {
-		modelAfter[k] = val
-	}
-	finalOps := 1 + rng.Intn(8)
-	if err := e.Update(func(tx ptm.Tx) error {
-		for o := 0; o < finalOps; o++ {
-			if err := mutate(tx, m, modelAfter, rng, cfg.Keys); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	dev.SetStoreHook(nil)
-	dev.SetPwbHook(nil)
-	dev.SetFenceHook(nil)
-	if img == nil {
-		// The transaction finished before the chosen event: crash now,
-		// post-commit.
-		img = dev.CrashImage(policy)
-	} else {
-		rep.CrashedMidTx++
+}
+
+// workerHistory tracks one worker's committed transactions: states[i] is the
+// worker's key space after its i-th transaction, and mustSurvive is the
+// shortest prefix recovery is allowed to expose (transactions known to have
+// committed strictly before the crash fired).
+type workerHistory struct {
+	keys        []uint64
+	states      []map[uint64]uint64
+	mustSurvive int
+	err         error
+}
+
+func runRound(cfg Config, tgt target, threads, round int, roundSeed int64, rep *Report) error {
+	rrng := rand.New(rand.NewSource(roundSeed))
+	st, err := tgt.fresh()
+	if err != nil {
+		return fmt.Errorf("building fresh %s store: %w", tgt.name, err)
 	}
 
-	// Recover and validate: the map must equal the pre- or post-final-tx
-	// model exactly.
-	re, err := core.Open(pmem.FromImage(img, pmem.ModelDRAM), core.Config{Variant: v})
-	if err != nil {
-		return fmt.Errorf("recovery: %w", err)
+	// Phase 1: concurrent workload with one armed crash. The scheduler
+	// attaches after the store exists, so the map root is always durable
+	// and every captured image reopens through the recovery path, never
+	// through format.
+	sched := pmem.NewScheduler(st.dev())
+	sched.SetBudget(cfg.ChainDepth)
+	policy := randPolicy(rrng)
+	// ~24 persistence events per small transaction; the range deliberately
+	// overshoots so some rounds crash post-workload, at a quiescent point.
+	crashAt := uint64(1 + rrng.Intn(threads*cfg.TxPerRound*24+32))
+	sched.Arm(crashAt, policy)
+
+	workers := make([]*workerHistory, threads)
+	for w := 0; w < threads; w++ {
+		h := &workerHistory{states: []map[uint64]uint64{{}}}
+		for k := uint64(w); k < uint64(cfg.Keys); k += uint64(threads) {
+			h.keys = append(h.keys, k)
+		}
+		workers[w] = h
 	}
-	if err := re.CheckHeap(); err != nil {
-		return fmt.Errorf("heap after recovery: %w", err)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		w := w
+		h := workers[w]
+		wrng := rand.New(rand.NewSource(roundSeed ^ int64(uint64(w+1)*0x9E3779B97F4A7C15)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nTx := 1 + wrng.Intn(cfg.TxPerRound)
+			for i := 0; i < nTx; i++ {
+				ops := make([]op, 1+wrng.Intn(4))
+				for o := range ops {
+					ops[o] = op{
+						del: wrng.Intn(4) == 0,
+						k:   h.keys[wrng.Intn(len(h.keys))],
+						v:   wrng.Uint64(),
+					}
+				}
+				if err := st.update(ops); err != nil {
+					h.err = fmt.Errorf("worker %d tx %d: %w", w, i, err)
+					return
+				}
+				next := map[uint64]uint64{}
+				for k, v := range h.states[i] {
+					next[k] = v
+				}
+				for _, o := range ops {
+					if o.del {
+						delete(next, o.k)
+					} else {
+						next[o.k] = o.v
+					}
+				}
+				h.states = append(h.states, next)
+				// Conservative: if the crash has not fired yet, this durable
+				// transaction must survive. (If it fires between the commit
+				// and this check we merely under-claim, which is safe.)
+				if !sched.Captured() {
+					h.mustSurvive = i + 1
+				}
+			}
+		}()
 	}
-	if off := re.Verify(); off >= 0 {
-		return fmt.Errorf("twin copies diverge at offset %d after recovery", off)
+	wg.Wait()
+	for _, h := range workers {
+		if h.err != nil {
+			return fmt.Errorf("%s workload: %w", tgt.name, h.err)
+		}
 	}
-	rm := pstruct.AttachHashMap(0)
-	var matchBefore, matchAfter bool
-	err = re.Read(func(tx ptm.Tx) error {
-		matchBefore = mapEquals(tx, rm, model)
-		matchAfter = mapEquals(tx, rm, modelAfter)
-		return nil
-	})
-	if err != nil {
-		return err
+
+	img, ev := sched.Image()
+	if img != nil {
+		rep.MidTxCrashes++
+	} else {
+		// Workload outran the armed event: crash now, post-commit.
+		img = sched.CaptureNow(policy)
+		ev = sched.Events()
 	}
-	switch {
-	case matchAfter:
-		rep.CarriedForward++
-	case matchBefore:
-		rep.RolledBack++
-	default:
-		return fmt.Errorf("recovered state matches neither pre- nor post-crash model (crash at event %d, policy %+v)", crashAt, policy)
+	sched.Detach()
+	chain := []CrashPoint{{Event: ev}}
+
+	// Phase 2: the crash chain. Reopen each image under a freshly armed
+	// scheduler; if the crash fires during Open, the partially recovered
+	// image becomes the next link.
+	var final store
+	for {
+		dev := pmem.FromImage(img, pmem.ModelDRAM)
+		pending := tgt.pending(img)
+		s2 := pmem.NewScheduler(dev)
+		s2.SetBudget(1)
+		if len(chain) < cfg.ChainDepth {
+			s2.Arm(uint64(1+rrng.Intn(64)), randPolicy(rrng))
+		}
+		st2, err := tgt.reopen(dev)
+		if s2.Captured() {
+			img2, ev2 := s2.Image()
+			s2.Detach()
+			rep.ChainCrashes++
+			if pending {
+				rep.RecoveryCrashes++
+			}
+			chain = append(chain, CrashPoint{Event: ev2, DuringOpen: true, RecoveryPending: pending})
+			img = img2
+			continue
+		}
+		s2.Detach()
+		if err != nil {
+			return &Failure{Chain: chain, Reason: fmt.Sprintf("reopen failed: %v", err)}
+		}
+		final = st2
+		break
 	}
-	// The recovered engine must keep working.
-	if err := re.Update(func(tx ptm.Tx) error {
-		_, err := rm.Put(tx, 0, 1)
-		return err
-	}); err != nil {
-		return fmt.Errorf("recovered engine unusable: %w", err)
+
+	// Phase 3: validate the recovered state.
+	if err := final.check(); err != nil {
+		return &Failure{Chain: chain, Reason: err.Error()}
+	}
+	total := 0
+	for w, h := range workers {
+		k, ok := matchPrefix(final, h)
+		if !ok {
+			return &Failure{Chain: chain, Reason: fmt.Sprintf(
+				"worker %d: recovered keys match no committed prefix in [%d,%d]",
+				w, h.mustSurvive, len(h.states)-1)}
+		}
+		total += len(h.states[k])
+		if k < len(h.states)-1 {
+			rep.RolledBack++
+		} else {
+			rep.CarriedForward++
+		}
+	}
+	if n, err := final.size(); err != nil {
+		return &Failure{Chain: chain, Reason: fmt.Sprintf("size after recovery: %v", err)}
+	} else if n != total {
+		return &Failure{Chain: chain, Reason: fmt.Sprintf(
+			"recovered store has %d pairs, matched prefixes imply %d", n, total)}
+	}
+	// The recovered store must keep working.
+	probe := uint64(round)
+	if err := final.update([]op{{k: 0, v: probe}}); err != nil {
+		return &Failure{Chain: chain, Reason: fmt.Sprintf("recovered store unusable: %v", err)}
+	}
+	if v, found, err := final.get(0); err != nil || !found || v != probe {
+		return &Failure{Chain: chain, Reason: fmt.Sprintf(
+			"post-recovery write not readable: v=%d found=%v err=%v", v, found, err)}
 	}
 	return nil
 }
 
-func mapEquals(tx ptm.Tx, m *pstruct.HashMap, model map[uint64]uint64) bool {
-	if m.Len(tx) != len(model) {
-		return false
+// matchPrefix finds a committed prefix of the worker's history that the
+// recovered store agrees with on every key the worker owns, searching from
+// the most recent transaction down to the oldest the crash allows.
+func matchPrefix(final store, h *workerHistory) (int, bool) {
+	for k := len(h.states) - 1; k >= h.mustSurvive; k-- {
+		if prefixMatches(final, h, h.states[k]) {
+			return k, true
+		}
 	}
-	equal := true
-	m.Range(tx, func(k, v uint64) bool {
-		if model[k] != v {
-			equal = false
+	return 0, false
+}
+
+func prefixMatches(final store, h *workerHistory, state map[uint64]uint64) bool {
+	for _, key := range h.keys {
+		want, ok := state[key]
+		got, found, err := final.get(key)
+		if err != nil || found != ok || (ok && got != want) {
 			return false
 		}
-		return true
-	})
-	return equal
+	}
+	return true
 }

@@ -1,57 +1,104 @@
 package crashtest
 
-import "testing"
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
 
 func TestCampaignSmall(t *testing.T) {
-	rep, err := Run(Config{Rounds: 25, Seed: 1})
+	reports, err := Run(Config{Rounds: 6, Seed: 1, ChainDepth: 2, Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Rounds != 25 {
-		t.Errorf("rounds = %d", rep.Rounds)
+	if len(reports) != len(EngineNames()) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(EngineNames()))
 	}
-	if rep.RolledBack+rep.CarriedForward != 25 {
-		t.Errorf("outcomes do not add up: %+v", rep)
-	}
-	t.Logf("report: %+v", rep)
-}
-
-func TestCampaignHitsBothOutcomes(t *testing.T) {
-	// Across enough seeds, both recovery outcomes (rollback and carry
-	// forward) must occur — otherwise the harness is not actually crashing
-	// mid-transaction.
-	var total Report
-	for seed := int64(0); seed < 8; seed++ {
-		rep, err := Run(Config{Rounds: 10, Seed: seed})
-		if err != nil {
-			t.Fatal(err)
+	for _, r := range reports {
+		if r.Rounds != 6 {
+			t.Errorf("%s: %d rounds completed, want 6", r.Engine, r.Rounds)
 		}
-		total.RolledBack += rep.RolledBack
-		total.CarriedForward += rep.CarriedForward
-		total.CrashedMidTx += rep.CrashedMidTx
 	}
-	if total.RolledBack == 0 {
-		t.Error("no crash ever rolled back — adversary too weak")
-	}
-	if total.CarriedForward == 0 {
-		t.Error("no crash ever carried forward")
-	}
-	if total.CrashedMidTx == 0 {
-		t.Error("no crash landed mid-transaction")
-	}
-	t.Logf("total: %+v", total)
 }
 
+// A campaign is a pure function of its seed when single-threaded.
 func TestCampaignDeterministic(t *testing.T) {
-	a, err := Run(Config{Rounds: 10, Seed: 42})
+	cfg := Config{Rounds: 20, Seed: 42, Threads: 1, ChainDepth: 3, Engines: []string{"rom", "undolog"}}
+	a, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(Config{Rounds: 10, Seed: 42})
+	b, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
-		t.Errorf("same seed, different reports: %+v vs %+v", a, b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+}
+
+// A long-enough chain campaign must observe every interesting outcome:
+// crashes inside the workload, crashes inside recovery of an image with
+// pending work, and both rollback and carry-forward of workers' final
+// transactions.
+func TestCampaignHitsAllOutcomes(t *testing.T) {
+	reports, err := Run(Config{Rounds: 60, Seed: 7, ChainDepth: 3, Threads: 2,
+		Engines: []string{"romlog"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	if r.MidTxCrashes == 0 {
+		t.Error("no crash landed inside the workload")
+	}
+	if r.MidTxCrashes == r.Rounds {
+		t.Error("no crash landed at a quiescent point")
+	}
+	if r.ChainCrashes == 0 {
+		t.Error("no crash landed during reopen")
+	}
+	if r.RecoveryCrashes == 0 {
+		t.Error("no crash landed inside pending recovery work")
+	}
+	if r.RolledBack == 0 || r.CarriedForward == 0 {
+		t.Errorf("want both outcomes, got RolledBack=%d CarriedForward=%d",
+			r.RolledBack, r.CarriedForward)
+	}
+	t.Logf("report: %+v", r)
+}
+
+// The concurrent workload path (multiple worker goroutines sharing one
+// engine while the harness polls the scheduler) must be race-clean; this
+// test exists mainly to run under -race.
+func TestCampaignConcurrentWorkload(t *testing.T) {
+	reports, err := Run(Config{Rounds: 8, Seed: 3, Threads: 4, ChainDepth: 2,
+		Engines: []string{"romlr", "kvstore"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Threads != 4 {
+			t.Errorf("%s ran with %d threads, want 4", r.Engine, r.Threads)
+		}
+	}
+}
+
+// The redo-log STM commits from worker goroutines directly, which the
+// simulated device's data path does not allow; the campaign must force it
+// single-threaded.
+func TestCampaignRedologSingleThreaded(t *testing.T) {
+	reports, err := Run(Config{Rounds: 4, Seed: 9, Threads: 4, Engines: []string{"redolog"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Threads != 1 {
+		t.Errorf("redolog ran with %d threads, want 1", reports[0].Threads)
+	}
+}
+
+func TestUnknownEngine(t *testing.T) {
+	_, err := Run(Config{Rounds: 1, Engines: []string{"nope"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("err = %v, want unknown-engine error", err)
 	}
 }

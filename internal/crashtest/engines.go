@@ -1,0 +1,350 @@
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/pmem"
+	"repro/internal/pstruct"
+	"repro/internal/ptm"
+	"repro/internal/redolog"
+	"repro/internal/undolog"
+)
+
+// Per-engine sizing, deliberately small: tight regions make crashes land in
+// interesting places (mid-resize, mid-replication) and keep rounds fast.
+const (
+	crashRegion = 1 << 17
+	undoLogSize = 1 << 16
+	redoSegSize = 1 << 15
+	redoSegs    = 4
+)
+
+// op is one key-value operation of a workload transaction.
+type op struct {
+	del  bool
+	k, v uint64
+}
+
+// store is what a round drives and validates: a persistent uint64→uint64
+// map plus the device underneath it.
+type store interface {
+	dev() *pmem.Device
+	// update applies ops as ONE durable transaction.
+	update(ops []op) error
+	get(k uint64) (uint64, bool, error)
+	size() (int, error)
+	// check validates engine invariants after recovery (heap, twin copies).
+	check() error
+}
+
+// target is a crash-test subject: a way to build a fresh store, reopen one
+// from a crash image, and inspect images for pending recovery work.
+type target struct {
+	name string
+	// concurrent reports whether multiple goroutines may call update
+	// simultaneously. The redo-log STM commits from the calling goroutine
+	// with only word-stripe locking, which the simulated device's
+	// single-mutator data path does not support, so it runs single-threaded.
+	concurrent bool
+	fresh      func() (store, error)
+	reopen     func(dev *pmem.Device) (store, error)
+	// pending reports whether reopening this image performs real recovery
+	// work (in-flight transaction state, non-empty logs).
+	pending func(img []byte) bool
+}
+
+// EngineNames lists all crash-test subjects in campaign order.
+func EngineNames() []string {
+	names := make([]string, len(targets))
+	for i, t := range targets {
+		names[i] = t.name
+	}
+	return names
+}
+
+var targets = []target{
+	coreTarget("rom", core.Rom),
+	coreTarget("romlog", core.RomLog),
+	coreTarget("romlr", core.RomLR),
+	{
+		name:       "undolog",
+		concurrent: true, // global writer lock serializes mutators
+		fresh: func() (store, error) {
+			e, err := undolog.New(crashRegion, undolog.Config{LogSize: undoLogSize})
+			if err != nil {
+				return nil, err
+			}
+			return newMapStore(e, nil, true)
+		},
+		reopen: func(dev *pmem.Device) (store, error) {
+			e, err := undolog.Open(dev, undolog.Config{LogSize: undoLogSize})
+			if err != nil {
+				return nil, err
+			}
+			return newMapStore(e, nil, false)
+		},
+		pending: undolog.RecoveryPending,
+	},
+	{
+		name:       "redolog",
+		concurrent: false,
+		fresh: func() (store, error) {
+			e, err := redolog.New(crashRegion, redolog.Config{SegmentSize: redoSegSize, Segments: redoSegs})
+			if err != nil {
+				return nil, err
+			}
+			return newMapStore(e, nil, true)
+		},
+		reopen: func(dev *pmem.Device) (store, error) {
+			e, err := redolog.Open(dev, redolog.Config{SegmentSize: redoSegSize, Segments: redoSegs})
+			if err != nil {
+				return nil, err
+			}
+			return newMapStore(e, nil, false)
+		},
+		pending: func(img []byte) bool {
+			return redolog.RecoveryPending(img, redolog.Config{SegmentSize: redoSegSize, Segments: redoSegs})
+		},
+	},
+	{
+		name:       "kvstore",
+		concurrent: true,
+		fresh: func() (store, error) {
+			db, err := kvstore.Open(kvstore.Options{RegionSize: crashRegion, Variant: core.RomLog})
+			if err != nil {
+				return nil, err
+			}
+			return &kvStore{db: db}, nil
+		},
+		reopen: func(dev *pmem.Device) (store, error) {
+			e, err := core.Open(dev, core.Config{Variant: core.RomLog})
+			if err != nil {
+				return nil, err
+			}
+			return &kvStore{db: kvstore.Attach(e)}, nil
+		},
+		pending: core.RecoveryPending,
+	},
+}
+
+func coreTarget(name string, v core.Variant) target {
+	return target{
+		name:       name,
+		concurrent: true, // flat combining: one combiner mutates at a time
+		fresh: func() (store, error) {
+			e, err := core.New(crashRegion, core.Config{Variant: v})
+			if err != nil {
+				return nil, err
+			}
+			return newMapStore(e, coreVerify(e), true)
+		},
+		reopen: func(dev *pmem.Device) (store, error) {
+			e, err := core.Open(dev, core.Config{Variant: v})
+			if err != nil {
+				return nil, err
+			}
+			return newMapStore(e, coreVerify(e), false)
+		},
+		pending: core.RecoveryPending,
+	}
+}
+
+func coreVerify(e *core.Engine) func() error {
+	return func() error {
+		if off := e.Verify(); off >= 0 {
+			return fmt.Errorf("twin copies diverge at offset %d", off)
+		}
+		return nil
+	}
+}
+
+// mapEngine is the slice of ptm.PTM the harness needs; all three engine
+// packages satisfy it.
+type mapEngine interface {
+	Update(func(ptm.Tx) error) error
+	Read(func(ptm.Tx) error) error
+	Device() *pmem.Device
+	CheckHeap() error
+}
+
+// mapStore drives a pstruct.HashMap at root 0 on any engine.
+type mapStore struct {
+	e      mapEngine
+	m      *pstruct.HashMap
+	verify func() error
+}
+
+// newMapStore creates (fresh) or attaches (reopen) the root hash map.
+// Creation commits one transaction, so every image a round captures already
+// contains the map: reopen costs exactly the engine's own recovery work.
+func newMapStore(e mapEngine, verify func() error, create bool) (store, error) {
+	s := &mapStore{e: e, verify: verify}
+	if !create {
+		s.m = pstruct.AttachHashMap(0)
+		return s, nil
+	}
+	err := e.Update(func(tx ptm.Tx) error {
+		m, err := pstruct.NewHashMap(tx, 0)
+		s.m = m
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *mapStore) dev() *pmem.Device { return s.e.Device() }
+
+func (s *mapStore) update(ops []op) error {
+	return s.e.Update(func(tx ptm.Tx) error {
+		for _, o := range ops {
+			var err error
+			if o.del {
+				_, err = s.m.Remove(tx, o.k)
+			} else {
+				_, err = s.m.Put(tx, o.k, o.v)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (s *mapStore) get(k uint64) (uint64, bool, error) {
+	var v uint64
+	var found bool
+	err := s.e.Read(func(tx ptm.Tx) error {
+		val, err := s.m.Get(tx, k)
+		if errors.Is(err, pstruct.ErrNotFound) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		v, found = val, true
+		return nil
+	})
+	return v, found, err
+}
+
+func (s *mapStore) size() (int, error) {
+	var n int
+	err := s.e.Read(func(tx ptm.Tx) error {
+		n = s.m.Len(tx)
+		return nil
+	})
+	return n, err
+}
+
+func (s *mapStore) check() error {
+	if err := s.e.CheckHeap(); err != nil {
+		return fmt.Errorf("heap after recovery: %w", err)
+	}
+	if s.verify != nil {
+		if err := s.verify(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kvStore drives RomulusDB through its public byte-oriented interface:
+// single ops map to Put/Delete, multi-op transactions to a write batch.
+type kvStore struct {
+	db *kvstore.DB
+}
+
+func kvKey(k uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(k >> (8 * i))
+	}
+	return b
+}
+
+func (s *kvStore) dev() *pmem.Device { return s.db.Engine().Device() }
+
+func (s *kvStore) update(ops []op) error {
+	if len(ops) == 1 {
+		if ops[0].del {
+			return s.db.Delete(kvKey(ops[0].k))
+		}
+		return s.db.Put(kvKey(ops[0].k), kvKey(ops[0].v))
+	}
+	var b kvstore.Batch
+	for _, o := range ops {
+		if o.del {
+			b.Delete(kvKey(o.k))
+		} else {
+			b.Put(kvKey(o.k), kvKey(o.v))
+		}
+	}
+	return s.db.Write(&b)
+}
+
+func (s *kvStore) get(k uint64) (uint64, bool, error) {
+	val, err := s.db.Get(kvKey(k))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if len(val) != 8 {
+		return 0, false, fmt.Errorf("kvstore: value for key %d has %d bytes, want 8", k, len(val))
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(val[i])
+	}
+	return v, true, nil
+}
+
+func (s *kvStore) size() (int, error) { return s.db.Len(), nil }
+
+func (s *kvStore) check() error {
+	e := s.db.Engine()
+	if err := e.CheckHeap(); err != nil {
+		return fmt.Errorf("heap after recovery: %w", err)
+	}
+	if off := e.Verify(); off >= 0 {
+		return fmt.Errorf("twin copies diverge at offset %d", off)
+	}
+	return nil
+}
+
+// selectTargets resolves engine names ("all" or empty = every target).
+func selectTargets(names []string) ([]target, error) {
+	if len(names) == 0 {
+		return targets, nil
+	}
+	byName := map[string]target{}
+	for _, t := range targets {
+		byName[t.name] = t
+	}
+	var out []target
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "all" {
+			return targets, nil
+		}
+		t, ok := byName[n]
+		if !ok {
+			known := EngineNames()
+			sort.Strings(known)
+			return nil, fmt.Errorf("crashtest: unknown engine %q (known: %v)", n, known)
+		}
+		if !seen[n] {
+			out = append(out, t)
+			seen[n] = true
+		}
+	}
+	return out, nil
+}

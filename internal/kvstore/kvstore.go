@@ -92,6 +92,14 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
+// Attach wraps an already-opened engine whose root slot holds a map from a
+// previous run, without starting any transaction. Crash-recovery harnesses
+// use it so reopening a crash image costs exactly the engine's own recovery
+// work; general callers should use Open, which also formats fresh stores.
+func Attach(eng *core.Engine) *DB {
+	return &DB{eng: eng, m: pstruct.AttachByteMap(rootIdx)}
+}
+
 // Engine exposes the underlying PTM engine (statistics, crash testing).
 func (db *DB) Engine() *core.Engine { return db.eng }
 

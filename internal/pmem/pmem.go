@@ -27,12 +27,18 @@
 // matching the C++ memory-model assumptions of the original algorithms.
 // Statistics counters are plain fields owned by the mutator; snapshot them
 // only at quiescent points or from the mutating goroutine.
+//
+// The test hooks are the one exception: hook slots are atomic so a harness
+// goroutine may install, replace or remove hooks (and arm a Scheduler) while
+// worker goroutines drive the data path. The hooks themselves still run on
+// the mutating goroutine, inside the store/pwb/fence that triggered them.
 package pmem
 
 import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync/atomic"
 	"time"
 )
 
@@ -67,9 +73,11 @@ type Device struct {
 	queuedLines []int64
 	model       Model
 	stats       Stats
-	pwbHook     func(n uint64) // test hook, called after every Pwb
-	storeHook   func(n uint64) // test hook, called after every store
-	fenceHook   func()         // test hook, called after every Pfence/Psync
+	// Hook slots are atomic pointers so that installation (from a harness
+	// goroutine) never races with invocation (from the mutating goroutine).
+	pwbHook   atomic.Pointer[func(n uint64)] // called after every Pwb
+	storeHook atomic.Pointer[func(n uint64)] // called after every store
+	fenceHook atomic.Pointer[func()]         // called after every Pfence/Psync
 }
 
 // New creates a Device of the given size (rounded up to a whole number of
@@ -107,15 +115,37 @@ func (d *Device) ResetStats() { d.stats = Stats{} }
 
 // SetPwbHook installs a test hook invoked after every Pwb with the total
 // number of Pwbs issued so far. The hook may panic to simulate a crash at an
-// exact persistence point.
-func (d *Device) SetPwbHook(fn func(n uint64)) { d.pwbHook = fn }
+// exact persistence point. Passing nil removes the hook. Safe to call while
+// other goroutines drive the data path.
+func (d *Device) SetPwbHook(fn func(n uint64)) {
+	if fn == nil {
+		d.pwbHook.Store(nil)
+		return
+	}
+	d.pwbHook.Store(&fn)
+}
 
 // SetStoreHook installs a test hook invoked after every store with the total
-// number of stores issued so far.
-func (d *Device) SetStoreHook(fn func(n uint64)) { d.storeHook = fn }
+// number of stores issued so far. Passing nil removes the hook. Safe to call
+// while other goroutines drive the data path.
+func (d *Device) SetStoreHook(fn func(n uint64)) {
+	if fn == nil {
+		d.storeHook.Store(nil)
+		return
+	}
+	d.storeHook.Store(&fn)
+}
 
 // SetFenceHook installs a test hook invoked after every Pfence or Psync.
-func (d *Device) SetFenceHook(fn func()) { d.fenceHook = fn }
+// Passing nil removes the hook. Safe to call while other goroutines drive
+// the data path.
+func (d *Device) SetFenceHook(fn func()) {
+	if fn == nil {
+		d.fenceHook.Store(nil)
+		return
+	}
+	d.fenceHook.Store(&fn)
+}
 
 func (d *Device) markStored(off, n int) {
 	d.stats.Stores++
@@ -125,8 +155,8 @@ func (d *Device) markStored(off, n int) {
 	for l := first; l <= last; l++ {
 		d.dirty.set(l)
 	}
-	if d.storeHook != nil {
-		d.storeHook(d.stats.Stores)
+	if h := d.storeHook.Load(); h != nil {
+		(*h)(d.stats.Stores)
 	}
 }
 
@@ -251,8 +281,8 @@ func (d *Device) Pwb(off int) {
 			d.queuedLines = append(d.queuedLines, int64(line))
 		}
 	}
-	if d.pwbHook != nil {
-		d.pwbHook(d.stats.Pwbs)
+	if h := d.pwbHook.Load(); h != nil {
+		(*h)(d.stats.Pwbs)
 	}
 }
 
@@ -274,8 +304,8 @@ func (d *Device) Pfence() {
 	d.stats.Pfences++
 	d.model.delayPfence()
 	d.drainQueue()
-	if d.fenceHook != nil {
-		d.fenceHook()
+	if h := d.fenceHook.Load(); h != nil {
+		(*h)()
 	}
 }
 
@@ -284,8 +314,8 @@ func (d *Device) Psync() {
 	d.stats.Psyncs++
 	d.model.delayPsync()
 	d.drainQueue()
-	if d.fenceHook != nil {
-		d.fenceHook()
+	if h := d.fenceHook.Load(); h != nil {
+		(*h)()
 	}
 }
 

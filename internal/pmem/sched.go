@@ -1,0 +1,156 @@
+package pmem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler is a deterministic crash-point scheduler for fault-injection
+// campaigns. It claims all three of a Device's hooks and counts every
+// persistence event (store, pwb, pfence/psync) with an atomic counter. When
+// armed, it captures a crash image — the media contents a power failure at
+// that exact event would leave behind — at the first event at or past the
+// armed target, without disturbing the running workload.
+//
+// Capturing instead of halting lets a single pass enumerate crash points:
+// the workload runs to completion, and recovery is exercised separately on
+// each captured image. Re-arming a fresh Scheduler on a device built from a
+// captured image *before* opening it lands the next crash inside the
+// engine's recovery (or format) code — chaining crash → partial recovery →
+// crash, as deep as the crash budget allows.
+//
+// The Scheduler is goroutine-safe on the control plane: Arm, Disarm,
+// Captured, Image and Events may be called from a harness goroutine while
+// worker goroutines drive the device. The capture itself runs on the
+// mutating goroutine, inside the persistence primitive that triggered it,
+// so it never races with the (single) mutator.
+type Scheduler struct {
+	dev *Device
+
+	events atomic.Uint64 // persistence events observed since attach
+	armed  atomic.Bool   // fast path: is a capture pending?
+
+	mu       sync.Mutex // guards everything below
+	target   uint64     // absolute event index to crash at
+	policy   CrashPolicy
+	img      []byte // captured image, nil until the crash fires
+	imgEvent uint64 // event index the image was captured at
+	crashes  int    // captures taken so far
+	budget   int    // max captures; 0 means unlimited
+}
+
+// NewScheduler attaches a scheduler to dev, replacing any hooks previously
+// installed on it. The scheduler starts disarmed: events are counted but no
+// crash is pending until Arm.
+func NewScheduler(dev *Device) *Scheduler {
+	s := &Scheduler{dev: dev}
+	n := func(uint64) { s.tick() }
+	dev.SetStoreHook(n)
+	dev.SetPwbHook(n)
+	dev.SetFenceHook(func() { s.tick() })
+	return s
+}
+
+// Detach removes the scheduler's hooks from the device. Events stop
+// counting; a pending arm never fires.
+func (s *Scheduler) Detach() {
+	s.armed.Store(false)
+	s.dev.SetStoreHook(nil)
+	s.dev.SetPwbHook(nil)
+	s.dev.SetFenceHook(nil)
+}
+
+// SetBudget bounds the total number of captures (Arm + CaptureNow) this
+// scheduler may take; 0 means unlimited. The budget is what keeps a crash
+// chain finite.
+func (s *Scheduler) SetBudget(n int) {
+	s.mu.Lock()
+	s.budget = n
+	s.mu.Unlock()
+}
+
+// Arm schedules a crash image capture at the eventsFromNow-th persistence
+// event from now (1 means the very next event) under the given policy,
+// clearing any previously captured image. It reports false if the crash
+// budget is exhausted, in which case nothing is armed.
+func (s *Scheduler) Arm(eventsFromNow uint64, policy CrashPolicy) bool {
+	if eventsFromNow == 0 {
+		eventsFromNow = 1
+	}
+	s.mu.Lock()
+	if s.budget > 0 && s.crashes >= s.budget {
+		s.mu.Unlock()
+		return false
+	}
+	s.img = nil
+	s.imgEvent = 0
+	s.policy = policy
+	s.target = s.events.Load() + eventsFromNow
+	s.mu.Unlock()
+	s.armed.Store(true)
+	return true
+}
+
+// Disarm cancels a pending crash without detaching the hooks. Any already
+// captured image is kept.
+func (s *Scheduler) Disarm() { s.armed.Store(false) }
+
+// tick is the shared hook body: count the event and, if the armed target
+// has been reached, capture the crash image. Runs on the mutating
+// goroutine.
+func (s *Scheduler) tick() {
+	n := s.events.Add(1)
+	if !s.armed.Load() {
+		return
+	}
+	s.mu.Lock()
+	if s.armed.Load() && s.img == nil && n >= s.target {
+		s.img = s.dev.CrashImage(s.policy)
+		s.imgEvent = n
+		s.crashes++
+		s.armed.Store(false)
+	}
+	s.mu.Unlock()
+}
+
+// CaptureNow takes an immediate crash image under policy (for post-workload
+// quiescent crashes), counting it against the budget. It returns nil if the
+// budget is exhausted. Call only from the harness at a quiescent point, or
+// from a hook on the mutating goroutine.
+func (s *Scheduler) CaptureNow(policy CrashPolicy) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget > 0 && s.crashes >= s.budget {
+		return nil
+	}
+	s.armed.Store(false)
+	s.img = s.dev.CrashImage(policy)
+	s.imgEvent = s.events.Load()
+	s.crashes++
+	return s.img
+}
+
+// Captured reports whether an armed crash has fired since the last Arm.
+func (s *Scheduler) Captured() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.img != nil
+}
+
+// Image returns the captured crash image and the event index it was taken
+// at, or nil and 0 if no crash has fired since the last Arm.
+func (s *Scheduler) Image() ([]byte, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.img, s.imgEvent
+}
+
+// Events returns the number of persistence events observed since attach.
+func (s *Scheduler) Events() uint64 { return s.events.Load() }
+
+// Crashes returns the number of captures taken so far.
+func (s *Scheduler) Crashes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashes
+}

@@ -33,6 +33,35 @@ var ErrOutOfMemory = errors.New("ptm: persistent heap exhausted")
 // allocated block.
 var ErrBadFree = errors.New("ptm: free of invalid pointer")
 
+// ErrCorruptHeader is returned (wrapped) by an engine's Open when the
+// persistent header carries a valid magic but fails its checksum — torn or
+// corrupted head metadata that must be reported as a typed error rather
+// than interpreted as layout. Recovery cannot proceed on such a device.
+var ErrCorruptHeader = errors.New("ptm: persistent header failed checksum")
+
+// ErrCorruptLog is returned (wrapped) by an engine's Open when a persistent
+// log region is structurally invalid (entries running off the log, counts
+// exceeding capacity). Applying such a log would corrupt the heap, so
+// recovery refuses instead.
+var ErrCorruptLog = errors.New("ptm: persistent log is structurally invalid")
+
+// HeaderChecksum mixes header words into the checksum engines store in
+// their persistent header line and verify at Open, so torn head metadata is
+// detected (ErrCorruptHeader) instead of silently trusted. The mixing
+// follows splitmix64's finalizer, applied per word over a running state.
+func HeaderChecksum(words ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h ^= w
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}
+
 // Tx is a transaction handle. All accesses to persistent data inside a
 // transaction must go through it. A Tx is only valid for the duration of the
 // function it was passed to and must not be retained or shared.

@@ -47,6 +47,7 @@ const (
 	offRegionSize = 16
 	offSegSize    = 24
 	offNumSegs    = 32
+	offHeadSum    = 40 // checksum of the static header words
 	headSize      = 256
 
 	segCommitted = 0
@@ -70,6 +71,21 @@ const (
 // ErrTxTooLarge is returned when a transaction's write set exceeds a log
 // segment.
 var ErrTxTooLarge = errors.New("redolog: transaction write set exceeds log segment")
+
+// ErrCorruptHeader aliases the repository-wide typed error returned
+// (wrapped) by Open when the header magic is intact but the checksum over
+// the static header words fails — torn head metadata.
+var ErrCorruptHeader = ptm.ErrCorruptHeader
+
+// ErrCorruptLog aliases the typed error returned (wrapped) by Open when a
+// committed redo-log segment is structurally invalid; replaying it would
+// corrupt the heap.
+var ErrCorruptLog = ptm.ErrCorruptLog
+
+// headerChecksum covers the static header words written once at format.
+func headerChecksum(version, regionSize, segSize, numSegs uint64) uint64 {
+	return ptm.HeaderChecksum(magicValue, version, regionSize, segSize, numSegs)
+}
 
 // Config tunes the engine.
 type Config struct {
@@ -158,13 +174,23 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	} else {
+		if sum := headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize),
+			dev.Load64(offSegSize), dev.Load64(offNumSegs)); dev.Load64(offHeadSum) != sum {
+			return nil, fmt.Errorf("redolog: header checksum %#x, computed %#x: %w",
+				dev.Load64(offHeadSum), sum, ErrCorruptHeader)
+		}
+		if got := dev.Load64(offVersion); got != layoutVersion {
+			return nil, fmt.Errorf("redolog: layout version %d, want %d", got, layoutVersion)
+		}
 		if got := dev.Load64(offRegionSize); got != uint64(regionSize) {
 			return nil, fmt.Errorf("redolog: header region size %d, device implies %d", got, regionSize)
 		}
 		if got := dev.Load64(offSegSize); got != uint64(cfg.SegmentSize) {
 			return nil, fmt.Errorf("redolog: header segment size %d, config says %d", got, cfg.SegmentSize)
 		}
-		e.recover()
+		if err := e.recover(); err != nil {
+			return nil, err
+		}
 	}
 	heap, err := alloc.Open(rawMem{e}, heapBase)
 	if err != nil {
@@ -180,6 +206,7 @@ func (e *Engine) format() error {
 	d.Store64(offRegionSize, uint64(e.regionSize))
 	d.Store64(offSegSize, uint64(e.segSize))
 	d.Store64(offNumSegs, uint64(e.numSegs))
+	d.Store64(offHeadSum, headerChecksum(layoutVersion, uint64(e.regionSize), uint64(e.segSize), uint64(e.numSegs)))
 	for s := 0; s < e.numSegs; s++ {
 		d.Store64(e.segBase(s)+segCommitted, 0)
 	}
@@ -210,18 +237,30 @@ func mustHeapTop(e *Engine) uint64 {
 func (e *Engine) segBase(s int) int { return e.logBase + s*e.segSize }
 
 // recover replays every committed redo-log segment: the logged values are
-// the transaction's durable effects; re-applying them is idempotent.
-func (e *Engine) recover() {
+// the transaction's durable effects; re-applying them is idempotent. A
+// committed segment whose count or entry addresses fall outside the region
+// cannot have been written by commit — replaying it would corrupt the heap,
+// so recovery refuses with ErrCorruptLog instead.
+func (e *Engine) recover() error {
 	d := e.dev
+	maxEntries := (e.segSize - segEntries) / entrySize
 	for s := 0; s < e.numSegs; s++ {
 		base := e.segBase(s)
 		if d.Load64(base+segCommitted) == 0 {
 			continue
 		}
 		n := int(d.Load64(base + segCount))
+		if n < 0 || n > maxEntries {
+			return fmt.Errorf("redolog: segment %d committed with %d entries, capacity %d: %w",
+				s, n, maxEntries, ErrCorruptLog)
+		}
 		for i := 0; i < n; i++ {
 			o := base + segEntries + i*entrySize
 			addr := int(d.Load64(o))
+			if addr < 0 || addr+8 > e.regionSize {
+				return fmt.Errorf("redolog: segment %d entry %d targets offset %d beyond region %d: %w",
+					s, i, addr, e.regionSize, ErrCorruptLog)
+			}
 			val := d.Load64(o + 8)
 			d.Store64(e.mainBase+addr, val)
 			d.Pwb(e.mainBase + addr)
@@ -231,6 +270,39 @@ func (e *Engine) recover() {
 		d.Pwb(base + segCommitted)
 		d.Pfence()
 	}
+	return nil
+}
+
+// RecoveryPending reports whether reopening a device with the given raw
+// image (as produced by pmem.Device.CrashImage) would have to replay at
+// least one committed redo-log segment. cfg must match the configuration
+// the image was created with.
+func RecoveryPending(img []byte, cfg Config) bool {
+	applyDefaults(&cfg)
+	load := func(off int) uint64 {
+		if off < 0 || off+8 > len(img) {
+			return 0
+		}
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(img[off+i])
+		}
+		return v
+	}
+	if load(offMagic) != magicValue {
+		return false
+	}
+	regionSize := len(img) - headSize - cfg.Segments*cfg.SegmentSize
+	if regionSize < MinRegionSize {
+		return false
+	}
+	logBase := headSize + regionSize
+	for s := 0; s < cfg.Segments; s++ {
+		if load(logBase+s*cfg.SegmentSize+segCommitted) != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // stripe returns the versioned lock guarding the aligned word at w.

@@ -1,0 +1,119 @@
+package undolog
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// put64 overwrites the 8-byte little-endian word at off in img.
+func put64(img []byte, off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		img[off+i] = byte(v >> (8 * i))
+	}
+}
+
+func get64(img []byte, off int) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(img[off+i])
+	}
+	return v
+}
+
+// persistedImage builds an engine with one committed value and returns its
+// fully-persisted media image plus the config to reopen it.
+func persistedImage(t *testing.T) ([]byte, Config) {
+	t.Helper()
+	cfg := Config{LogSize: 1 << 16}
+	e, err := New(1<<17, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Update(func(tx ptm.Tx) error {
+		p, err := tx.Alloc(64)
+		if err != nil {
+			return err
+		}
+		tx.Store64(p, 42)
+		tx.SetRoot(0, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.dev.PersistAll()
+	return e.dev.Persisted(), cfg
+}
+
+// A torn header (magic intact, static words damaged) must surface as the
+// typed ErrCorruptHeader, not as a confusing size/version mismatch or a
+// silent reformat.
+func TestOpenTornHeader(t *testing.T) {
+	img, cfg := persistedImage(t)
+	for _, off := range []int{offVersion, offRegionSize, offLogSize, offHeadSum} {
+		bad := append([]byte(nil), img...)
+		put64(bad, off, get64(bad, off)^0xFF00FF00FF00FF00)
+		_, err := Open(pmem.FromImage(bad, pmem.ModelDRAM), cfg)
+		if !errors.Is(err, ErrCorruptHeader) {
+			t.Errorf("corrupting word at %d: err = %v, want ErrCorruptHeader", off, err)
+		}
+		if !errors.Is(err, ptm.ErrCorruptHeader) {
+			t.Errorf("corrupting word at %d: err %v does not unwrap to ptm.ErrCorruptHeader", off, err)
+		}
+	}
+}
+
+// A structurally impossible undo log must abort recovery with ErrCorruptLog
+// instead of scribbling over main or walking off the log region.
+func TestOpenCorruptLog(t *testing.T) {
+	img, cfg := persistedImage(t)
+	regionSize := int(get64(img, offRegionSize))
+	logBase := headSize + regionSize
+
+	cases := []struct {
+		name   string
+		mutate func(img []byte)
+	}{
+		{"count exceeds capacity", func(img []byte) {
+			put64(img, offLogCount, uint64(cfg.LogSize)) // far beyond logSize/16 entries
+		}},
+		{"entry length runs off log", func(img []byte) {
+			put64(img, offLogCount, 1)
+			put64(img, logBase, 0)                       // addr
+			put64(img, logBase+8, uint64(cfg.LogSize)*2) // n
+		}},
+		{"entry addresses outside region", func(img []byte) {
+			put64(img, offLogCount, 1)
+			put64(img, logBase, uint64(regionSize)) // addr at region end
+			put64(img, logBase+8, 8)                // n
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := append([]byte(nil), img...)
+			tc.mutate(bad)
+			_, err := Open(pmem.FromImage(bad, pmem.ModelDRAM), cfg)
+			if !errors.Is(err, ErrCorruptLog) {
+				t.Fatalf("err = %v, want ErrCorruptLog", err)
+			}
+		})
+	}
+}
+
+// RecoveryPending distinguishes images with undo work from clean ones.
+func TestRecoveryPending(t *testing.T) {
+	img, _ := persistedImage(t)
+	if RecoveryPending(img) {
+		t.Error("clean image reported as pending recovery")
+	}
+	pend := append([]byte(nil), img...)
+	put64(pend, offLogCount, 1)
+	if !RecoveryPending(pend) {
+		t.Error("image with non-empty log not reported as pending")
+	}
+	if RecoveryPending(make([]byte, headSize)) {
+		t.Error("unformatted image reported as pending")
+	}
+}

@@ -34,6 +34,7 @@ const (
 	offVersion    = 8
 	offRegionSize = 16
 	offLogSize    = 24
+	offHeadSum    = 32 // checksum of the static header words
 	offLogCount   = 64 // number of valid undo entries, own cache line
 	headSize      = 256
 )
@@ -61,6 +62,21 @@ type Config struct {
 
 // ErrLogFull is returned when a transaction overflows the undo log.
 var ErrLogFull = errors.New("undolog: transaction exceeds undo log capacity")
+
+// ErrCorruptHeader aliases the repository-wide typed error returned
+// (wrapped) by Open when the header magic is intact but the checksum over
+// the static header words fails — torn head metadata.
+var ErrCorruptHeader = ptm.ErrCorruptHeader
+
+// ErrCorruptLog aliases the typed error returned (wrapped) by Open when the
+// undo log's structure is invalid (entries running off the log region or
+// addressing bytes outside main); applying it would corrupt the heap.
+var ErrCorruptLog = ptm.ErrCorruptLog
+
+// headerChecksum covers the static header words written once at format.
+func headerChecksum(version, regionSize, logSize uint64) uint64 {
+	return ptm.HeaderChecksum(magicValue, version, regionSize, logSize)
+}
 
 const defaultLogSize = 1 << 20
 
@@ -126,10 +142,19 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	} else {
+		if sum := headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize), dev.Load64(offLogSize)); dev.Load64(offHeadSum) != sum {
+			return nil, fmt.Errorf("undolog: header checksum %#x, computed %#x: %w",
+				dev.Load64(offHeadSum), sum, ErrCorruptHeader)
+		}
+		if got := dev.Load64(offVersion); got != layoutVersion {
+			return nil, fmt.Errorf("undolog: layout version %d, want %d", got, layoutVersion)
+		}
 		if got := dev.Load64(offRegionSize); got != uint64(regionSize) {
 			return nil, fmt.Errorf("undolog: header region size %d, device implies %d", got, regionSize)
 		}
-		e.recover()
+		if err := e.recover(); err != nil {
+			return nil, err
+		}
 	}
 	heap, err := alloc.Open((*heapMem)(e), heapBase)
 	if err != nil {
@@ -144,6 +169,7 @@ func (e *Engine) format() error {
 	d.Store64(offVersion, layoutVersion)
 	d.Store64(offRegionSize, uint64(e.regionSize))
 	d.Store64(offLogSize, uint64(e.logSize))
+	d.Store64(offHeadSum, headerChecksum(layoutVersion, uint64(e.regionSize), uint64(e.logSize)))
 	d.Store64(offLogCount, 0)
 	if _, err := alloc.Format((*rawMem)(e), heapBase, uint64(e.regionSize-heapBase)); err != nil {
 		return fmt.Errorf("undolog: formatting heap: %w", err)
@@ -167,20 +193,42 @@ func (e *Engine) rawHeapTop() uint64 {
 }
 
 // recover rolls back an interrupted transaction by applying the undo log in
-// reverse, then truncates the log.
-func (e *Engine) recover() {
+// reverse, then truncates the log. Every entry is bounds-checked before
+// anything is applied: the entry count and each (addr, len) pair come from
+// the media, and blindly trusting a corrupted value would scribble outside
+// main or walk off the log region. Structural damage aborts recovery with
+// ErrCorruptLog instead.
+func (e *Engine) recover() error {
 	d := e.dev
 	count := int(d.Load64(offLogCount))
 	if count == 0 {
-		return
+		return nil
 	}
-	// Walk forward to find entry offsets, then apply in reverse.
+	// An entry occupies at least 16 bytes, so the log bounds the count.
+	if count < 0 || count > e.logSize/16 {
+		return fmt.Errorf("undolog: log count %d exceeds capacity of %d-byte log: %w",
+			count, e.logSize, ErrCorruptLog)
+	}
+	// Walk forward to find and validate entry offsets, then apply in
+	// reverse.
 	offs := make([]int, 0, count)
 	off := e.logBase
+	logEnd := e.logBase + e.logSize
 	for i := 0; i < count; i++ {
+		if off+16 > logEnd {
+			return fmt.Errorf("undolog: entry %d/%d starts past log end: %w", i, count, ErrCorruptLog)
+		}
+		addr := d.Load64(off)
+		n := d.Load64(off + 8)
+		if n > uint64(e.logSize) || off+16+ptm.Align(int(n), 8) > logEnd {
+			return fmt.Errorf("undolog: entry %d/%d length %d runs off the log: %w", i, count, n, ErrCorruptLog)
+		}
+		if addr+n > uint64(e.regionSize) {
+			return fmt.Errorf("undolog: entry %d/%d addresses [%d,%d) outside main region of %d bytes: %w",
+				i, count, addr, addr+n, e.regionSize, ErrCorruptLog)
+		}
 		offs = append(offs, off)
-		n := int(d.Load64(off + 8))
-		off += 16 + ptm.Align(n, 8)
+		off += 16 + ptm.Align(int(n), 8)
 	}
 	for i := count - 1; i >= 0; i-- {
 		o := offs[i]
@@ -193,6 +241,23 @@ func (e *Engine) recover() {
 	d.Store64(offLogCount, 0)
 	d.Pwb(offLogCount)
 	d.Pfence()
+	return nil
+}
+
+// RecoveryPending reports whether opening a device with these media
+// contents would perform actual recovery work (a non-empty undo log).
+func RecoveryPending(img []byte) bool {
+	if len(img) < headSize {
+		return false
+	}
+	load := func(off int) uint64 {
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(img[off+i])
+		}
+		return v
+	}
+	return load(offMagic) == magicValue && load(offLogCount) != 0
 }
 
 // beginTx prepares the writer transaction. Caller holds the writer lock.
@@ -223,9 +288,13 @@ func (e *Engine) commitTx() {
 }
 
 // rollbackTx restores pre-transaction state from the undo log (same code
-// path recovery uses).
+// path recovery uses). In-process the log was just written by this
+// transaction, so a structural error is an engine invariant violation, not
+// media damage.
 func (e *Engine) rollbackTx() {
-	e.recover()
+	if err := e.recover(); err != nil {
+		panic(fmt.Sprintf("undolog: rollback of freshly written log failed: %v", err))
+	}
 	e.rollbacks.Add(1)
 }
 
