@@ -1,14 +1,21 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench tools experiments crashtest crashtest-short fuzz clean
+.PHONY: all build test race bench tools experiments crashtest crashtest-short docs-check fuzz clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: crashtest-short
+test: crashtest-short docs-check
 	go test ./...
+
+# Documentation hygiene: vet, formatting, and Markdown link integrity.
+docs-check:
+	go vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	go run ./cmd/docslint
 
 race:
 	go test -race ./...

@@ -10,6 +10,12 @@
 //
 // The paper's full-fidelity settings are -secs 20 with five runs; defaults
 // are scaled for a quick pass.
+//
+// Observability mode runs a deterministic fixed-operation workload instead
+// of a timed figure, and reports the metric set of docs/OBSERVABILITY.md:
+//
+//	romulus-bench -workload swaps -metrics [-ops 1000] [-seed 1]
+//	romulus-bench -workload map -trace trace.jsonl
 package main
 
 import (
@@ -31,6 +37,11 @@ func main() {
 	keys := flag.Int("keys", 0, "population size (default: the figure's)")
 	sizes := flag.String("sizes", "10000,100000,1000000", "figure 6 population sizes")
 	model := flag.String("model", "dram", "persistence model: dram, clwb, clflushopt, clflush, stt, pcm")
+	workload := flag.String("workload", "", "run a deterministic workload (swaps, map) instead of a figure")
+	ops := flag.Int("ops", 1000, "update transactions per engine in -workload mode")
+	seed := flag.Int64("seed", 1, "workload operation seed")
+	metrics := flag.Bool("metrics", false, "print the per-engine metrics registry after a -workload run")
+	trace := flag.String("trace", "", "write the per-transaction trace (JSON lines) of a -workload run to this file, or - for stdout")
 	flag.Parse()
 
 	kinds, err := bench.ParseEngines(*engines)
@@ -40,6 +51,30 @@ func main() {
 	m, ok := pmem.ModelByName(*model)
 	if !ok {
 		exitOn(fmt.Errorf("unknown model %q", *model))
+	}
+	if *workload != "" {
+		wopts := bench.WorkloadOptions{
+			Workload: *workload,
+			Engines:  kinds,
+			Ops:      *ops,
+			Seed:     *seed,
+			Model:    m,
+			Metrics:  *metrics,
+		}
+		if *trace != "" {
+			if *trace == "-" {
+				wopts.TraceOut = os.Stdout
+			} else {
+				f, err := os.Create(*trace)
+				exitOn(err)
+				defer f.Close()
+				wopts.TraceOut = f
+			}
+		}
+		out, err := bench.RunWorkload(wopts)
+		exitOn(err)
+		fmt.Print(out)
+		return
 	}
 	opts := bench.FigOptions{
 		Engines:  kinds,

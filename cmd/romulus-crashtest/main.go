@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/crashtest"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,9 @@ func main() {
 	engines := flag.String("engines", "all", "comma-separated engine list: "+
 		strings.Join(crashtest.EngineNames(), ",")+" (or all)")
 	jsonOut := flag.Bool("json", false, "emit reports (and any failure) as JSON")
+	metrics := flag.Bool("metrics", false, "print campaign totals (pmem_* and crash_* counters) after the reports")
+	trace := flag.String("trace", "", "write the workload transaction trace (JSON lines) to this file, or - for stdout")
+	traceCap := flag.Int("tracecap", 4096, "trailing trace events retained with -trace")
 	flag.Parse()
 
 	cfg := crashtest.Config{
@@ -46,19 +50,49 @@ func main() {
 		ChainDepth: *chain,
 		Engines:    strings.Split(*engines, ","),
 	}
+	if *metrics {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	var ring *obs.RingSink
+	var traceOut *os.File
+	if *trace != "" {
+		ring = obs.NewRingSink(*traceCap)
+		cfg.Trace = ring
+		if *trace == "-" {
+			traceOut = os.Stdout
+		} else {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "romulus-crashtest:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			traceOut = f
+		}
+	}
 	if !*jsonOut {
 		fmt.Printf("romulus-crashtest: %d rounds/engine, seed %d, %d threads, chain depth %d\n",
 			*rounds, *seed, *threads, *chain)
 	}
 	reports, err := crashtest.Run(cfg)
 
+	if ring != nil {
+		if werr := ring.WriteJSON(traceOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "romulus-crashtest: writing trace:", werr)
+		}
+	}
 	if *jsonOut {
 		out := struct {
 			Seed    int64              `json:"seed"`
 			Reports []crashtest.Report `json:"reports"`
+			Metrics *obs.Snapshot      `json:"metrics,omitempty"`
 			Failure *crashtest.Failure `json:"failure,omitempty"`
 			Error   string             `json:"error,omitempty"`
 		}{Seed: *seed, Reports: reports}
+		if cfg.Metrics != nil {
+			snap := cfg.Metrics.Snapshot()
+			out.Metrics = &snap
+		}
 		if err != nil {
 			var f *crashtest.Failure
 			if errors.As(err, &f) {
@@ -81,6 +115,10 @@ func main() {
 			"(%d inside recovery), workers: %d rolled back / %d carried forward\n",
 			r.Engine, r.Rounds, r.Threads, r.MidTxCrashes, r.ChainCrashes,
 			r.RecoveryCrashes, r.RolledBack, r.CarriedForward)
+	}
+	if cfg.Metrics != nil {
+		fmt.Println("# campaign totals")
+		cfg.Metrics.WriteText(os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "FAILURE: %v\n", err)

@@ -5,16 +5,26 @@
 //
 // The paper uses one million operations per thread; the default here is
 // 100,000 for a quick pass (-n 1000000 for full fidelity).
+//
+// With -http ADDR an expvar-style observability endpoint serves the live
+// RomulusDB store for the duration of the run: GET /metrics returns the
+// current registry (text; ?format=json for JSON), GET /trace returns the
+// retained per-transaction events as JSON lines. Each workload/thread
+// combination opens a fresh store, so /metrics reflects the store of the
+// currently running data point; /trace spans the whole run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -23,6 +33,7 @@ func main() {
 	workloads := flag.String("workloads", strings.Join(bench.DBWorkloads, ","), "workloads to run")
 	dbs := flag.String("dbs", "romdb,leveldb", "stores to benchmark")
 	dir := flag.String("dir", "", "scratch directory for leveldb files (default: temp)")
+	httpAddr := flag.String("http", "", "serve /metrics and /trace for the live romdb store on this address (e.g. :8080)")
 	flag.Parse()
 
 	ths, err := bench.ParseInts(*threads)
@@ -33,6 +44,38 @@ func main() {
 		exitOn(err)
 		defer os.RemoveAll(scratch)
 	}
+
+	// Each data point opens a fresh store, so the endpoint serves whichever
+	// registry the current RunDBBenchObs call is populating; the trace ring
+	// is shared across the run.
+	var cur atomic.Pointer[obs.Registry]
+	var ring *obs.RingSink
+	if *httpAddr != "" {
+		ring = obs.NewRingSink(4096)
+		cur.Store(obs.NewRegistry())
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+			r := cur.Load()
+			if req.URL.Query().Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json")
+				r.WriteJSON(w)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			r.WriteText(w)
+		})
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			ring.WriteJSON(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "romulus-db: http:", err)
+			}
+		}()
+		fmt.Printf("observability endpoint on %s (/metrics, /trace)\n", *httpAddr)
+	}
+
 	for _, w := range strings.Split(*workloads, ",") {
 		w = strings.TrimSpace(w)
 		t := bench.NewTable(append([]string{"db \\ threads"}, header(ths)...)...)
@@ -40,7 +83,14 @@ func main() {
 			db = strings.TrimSpace(db)
 			row := []any{db}
 			for i, th := range ths {
-				res, err := bench.RunDBBench(db, w, filepath.Join(scratch, fmt.Sprintf("%s-%s-%d", db, w, i)), th, *n)
+				var reg *obs.Registry
+				var sink obs.Sink
+				if *httpAddr != "" && db == "romdb" {
+					reg = obs.NewRegistry()
+					cur.Store(reg)
+					sink = ring
+				}
+				res, err := bench.RunDBBenchObs(db, w, filepath.Join(scratch, fmt.Sprintf("%s-%s-%d", db, w, i)), th, *n, reg, sink)
 				exitOn(err)
 				row = append(row, res.MicrosPerOp)
 			}

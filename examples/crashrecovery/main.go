@@ -39,19 +39,19 @@ func main() {
 	// debit has been stored and flushed, before the credit commits.
 	dev := eng.Device()
 	var crashImage []byte
-	dev.SetPwbHook(func(n uint64) {
+	dev.SetHooks(&pmem.Hooks{Pwb: func(n uint64) {
 		if crashImage == nil {
 			// DropAll: everything not yet fenced is lost — the adversarial
 			// worst case for a mid-transaction failure.
 			crashImage = dev.CrashImage(pmem.DropAll)
 		}
-	})
+	}})
 	err = eng.Update(func(tx romulus.Tx) error {
 		tx.Store64(acctA, tx.Load64(acctA)-30) // debit (crash lands here)
 		tx.Store64(acctB, tx.Load64(acctB)+30) // credit
 		return nil
 	})
-	dev.SetPwbHook(nil)
+	dev.SetHooks(nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -75,12 +75,12 @@ func TestFullStackScenario(t *testing.T) {
 	dev := eng.Device()
 	var img []byte
 	n := 0
-	dev.SetPwbHook(func(uint64) {
+	dev.SetHooks(&pmem.Hooks{Pwb: func(uint64) {
 		n++
 		if img == nil && n == 7 {
 			img = dev.CrashImage(pmem.CrashPolicy{QueuedPersistProb: 0.5, TearWords: true})
 		}
-	})
+	}})
 	eng.Update(func(tx romulus.Tx) error {
 		for k := uint64(61); k <= 90; k++ {
 			if _, err := set.Add(tx, k); err != nil {
@@ -89,7 +89,7 @@ func TestFullStackScenario(t *testing.T) {
 		}
 		return nil
 	})
-	dev.SetPwbHook(nil)
+	dev.SetHooks(nil)
 	if img == nil {
 		t.Fatal("no crash image captured")
 	}

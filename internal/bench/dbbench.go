@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/kvstore"
 	"repro/internal/leveldbsim"
+	"repro/internal/obs"
 )
 
 // DBWorkloads lists the Figure 8 benchmarks in presentation order. They
@@ -79,11 +80,11 @@ func (l *lvlDB) rangeAll(reverse bool, fn func(k, v []byte) bool) error {
 func (l *lvlDB) close() error       { return l.db.Close() }
 func (l *lvlDB) fdatasyncs() uint64 { return l.db.Stats().Fdatasyncs }
 
-func openBenchDB(kind, dir string, threads, entries, valueSize int) (dbIface, error) {
+func openBenchDB(kind, dir string, threads, entries, valueSize int, metrics *obs.Registry, trace obs.Sink) (dbIface, error) {
 	switch kind {
 	case "romdb":
 		region := entries*(220+valueSize+valueSize/2) + (16 << 20)
-		db, err := kvstore.Open(kvstore.Options{RegionSize: region})
+		db, err := kvstore.Open(kvstore.Options{RegionSize: region, Metrics: metrics, Trace: trace})
 		if err != nil {
 			return nil, err
 		}
@@ -112,6 +113,15 @@ func dbKey(i int) []byte { return []byte(fmt.Sprintf("%016d", i)) }
 // operation count (the paper uses 1,000,000; 1,000 for fillsync and
 // fill-100k). dir hosts leveldbsim files and is ignored for romdb.
 func RunDBBench(dbKind, workload, dir string, threads, entries int) (DBResult, error) {
+	return RunDBBenchObs(dbKind, workload, dir, threads, entries, nil, nil)
+}
+
+// RunDBBenchObs is RunDBBench with observability attached to the romdb
+// side: metrics (when non-nil) receives the store's kv_*/pmem_*/ptm_*
+// instruments, and trace receives its per-transaction events. Both are
+// ignored for leveldb, which has no transactional engine underneath.
+// The romulus-db -http endpoint is built on this hook.
+func RunDBBenchObs(dbKind, workload, dir string, threads, entries int, metrics *obs.Registry, trace obs.Sink) (DBResult, error) {
 	valueSize := 100
 	syncEach := false
 	ops := entries
@@ -124,7 +134,7 @@ func RunDBBench(dbKind, workload, dir string, threads, entries int) (DBResult, e
 		valueSize = 100 << 10
 	}
 	totalEntries := ops * threads
-	db, err := openBenchDB(dbKind, dir, threads, totalEntries, valueSize)
+	db, err := openBenchDB(dbKind, dir, threads, totalEntries, valueSize, metrics, trace)
 	if err != nil {
 		return DBResult{}, err
 	}

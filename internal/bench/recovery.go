@@ -59,18 +59,18 @@ func MeasureRecovery(entries int) (RecoveryResult, error) {
 	// to copy the full watermark back over main.
 	dev := e.Device()
 	var img []byte
-	dev.SetPwbHook(func(n uint64) {
+	dev.SetHooks(&pmem.Hooks{Pwb: func(n uint64) {
 		if img == nil {
 			img = dev.CrashImage(pmem.KeepQueued)
 		}
-	})
+	}})
 	if err := e.Update(func(tx ptm.Tx) error {
 		_, err := m.Put(tx, dbKey(0), val)
 		return err
 	}); err != nil {
 		return RecoveryResult{}, err
 	}
-	dev.SetPwbHook(nil)
+	dev.SetHooks(nil)
 	if img == nil {
 		return RecoveryResult{}, fmt.Errorf("bench: no crash image captured")
 	}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/pmem"
+	"repro/internal/pstruct"
+	"repro/internal/ptm"
+)
+
+// WorkloadOptions configure RunWorkload, the fixed-operation-count harness
+// behind `romulus-bench -workload`. Unlike the figure benchmarks, workloads
+// run a deterministic number of single-threaded transactions from a fixed
+// seed, so metric and trace output is reproducible run to run.
+type WorkloadOptions struct {
+	// Workload selects the transaction mix: "swaps" (the SPS array-swap
+	// microbenchmark of §6.6 — 2 loads and 2 stores per update, the
+	// workload behind Table 1's fences-per-transaction counts) or "map"
+	// (hash-map puts, gets and deletes, the RomulusDB-style mix).
+	Workload string
+	// Engines lists the engine kinds to run (default: all).
+	Engines []string
+	// Ops is the number of update transactions per engine (default 1000).
+	// One read transaction runs per four updates.
+	Ops int
+	// Seed fixes the operation sequence (default 1).
+	Seed int64
+	// Model is the persistence model for the devices.
+	Model pmem.Model
+	// Metrics appends each engine's registry snapshot (sorted "name value"
+	// lines) to the output. Setup work is excluded: device statistics are
+	// reset after population.
+	Metrics bool
+	// TraceOut, when non-nil, receives the per-transaction trace as JSON
+	// lines. At most TraceCap trailing events per engine are kept (default
+	// 4096).
+	TraceOut io.Writer
+	// TraceCap bounds the retained trace events per engine.
+	TraceCap int
+}
+
+// Workloads lists the workload names RunWorkload accepts.
+var Workloads = []string{"swaps", "map"}
+
+// RunWorkload runs the selected workload on each engine, returning a
+// throughput table followed (with Metrics) by one metrics block per engine.
+// Each engine gets a fresh device; tracing and metrics attach after setup so
+// steady-state transactions are what the numbers describe.
+func RunWorkload(opts WorkloadOptions) (string, error) {
+	if opts.Ops == 0 {
+		opts.Ops = 1000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.TraceCap == 0 {
+		opts.TraceCap = 4096
+	}
+	kinds := opts.Engines
+	if len(kinds) == 0 {
+		kinds = EngineKinds
+	}
+	run := workloadFunc(opts.Workload)
+	if run == nil {
+		return "", fmt.Errorf("bench: unknown workload %q (have %s)",
+			opts.Workload, strings.Join(Workloads, ", "))
+	}
+
+	var out strings.Builder
+	tbl := NewTable("engine", "updates", "reads", "fences/tx", "pwbs/tx")
+	type block struct {
+		kind string
+		reg  *obs.Registry
+	}
+	var blocks []block
+	for _, kind := range kinds {
+		e, err := NewEngine(kind, 1<<21, opts.Model)
+		if err != nil {
+			return "", err
+		}
+		reg := obs.NewRegistry()
+		obs.Instrument(e.Device(), reg)
+		obs.InstrumentPTM(e, reg)
+		ms := obs.NewMetricsSink(reg)
+		var ring *obs.RingSink
+		var sink obs.Sink = ms
+		if opts.TraceOut != nil {
+			ring = obs.NewRingSink(opts.TraceCap)
+			sink = obs.Tee(ms, ring)
+		}
+		if err := run(e, sink, opts); err != nil {
+			return "", fmt.Errorf("bench: workload %s on %s: %w", opts.Workload, kind, err)
+		}
+		s := reg.Snapshot()
+		fences := s.Histograms["tx_fences"]
+		pwbs := s.Histograms["tx_pwbs"]
+		tbl.Row(kind, fences.Count, s.Counters["trace_read_total"],
+			fences.Mean, pwbs.Mean)
+		if opts.TraceOut != nil {
+			if err := ring.WriteJSON(opts.TraceOut); err != nil {
+				return "", err
+			}
+		}
+		blocks = append(blocks, block{kind, reg})
+	}
+	out.WriteString(tbl.String())
+	if opts.Metrics {
+		for _, b := range blocks {
+			fmt.Fprintf(&out, "\n# engine %s\n", b.kind)
+			if err := b.reg.WriteText(&out); err != nil {
+				return "", err
+			}
+		}
+	}
+	return out.String(), nil
+}
+
+// workloadFunc resolves a workload name to its driver. Drivers perform
+// setup, reset device statistics, attach the sink, and then run the
+// deterministic transaction sequence.
+func workloadFunc(name string) func(Engine, obs.Sink, WorkloadOptions) error {
+	switch name {
+	case "swaps":
+		return runSwapsWorkload
+	case "map":
+		return runMapWorkload
+	}
+	return nil
+}
+
+// setTrace attaches the sink if the engine supports tracing (all the
+// repository's engines do; the indirection keeps bench compiling against
+// the minimal Engine surface).
+func setTrace(e Engine, s obs.Sink) {
+	if t, ok := e.(obs.Traceable); ok {
+		t.SetTrace(s)
+	}
+}
+
+// runSwapsWorkload: SPS-style array swaps, one swap per transaction — the
+// minimal update against which Table 1 counts 4 fences per transaction for
+// the Romulus engines.
+func runSwapsWorkload(e Engine, sink obs.Sink, opts WorkloadOptions) error {
+	const arrayLen = 1024
+	var arr ptm.Ptr
+	if err := e.Update(func(tx ptm.Tx) error {
+		var err error
+		arr, err = tx.Alloc(arrayLen * 8)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < arrayLen; i++ {
+			tx.Store64(arr+ptm.Ptr(i*8), uint64(i))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	e.Device().ResetStats()
+	setTrace(e, sink)
+	defer setTrace(e, nil)
+	h, err := e.NewHandle()
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for n := 0; n < opts.Ops; n++ {
+		i := ptm.Ptr(rng.Intn(arrayLen) * 8)
+		j := ptm.Ptr(rng.Intn(arrayLen) * 8)
+		if err := h.Update(func(tx ptm.Tx) error {
+			a := tx.Load64(arr + i)
+			b := tx.Load64(arr + j)
+			tx.Store64(arr+i, b)
+			tx.Store64(arr+j, a)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if n%4 == 3 {
+			if err := h.Read(func(tx ptm.Tx) error {
+				tx.Load64(arr + i)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runMapWorkload: hash-map puts, gets and deletes against pstruct.ByteMap —
+// the RomulusDB-flavoured mix, with value sizes spanning cache lines.
+func runMapWorkload(e Engine, sink obs.Sink, opts WorkloadOptions) error {
+	var m *pstruct.ByteMap
+	if err := e.Update(func(tx ptm.Tx) error {
+		var err error
+		m, err = pstruct.NewByteMap(tx, 0, 256)
+		return err
+	}); err != nil {
+		return err
+	}
+	e.Device().ResetStats()
+	setTrace(e, sink)
+	defer setTrace(e, nil)
+	h, err := e.NewHandle()
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	val := make([]byte, 100)
+	for n := 0; n < opts.Ops; n++ {
+		k := dbKey(rng.Intn(4 * opts.Ops))
+		switch {
+		case n%10 == 9:
+			if err := h.Update(func(tx ptm.Tx) error {
+				_, err := m.Delete(tx, k)
+				return err
+			}); err != nil {
+				return err
+			}
+		default:
+			rng.Read(val)
+			if err := h.Update(func(tx ptm.Tx) error {
+				_, err := m.Put(tx, k, val)
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+		if n%4 == 3 {
+			if err := h.Read(func(tx ptm.Tx) error {
+				_, err := m.Get(tx, k, nil)
+				if err == pstruct.ErrNotFound {
+					return nil
+				}
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

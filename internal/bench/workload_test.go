@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+func TestRunWorkloadSwapsMetrics(t *testing.T) {
+	out, err := RunWorkload(WorkloadOptions{
+		Workload: "swaps",
+		Engines:  []string{"rom", "romlog", "romlr"},
+		Ops:      64,
+		Metrics:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: every Romulus variant commits an update with exactly 4
+	// fences, independent of transaction size.
+	if got := strings.Count(out, "tx_fences_mean 4\n"); got != 3 {
+		t.Fatalf("want tx_fences_mean 4 for all 3 engines, got %d in:\n%s", got, out)
+	}
+	for _, name := range []string{"pmem_pwb_total", "ptm_update_tx_total", "trace_update_total", "tx_copied_bytes_sum"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("metric %s missing from output", name)
+		}
+	}
+}
+
+func TestRunWorkloadMap(t *testing.T) {
+	out, err := RunWorkload(WorkloadOptions{
+		Workload: "map",
+		Engines:  []string{"romlog", "mne", "pmdk"},
+		Ops:      48,
+		Metrics:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# engine pmdk") {
+		t.Fatalf("missing pmdk metrics block:\n%s", out)
+	}
+}
+
+func TestRunWorkloadUnknown(t *testing.T) {
+	if _, err := RunWorkload(WorkloadOptions{Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+// TestWorkloadTraceGolden pins the full per-transaction trace of a
+// fixed-seed swaps workload bit-for-bit. Any change to an engine's
+// persistence protocol (pwb or fence counts, copy volume) or to the trace
+// schema shows up as a diff here; regenerate deliberately with
+//
+//	go test ./internal/bench -run TraceGolden -update
+func TestWorkloadTraceGolden(t *testing.T) {
+	var trace bytes.Buffer
+	_, err := RunWorkload(WorkloadOptions{
+		Workload: "swaps",
+		Engines:  []string{"rom", "romlog", "mne", "pmdk"},
+		Ops:      24,
+		Seed:     7,
+		TraceOut: &trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_swaps.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, trace.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(trace.Bytes(), want) {
+		gl, wl := strings.Split(trace.String(), "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("trace diverges from %s at line %d:\ngot  %s\nwant %s",
+					golden, i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("trace length differs from %s: got %d lines, want %d",
+			golden, len(gl), len(wl))
+	}
+
+	// The same run must also be bit-for-bit repeatable within a process.
+	var again bytes.Buffer
+	if _, err := RunWorkload(WorkloadOptions{
+		Workload: "swaps",
+		Engines:  []string{"rom", "romlog", "mne", "pmdk"},
+		Ops:      24,
+		Seed:     7,
+		TraceOut: &again,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(trace.Bytes(), again.Bytes()) {
+		t.Fatal("two identical runs produced different traces")
+	}
+}

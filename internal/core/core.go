@@ -1,1 +1,48 @@
+// Package core implements the three Romulus algorithms — the heart of the
+// paper and of this repository.
+//
+// An Engine owns a pmem.Device laid out as twin copies of one persistent
+// heap: "main", which transactions mutate in place, and "back", a
+// byte-level snapshot of the last committed state, preceded by a small
+// header holding the persistent state machine (IDL/MUT/CPY) and the root
+// pointer array. Because one copy is consistent at every instant, an
+// update transaction costs at most FOUR persistence fences regardless of
+// its size (§4.1, Algorithm 1):
+//
+//  1. state=MUT, pwb, pfence — announce mutation of main
+//  2. user stores land in main (one pwb per dirty line); pfence
+//  3. state=CPY, pwb, psync — the transaction's durable point
+//  4. replicate main→back, pwb; pfence; state=IDL
+//
+// Recovery inverts the state machine: a crash in MUT restores main from
+// back, a crash in CPY finishes the copy main→back, and IDL needs nothing.
+// Every recovery action is idempotent, so crashes during recovery are
+// harmless (tested by the crash-chain harness in internal/crashtest).
+//
+// The three variants share this engine and differ in Config.Variant:
+//
+//   - Rom (Algorithm 1): replicate copies the whole used heap prefix.
+//   - RomLog (§4.7): a VOLATILE log of modified ranges makes replication
+//     proportional to the write set; the log is discardable state, so it
+//     costs no persistence events (see rangelog.go).
+//   - RomLR (§5.3): Left-Right synchronization gives wait-free readers
+//     that run against whichever copy is consistent, reached through
+//     synthetic pointers (a constant base offset added to each Ptr).
+//
+// Concurrent updaters flat-combine (internal/flatcombine): mutations are
+// announced in per-thread slots and executed as one durable transaction by
+// the current writer-lock holder, amortizing the four fences across the
+// batch. Readers use the variant's reader synchronization (crwwp scalable
+// reader-writer lock, or Left-Right for RomLR) and never fence at all.
+//
+// Observability: the engine publishes transaction counters via Stats, and
+// SetTrace attaches a per-transaction obs.Sink emitting one obs.TxEvent
+// per update (with exact pwb/fence deltas measured at the device) and per
+// read; see docs/OBSERVABILITY.md.
+//
+// File map: engine.go (lifecycle, commit protocol, recovery), tx.go
+// (transactional loads/stores and the allocator bridge), layout.go
+// (persistent header and twin-copy geometry), rangelog.go (RomLog's
+// volatile modified-range log), snapshot.go (online snapshots, an
+// extension beyond the paper).
 package core

@@ -33,14 +33,12 @@ func captureAll(dev *pmem.Device, seed int64, fn func()) [][]byte {
 			images = append(images, dev.CrashImage(pol))
 		}
 	}
-	dev.SetStoreHook(func(uint64) { capture() })
-	dev.SetPwbHook(func(uint64) { capture() })
-	dev.SetFenceHook(capture)
-	defer func() {
-		dev.SetStoreHook(nil)
-		dev.SetPwbHook(nil)
-		dev.SetFenceHook(nil)
-	}()
+	dev.SetHooks(&pmem.Hooks{
+		Store: func(uint64) { capture() },
+		Pwb:   func(uint64) { capture() },
+		Fence: capture,
+	})
+	defer dev.SetHooks(nil)
 	fn()
 	capture() // final quiescent point
 	return images
@@ -151,16 +149,16 @@ func TestCrashDuringRecovery(t *testing.T) {
 		// Produce a mid-transaction (MUT) crash image.
 		var mutImg []byte
 		dev := e.Device()
-		dev.SetStoreHook(func(n uint64) {
+		dev.SetHooks(&pmem.Hooks{Store: func(n uint64) {
 			if mutImg == nil && dev.Load64(offState) == stateMUT {
 				mutImg = dev.CrashImage(pmem.DropAll)
 			}
-		})
+		}})
 		e.Update(func(tx ptm.Tx) error {
 			tx.Store64(p, 2)
 			return nil
 		})
-		dev.SetStoreHook(nil)
+		dev.SetHooks(nil)
 		if mutImg == nil {
 			t.Fatal("no MUT-state image captured")
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/hist"
 	"repro/internal/hsync"
 	"repro/internal/leftright"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
 )
@@ -89,6 +90,12 @@ type Engine struct {
 	// tool). Only the single writer touches it.
 	pwbHist    hist.Histogram
 	txStartPwb uint64
+
+	// trace receives one obs.TxEvent per transaction when non-nil. Set only
+	// at quiescent points (SetTrace); txStartFence is the fence-count
+	// baseline taken at beginTx, touched only by the single writer.
+	trace        obs.Sink
+	txStartFence uint64
 }
 
 var _ ptm.PTM = (*Engine)(nil)
@@ -303,7 +310,10 @@ func (e *Engine) wireConcurrency() {
 func (e *Engine) beginTx() *Tx {
 	t := &e.wtx
 	t.log.reset()
-	e.txStartPwb = e.dev.Stats().Pwbs
+	t.loads, t.stores, t.writeBytes = 0, 0, 0
+	st := e.dev.Stats()
+	e.txStartPwb = st.Pwbs
+	e.txStartFence = st.Pfences + st.Psyncs
 	e.dev.Store64(offState, stateMUT)
 	e.dev.Pwb(offState)
 	e.dev.Pfence()
@@ -331,19 +341,36 @@ func (e *Engine) durablePoint(t *Tx) {
 // persist, recovery from CPY re-runs this (idempotent) copy.
 func (e *Engine) replicate(t *Tx) {
 	d := e.dev
+	var copied uint64
 	if t.log.enabled {
 		for _, r := range t.log.compacted() {
 			d.CopyWithin(e.backBase+int(r.Off), e.mainBase+int(r.Off), int(r.N))
 			d.PwbRange(e.backBase+int(r.Off), int(r.N))
+			copied += r.N
 		}
 	} else {
 		wm := int(d.Load64(offWatermark))
 		d.CopyWithin(e.backBase, e.mainBase, wm)
 		d.PwbRange(e.backBase, wm)
+		copied = uint64(wm)
 	}
 	d.Pfence()
 	d.Store64(offState, stateIDL)
-	e.pwbHist.Add(d.Stats().Pwbs - e.txStartPwb)
+	st := d.Stats()
+	e.pwbHist.Add(st.Pwbs - e.txStartPwb)
+	if s := e.trace; s != nil {
+		s.Emit(obs.TxEvent{
+			Engine:      e.cfg.Variant.String(),
+			Kind:        obs.KindUpdate,
+			Outcome:     obs.OutcomeCommit,
+			Reads:       t.loads,
+			Writes:      t.stores,
+			WriteBytes:  t.writeBytes,
+			CopiedBytes: copied,
+			Pwbs:        st.Pwbs - e.txStartPwb,
+			Fences:      st.Pfences + st.Psyncs - e.txStartFence,
+		})
+	}
 }
 
 // rollbackTx reverts an in-flight transaction (user code returned an error
@@ -351,19 +378,36 @@ func (e *Engine) replicate(t *Tx) {
 // same copy recovery would perform, done eagerly.
 func (e *Engine) rollbackTx(t *Tx) {
 	d := e.dev
+	var copied uint64
 	if t.log.enabled {
 		for _, r := range t.log.compacted() {
 			d.CopyWithin(e.mainBase+int(r.Off), e.backBase+int(r.Off), int(r.N))
 			d.PwbRange(e.mainBase+int(r.Off), int(r.N))
+			copied += r.N
 		}
 	} else {
 		wm := int(d.Load64(offWatermark))
 		d.CopyWithin(e.mainBase, e.backBase, wm)
 		d.PwbRange(e.mainBase, wm)
+		copied = uint64(wm)
 	}
 	d.Pfence()
 	d.Store64(offState, stateIDL)
 	e.rollbacks.Add(1)
+	if s := e.trace; s != nil {
+		st := d.Stats()
+		s.Emit(obs.TxEvent{
+			Engine:      e.cfg.Variant.String(),
+			Kind:        obs.KindUpdate,
+			Outcome:     obs.OutcomeRollback,
+			Reads:       t.loads,
+			Writes:      t.stores,
+			WriteBytes:  t.writeBytes,
+			CopiedBytes: copied,
+			Pwbs:        st.Pwbs - e.txStartPwb,
+			Fences:      st.Pfences + st.Psyncs - e.txStartFence,
+		})
+	}
 }
 
 // heapTopRaw reads the allocator's wilderness pointer directly (valid even
@@ -402,6 +446,13 @@ func (e *Engine) Stats() ptm.TxStats {
 		Combined:  combined,
 	}
 }
+
+// SetTrace installs (or, with nil, removes) the per-transaction trace sink.
+// It implements obs.Traceable and must be called at a quiescent point: no
+// transactions in flight. A flat-combined batch emits one update event
+// covering every operation in the batch, so under single-threaded workloads
+// events map one-to-one to Update calls.
+func (e *Engine) SetTrace(s obs.Sink) { e.trace = s }
 
 // Device exposes the underlying device for statistics and crash testing.
 func (e *Engine) Device() *pmem.Device { return e.dev }

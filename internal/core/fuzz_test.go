@@ -52,9 +52,11 @@ func FuzzCrashRecovery(f *testing.F) {
 				img = dev.CrashImage(policy)
 			}
 		}
-		dev.SetStoreHook(func(uint64) { hook() })
-		dev.SetPwbHook(func(uint64) { hook() })
-		dev.SetFenceHook(hook)
+		dev.SetHooks(&pmem.Hooks{
+			Store: func(uint64) { hook() },
+			Pwb:   func(uint64) { hook() },
+			Fence: hook,
+		})
 		if err := e.Update(func(tx ptm.Tx) error {
 			for _, o := range offsets {
 				tx.Store64(p+ptm.Ptr(int(o)%256*8), 200)
@@ -63,9 +65,7 @@ func FuzzCrashRecovery(f *testing.F) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		dev.SetStoreHook(nil)
-		dev.SetPwbHook(nil)
-		dev.SetFenceHook(nil)
+		dev.SetHooks(nil)
 		if img == nil {
 			img = dev.CrashImage(policy) // crash after commit
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/leftright"
+	"repro/internal/obs"
 	"repro/internal/ptm"
 )
 
@@ -18,6 +19,14 @@ type Tx struct {
 	base     int // mainBase, or backBase for RomulusLR readers on back
 	readOnly bool
 	log      rangeLog
+
+	// Trace accounting (plain fields: each Tx has a single mutator — the
+	// combiner thread for the writer, the owning goroutine for readers).
+	// Writes/writeBytes include allocator-metadata stores, which flow
+	// through the same interposition path as user stores.
+	loads      uint64
+	stores     uint64
+	writeBytes uint64
 }
 
 var _ ptm.Tx = (*Tx)(nil)
@@ -35,20 +44,37 @@ func (t *Tx) checkRange(p ptm.Ptr, n int) {
 }
 
 // Load8 implements ptm.Tx.
-func (t *Tx) Load8(p ptm.Ptr) byte { t.checkRange(p, 1); return t.e.dev.Load8(t.base + int(p)) }
+func (t *Tx) Load8(p ptm.Ptr) byte {
+	t.checkRange(p, 1)
+	t.loads++
+	return t.e.dev.Load8(t.base + int(p))
+}
 
 // Load16 implements ptm.Tx.
-func (t *Tx) Load16(p ptm.Ptr) uint16 { t.checkRange(p, 2); return t.e.dev.Load16(t.base + int(p)) }
+func (t *Tx) Load16(p ptm.Ptr) uint16 {
+	t.checkRange(p, 2)
+	t.loads++
+	return t.e.dev.Load16(t.base + int(p))
+}
 
 // Load32 implements ptm.Tx.
-func (t *Tx) Load32(p ptm.Ptr) uint32 { t.checkRange(p, 4); return t.e.dev.Load32(t.base + int(p)) }
+func (t *Tx) Load32(p ptm.Ptr) uint32 {
+	t.checkRange(p, 4)
+	t.loads++
+	return t.e.dev.Load32(t.base + int(p))
+}
 
 // Load64 implements ptm.Tx.
-func (t *Tx) Load64(p ptm.Ptr) uint64 { t.checkRange(p, 8); return t.e.dev.Load64(t.base + int(p)) }
+func (t *Tx) Load64(p ptm.Ptr) uint64 {
+	t.checkRange(p, 8)
+	t.loads++
+	return t.e.dev.Load64(t.base + int(p))
+}
 
 // LoadBytes implements ptm.Tx.
 func (t *Tx) LoadBytes(p ptm.Ptr, dst []byte) {
 	t.checkRange(p, len(dst))
+	t.loads++
 	t.e.dev.LoadBytes(t.base+int(p), dst)
 }
 
@@ -69,6 +95,8 @@ func (t *Tx) Store8(p ptm.Ptr, v byte) {
 	off := t.e.mainBase + int(p)
 	t.e.dev.Store8(off, v)
 	t.log.add(uint64(p), 1)
+	t.stores++
+	t.writeBytes++
 	t.flush(off, 1)
 }
 
@@ -79,6 +107,8 @@ func (t *Tx) Store16(p ptm.Ptr, v uint16) {
 	off := t.e.mainBase + int(p)
 	t.e.dev.Store16(off, v)
 	t.log.add(uint64(p), 2)
+	t.stores++
+	t.writeBytes += 2
 	t.flush(off, 2)
 }
 
@@ -89,6 +119,8 @@ func (t *Tx) Store32(p ptm.Ptr, v uint32) {
 	off := t.e.mainBase + int(p)
 	t.e.dev.Store32(off, v)
 	t.log.add(uint64(p), 4)
+	t.stores++
+	t.writeBytes += 4
 	t.flush(off, 4)
 }
 
@@ -99,6 +131,8 @@ func (t *Tx) Store64(p ptm.Ptr, v uint64) {
 	off := t.e.mainBase + int(p)
 	t.e.dev.Store64(off, v)
 	t.log.add(uint64(p), 8)
+	t.stores++
+	t.writeBytes += 8
 	t.flush(off, 8)
 }
 
@@ -109,6 +143,8 @@ func (t *Tx) StoreBytes(p ptm.Ptr, src []byte) {
 	off := t.e.mainBase + int(p)
 	t.e.dev.StoreBytes(off, src)
 	t.log.add(uint64(p), uint64(len(src)))
+	t.stores++
+	t.writeBytes += uint64(len(src))
 	t.flush(off, len(src))
 }
 
@@ -117,6 +153,8 @@ func (t *Tx) memset(p ptm.Ptr, n int) {
 	off := t.e.mainBase + int(p)
 	t.e.dev.Memset(off, 0, n)
 	t.log.add(uint64(p), uint64(n))
+	t.stores++
+	t.writeBytes += uint64(n)
 	t.flush(off, n)
 }
 
@@ -250,7 +288,21 @@ func (h *Handle) Read(fn func(ptm.Tx) error) error {
 		t.base = e.mainBase
 	}
 	e.reads.Add(1)
-	return fn(t)
+	t.loads = 0
+	err := fn(t)
+	if s := e.trace; s != nil {
+		out := obs.OutcomeOK
+		if err != nil {
+			out = obs.OutcomeError
+		}
+		s.Emit(obs.TxEvent{
+			Engine:  e.cfg.Variant.String(),
+			Kind:    obs.KindRead,
+			Outcome: out,
+			Reads:   t.loads,
+		})
+	}
+	return err
 }
 
 // Update implements ptm.PTM using a pooled handle.

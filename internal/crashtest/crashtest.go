@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pmem"
 )
 
@@ -45,6 +46,16 @@ type Config struct {
 	ChainDepth int
 	// Engines selects the subjects by name; empty or "all" means every one.
 	Engines []string
+	// Metrics, when non-nil, accumulates campaign totals into the registry:
+	// the pmem_* counters summed over every device the campaign creates
+	// (workload devices plus every reopened crash image) and crash_*
+	// counters folded from the per-engine reports. Devices are per-round, so
+	// unlike obs.Instrument the counters here are accumulated, not sampled.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives one obs.TxEvent per workload transaction
+	// (validation reads after recovery are not traced). The sink must be
+	// safe for concurrent Emit calls at Threads > 1.
+	Trace obs.Sink
 }
 
 func (cfg *Config) applyDefaults() {
@@ -125,14 +136,45 @@ func Run(cfg Config) ([]Report, error) {
 		return nil, err
 	}
 	var reports []Report
+	var failure error
 	for _, tgt := range tgts {
 		rep, err := runCampaign(cfg, tgt)
 		reports = append(reports, rep)
 		if err != nil {
-			return reports, err
+			failure = err
+			break
 		}
 	}
-	return reports, nil
+	if r := cfg.Metrics; r != nil {
+		for _, rep := range reports {
+			r.Counter("crash_rounds_total").Add(uint64(rep.Rounds))
+			r.Counter("crash_mid_tx_total").Add(uint64(rep.MidTxCrashes))
+			r.Counter("crash_chain_total").Add(uint64(rep.ChainCrashes))
+			r.Counter("crash_recovery_crash_total").Add(uint64(rep.RecoveryCrashes))
+			r.Counter("crash_rolled_back_total").Add(uint64(rep.RolledBack))
+			r.Counter("crash_carried_forward_total").Add(uint64(rep.CarriedForward))
+		}
+	}
+	return reports, failure
+}
+
+// accumDevice folds one device's lifetime statistics into the campaign
+// registry. Crash-test devices live for a fraction of a round, so campaign
+// totals must be accumulated device by device rather than collected from a
+// live device at snapshot time.
+func accumDevice(r *obs.Registry, dev *pmem.Device) {
+	if r == nil {
+		return
+	}
+	s := dev.Stats()
+	r.Counter("pmem_store_total").Add(s.Stores)
+	r.Counter("pmem_store_bytes_total").Add(s.BytesStored)
+	r.Counter("pmem_pwb_total").Add(s.Pwbs)
+	r.Counter("pmem_pfence_total").Add(s.Pfences)
+	r.Counter("pmem_psync_total").Add(s.Psyncs)
+	r.Counter("pmem_fence_total").Add(s.Pfences + s.Psyncs)
+	r.Counter("pmem_line_persisted_total").Add(s.LinesPersisted)
+	r.Counter("pmem_persisted_bytes_total").Add(s.BytesPersisted)
 }
 
 // engineSeed derives a per-engine stream so campaigns are reproducible
@@ -195,6 +237,9 @@ func runRound(cfg Config, tgt target, threads, round int, roundSeed int64, rep *
 	st, err := tgt.fresh()
 	if err != nil {
 		return fmt.Errorf("building fresh %s store: %w", tgt.name, err)
+	}
+	if cfg.Trace != nil {
+		st.setTrace(cfg.Trace)
 	}
 
 	// Phase 1: concurrent workload with one armed crash. The scheduler
@@ -276,6 +321,7 @@ func runRound(cfg Config, tgt target, threads, round int, roundSeed int64, rep *
 		ev = sched.Events()
 	}
 	sched.Detach()
+	accumDevice(cfg.Metrics, st.dev())
 	chain := []CrashPoint{{Event: ev}}
 
 	// Phase 2: the crash chain. Reopen each image under a freshly armed
@@ -294,6 +340,7 @@ func runRound(cfg Config, tgt target, threads, round int, roundSeed int64, rep *
 		if s2.Captured() {
 			img2, ev2 := s2.Image()
 			s2.Detach()
+			accumDevice(cfg.Metrics, dev)
 			rep.ChainCrashes++
 			if pending {
 				rep.RecoveryCrashes++
@@ -309,6 +356,8 @@ func runRound(cfg Config, tgt target, threads, round int, roundSeed int64, rep *
 		final = st2
 		break
 	}
+	// Covers recovery work plus the validation reads and probe below.
+	defer accumDevice(cfg.Metrics, final.dev())
 
 	// Phase 3: validate the recovered state.
 	if err := final.check(); err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kvstore"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/pstruct"
 	"repro/internal/ptm"
@@ -33,6 +34,9 @@ type op struct {
 // map plus the device underneath it.
 type store interface {
 	dev() *pmem.Device
+	// setTrace attaches a per-transaction trace sink to the underlying
+	// engine (nil removes it). Called only at quiescent points.
+	setTrace(s obs.Sink)
 	// update applies ops as ONE durable transaction.
 	update(ops []op) error
 	get(k uint64) (uint64, bool, error)
@@ -169,6 +173,7 @@ type mapEngine interface {
 	Read(func(ptm.Tx) error) error
 	Device() *pmem.Device
 	CheckHeap() error
+	SetTrace(obs.Sink)
 }
 
 // mapStore drives a pstruct.HashMap at root 0 on any engine.
@@ -199,6 +204,8 @@ func newMapStore(e mapEngine, verify func() error, create bool) (store, error) {
 }
 
 func (s *mapStore) dev() *pmem.Device { return s.e.Device() }
+
+func (s *mapStore) setTrace(t obs.Sink) { s.e.SetTrace(t) }
 
 func (s *mapStore) update(ops []op) error {
 	return s.e.Update(func(tx ptm.Tx) error {
@@ -270,6 +277,8 @@ func kvKey(k uint64) []byte {
 }
 
 func (s *kvStore) dev() *pmem.Device { return s.db.Engine().Device() }
+
+func (s *kvStore) setTrace(t obs.Sink) { s.db.SetTrace(t) }
 
 func (s *kvStore) update(ops []op) error {
 	if len(ops) == 1 {

@@ -48,9 +48,11 @@ func TestDBCrashAtomicityEveryPersistencePoint(t *testing.T) {
 			images = append(images, dev.CrashImage(pol))
 		}
 	}
-	dev.SetStoreHook(func(uint64) { capture() })
-	dev.SetPwbHook(func(uint64) { capture() })
-	dev.SetFenceHook(capture)
+	dev.SetHooks(&pmem.Hooks{
+		Store: func(uint64) { capture() },
+		Pwb:   func(uint64) { capture() },
+		Fence: capture,
+	})
 	var b Batch
 	for i := 0; i < 10; i++ {
 		b.Put([]byte(fmt.Sprintf("k%d", i)), []byte("new"))
@@ -59,9 +61,7 @@ func TestDBCrashAtomicityEveryPersistencePoint(t *testing.T) {
 	if err := db.Write(&b); err != nil {
 		t.Fatal(err)
 	}
-	dev.SetStoreHook(nil)
-	dev.SetPwbHook(nil)
-	dev.SetFenceHook(nil)
+	dev.SetHooks(nil)
 
 	if len(images) < 50 {
 		t.Fatalf("only %d crash images", len(images))
@@ -110,16 +110,16 @@ func TestDBCrashWithLargeValues(t *testing.T) {
 	dev := db.Engine().Device()
 	var images [][]byte
 	n := 0
-	dev.SetPwbHook(func(uint64) {
+	dev.SetHooks(&pmem.Hooks{Pwb: func(uint64) {
 		n++
 		if n%20 == 0 { // sample: full capture would copy 16 MiB hundreds of times
 			images = append(images, dev.CrashImage(pmem.KeepQueued))
 		}
-	})
+	}})
 	if err := db.Put([]byte("blob"), newVal); err != nil {
 		t.Fatal(err)
 	}
-	dev.SetPwbHook(nil)
+	dev.SetHooks(nil)
 	if len(images) == 0 {
 		t.Fatal("no images")
 	}

@@ -14,8 +14,10 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/pstruct"
 	"repro/internal/ptm"
@@ -42,6 +44,15 @@ type Options struct {
 	Path string
 	// InitialBuckets presizes the hash map (0 = default).
 	InitialBuckets int
+	// Metrics, when non-nil, attaches the store to an observability
+	// registry: the device's pmem_* and the engine's ptm_* counters are
+	// published on every snapshot, and kv_get_ns / kv_put_ns /
+	// kv_delete_ns / kv_batch_ns histograms record per-operation wall time
+	// in nanoseconds (see docs/OBSERVABILITY.md).
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives one obs.TxEvent per transaction,
+	// starting after the store's own initialization transaction.
+	Trace obs.Sink
 }
 
 const defaultRegionSize = 64 << 20
@@ -51,6 +62,9 @@ type DB struct {
 	eng  *core.Engine
 	m    *pstruct.ByteMap
 	path string
+
+	// Operation-latency histograms; all nil unless Options.Metrics was set.
+	getNs, putNs, delNs, batchNs *obs.Histogram
 }
 
 // Open creates or reopens a store.
@@ -89,8 +103,39 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: initializing map: %w", err)
 	}
+	if opts.Metrics != nil {
+		obs.Instrument(eng.Device(), opts.Metrics)
+		obs.InstrumentPTM(eng, opts.Metrics)
+		db.getNs = opts.Metrics.Histogram("kv_get_ns")
+		db.putNs = opts.Metrics.Histogram("kv_put_ns")
+		db.delNs = opts.Metrics.Histogram("kv_delete_ns")
+		db.batchNs = opts.Metrics.Histogram("kv_batch_ns")
+	}
+	if opts.Trace != nil {
+		eng.SetTrace(opts.Trace)
+	}
 	return db, nil
 }
+
+// opStart returns a start timestamp when h records latencies, else the zero
+// time — so untimed operations never call time.Now.
+func opStart(h *obs.Histogram) time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// opDone records the elapsed time since start into h when recording.
+func opDone(h *obs.Histogram, start time.Time) {
+	if h != nil {
+		h.Observe(uint64(time.Since(start)))
+	}
+}
+
+// SetTrace installs (or, with nil, removes) the per-transaction trace sink
+// on the underlying engine. Call at a quiescent point.
+func (db *DB) SetTrace(s obs.Sink) { db.eng.SetTrace(s) }
 
 // Attach wraps an already-opened engine whose root slot holds a map from a
 // previous run, without starting any transaction. Crash-recovery harnesses
@@ -105,14 +150,18 @@ func (db *DB) Engine() *core.Engine { return db.eng }
 
 // Put durably stores the key/value pair.
 func (db *DB) Put(key, val []byte) error {
-	return db.eng.Update(func(tx ptm.Tx) error {
+	start := opStart(db.putNs)
+	err := db.eng.Update(func(tx ptm.Tx) error {
 		_, err := db.m.Put(tx, key, val)
 		return err
 	})
+	opDone(db.putNs, start)
+	return err
 }
 
 // Get returns the value for key, or ErrNotFound.
 func (db *DB) Get(key []byte) ([]byte, error) {
+	start := opStart(db.getNs)
 	var out []byte
 	err := db.eng.Read(func(tx ptm.Tx) error {
 		v, err := db.m.Get(tx, key, nil)
@@ -122,6 +171,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		out = v
 		return nil
 	})
+	opDone(db.getNs, start)
 	if errors.Is(err, pstruct.ErrNotFound) {
 		return nil, ErrNotFound
 	}
@@ -130,10 +180,13 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 
 // Delete durably removes key (a no-op if absent).
 func (db *DB) Delete(key []byte) error {
-	return db.eng.Update(func(tx ptm.Tx) error {
+	start := opStart(db.delNs)
+	err := db.eng.Update(func(tx ptm.Tx) error {
 		_, err := db.m.Delete(tx, key)
 		return err
 	})
+	opDone(db.delNs, start)
+	return err
 }
 
 // Len returns the number of live pairs.
@@ -223,7 +276,8 @@ func (b *Batch) Reset() { b.ops = b.ops[:0] }
 
 // Write applies the batch atomically in one durable transaction.
 func (db *DB) Write(b *Batch) error {
-	return db.eng.Update(func(tx ptm.Tx) error {
+	start := opStart(db.batchNs)
+	err := db.eng.Update(func(tx ptm.Tx) error {
 		for _, op := range b.ops {
 			if op.del {
 				if _, err := db.m.Delete(tx, op.key); err != nil {
@@ -235,6 +289,8 @@ func (db *DB) Write(b *Batch) error {
 		}
 		return nil
 	})
+	opDone(db.batchNs, start)
+	return err
 }
 
 // Session is a per-goroutine handle for hot paths: it pins the engine's
@@ -255,14 +311,18 @@ func (db *DB) NewSession() (*Session, error) {
 
 // Put durably stores the pair using the session's handle.
 func (s *Session) Put(key, val []byte) error {
-	return s.h.Update(func(tx ptm.Tx) error {
+	start := opStart(s.db.putNs)
+	err := s.h.Update(func(tx ptm.Tx) error {
 		_, err := s.db.m.Put(tx, key, val)
 		return err
 	})
+	opDone(s.db.putNs, start)
+	return err
 }
 
 // Get returns the value for key, or ErrNotFound.
 func (s *Session) Get(key []byte, dst []byte) ([]byte, error) {
+	start := opStart(s.db.getNs)
 	var out []byte
 	err := s.h.Read(func(tx ptm.Tx) error {
 		v, err := s.db.m.Get(tx, key, dst)
@@ -272,6 +332,7 @@ func (s *Session) Get(key []byte, dst []byte) ([]byte, error) {
 		out = v
 		return nil
 	})
+	opDone(s.db.getNs, start)
 	if errors.Is(err, pstruct.ErrNotFound) {
 		return nil, ErrNotFound
 	}
@@ -280,15 +341,19 @@ func (s *Session) Get(key []byte, dst []byte) ([]byte, error) {
 
 // Delete durably removes key.
 func (s *Session) Delete(key []byte) error {
-	return s.h.Update(func(tx ptm.Tx) error {
+	start := opStart(s.db.delNs)
+	err := s.h.Update(func(tx ptm.Tx) error {
 		_, err := s.db.m.Delete(tx, key)
 		return err
 	})
+	opDone(s.db.delNs, start)
+	return err
 }
 
 // Write applies a batch atomically.
 func (s *Session) Write(b *Batch) error {
-	return s.h.Update(func(tx ptm.Tx) error {
+	start := opStart(s.db.batchNs)
+	err := s.h.Update(func(tx ptm.Tx) error {
 		for _, op := range b.ops {
 			if op.del {
 				if _, err := s.db.m.Delete(tx, op.key); err != nil {
@@ -300,6 +365,8 @@ func (s *Session) Write(b *Batch) error {
 		}
 		return nil
 	})
+	opDone(s.db.batchNs, start)
+	return err
 }
 
 // Range iterates within one read transaction on the session's handle.

@@ -146,14 +146,14 @@ func TestCrashRecoveryMidPut(t *testing.T) {
 	dev := db.Engine().Device()
 	var img []byte
 	n := 0
-	dev.SetPwbHook(func(uint64) {
+	dev.SetHooks(&pmem.Hooks{Pwb: func(uint64) {
 		n++
 		if img == nil && n == 5 {
 			img = dev.CrashImage(pmem.KeepQueued)
 		}
-	})
+	}})
 	db.Put([]byte("k050"), bytes.Repeat([]byte{0xFF}, 100))
-	dev.SetPwbHook(nil)
+	dev.SetHooks(nil)
 	if img == nil {
 		t.Fatal("no crash image")
 	}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers the full uint64 range: bucket 0 holds the sample 0 and
+// bucket i (1 <= i <= 64) holds samples in [2^(i-1), 2^i).
+const numBuckets = 65
+
+// Histogram is a lock-free power-of-two-bucket histogram for latency and
+// size distributions. Observe is a handful of atomic adds — no allocation,
+// no locking — at the cost of bucket-granular (factor-of-two) quantiles,
+// which is exactly the fidelity the paper's latency discussion needs.
+//
+// The zero value is ready to use; obtain shared instances from a Registry.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// bucketIndex returns the bucket for sample v: 0 for 0, otherwise the bit
+// length of v (so powers of two open a new bucket: 1→1, 2→2, 4→3, ...).
+func bucketIndex(v uint64) int { return bits.Len64(v) }
+
+// BucketBounds returns the half-open sample range [lo, hi) of bucket i;
+// bucket 0 is the degenerate range [0, 1). For i = 64, hi wraps to 0 and
+// means "no upper bound".
+func BucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Max returns the largest sample recorded (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
+// inclusive upper edge of the bucket holding the q-th sample. Concurrent
+// Observe calls may skew the answer by the in-flight samples.
+func (h *Histogram) Quantile(q float64) uint64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(c))
+	if target >= c {
+		target = c - 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > target {
+			_, hi := BucketBounds(i)
+			if hi == 0 { // top bucket: no finite power-of-two upper edge
+				return h.Max()
+			}
+			return hi - 1
+		}
+	}
+	return h.Max()
+}
+
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram, with the
+// non-empty power-of-two buckets listed in ascending order.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P99   uint64  `json:"p99"`
+	// Buckets maps the inclusive upper bucket edge (1, 2, 4, 8, ...; 0 for
+	// the zero bucket) to its sample count. Empty buckets are omitted.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	// Le is the inclusive upper sample bound of the bucket: 0 for the zero
+	// bucket, otherwise 2^i - 1.
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot summarizes the histogram. Taken bucket-by-bucket without a lock;
+// concurrent Observe calls may leave the totals ahead of the buckets by the
+// in-flight samples.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.5),
+		P99:   h.Quantile(0.99),
+	}
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		le := uint64(0)
+		if i > 0 && i < 64 {
+			le = (uint64(1) << i) - 1
+		} else if i >= 64 {
+			le = ^uint64(0)
+		}
+		s.Buckets = append(s.Buckets, BucketCount{Le: le, Count: c})
+	}
+	return s
+}

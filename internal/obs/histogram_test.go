@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the power-of-two bucketing: 0 lands in the
+// degenerate zero bucket, each power of two opens a new bucket, and every
+// bucket's half-open range [lo, hi) round-trips through BucketBounds.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 10, 11}, {(1 << 11) - 1, 11},
+		{1 << 62, 63},
+		{1 << 63, 64}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		lo, hi := BucketBounds(c.bucket)
+		if c.v < lo {
+			t.Errorf("value %d below bucket %d range [%d, %d)", c.v, c.bucket, lo, hi)
+		}
+		if hi != 0 && c.v >= hi {
+			t.Errorf("value %d at/above bucket %d upper bound %d", c.v, c.bucket, hi)
+		}
+	}
+	// Ranges must tile with no gap: bucket i's hi is bucket i+1's lo.
+	for i := 1; i < 63; i++ {
+		_, hi := BucketBounds(i)
+		lo, _ := BucketBounds(i + 1)
+		if hi != lo {
+			t.Errorf("gap between bucket %d (hi %d) and %d (lo %d)", i, hi, i+1, lo)
+		}
+	}
+}
+
+func TestHistogramSnapshotEdges(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1023, 1024} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 || s.Sum != 0+1+2+3+4+1023+1024 || s.Max != 1024 {
+		t.Fatalf("count/sum/max = %d/%d/%d", s.Count, s.Sum, s.Max)
+	}
+	// Expected non-empty buckets: le=0 (sample 0), le=1 (1), le=3 (2,3),
+	// le=7 (4), le=1023 (1023), le=2047 (1024).
+	want := map[uint64]uint64{0: 1, 1: 1, 3: 2, 7: 1, 1023: 1, 2047: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want edges %v", s.Buckets, want)
+	}
+	prev := int64(-1)
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+		if int64(b.Le) <= prev {
+			t.Errorf("buckets not ascending at le=%d", b.Le)
+		}
+		prev = int64(b.Le)
+	}
+}
+
+// TestQuantileUpperBound checks that Quantile returns the inclusive upper
+// edge of the bucket holding the q-th sample, and that it is always an
+// upper bound for the true quantile.
+func TestQuantileUpperBound(t *testing.T) {
+	var h Histogram
+	// 100 samples of value 4 (bucket [4,8), edge 7) and 1 of 1000
+	// (bucket [512,1024), edge 1023).
+	for i := 0; i < 100; i++ {
+		h.Observe(4)
+	}
+	h.Observe(1000)
+	if got := h.Quantile(0.5); got != 7 {
+		t.Errorf("p50 = %d, want 7", got)
+	}
+	if got := h.Quantile(0.99); got != 7 {
+		t.Errorf("p99 = %d, want 7 (100/101 samples are 4)", got)
+	}
+	if got := h.Quantile(1); got != 1023 {
+		t.Errorf("p100 = %d, want 1023", got)
+	}
+	if got := h.Quantile(0); got != 7 {
+		t.Errorf("p0 = %d, want 7", got)
+	}
+
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %d, want 0", got)
+	}
+
+	// Top bucket has no finite power-of-two edge; Quantile falls back to Max.
+	var top Histogram
+	top.Observe(1 << 63)
+	if got := top.Quantile(0.5); got != 1<<63 {
+		t.Errorf("top-bucket p50 = %d, want 2^63 (Max fallback)", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const goroutines, iters = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h.Observe(uint64(g + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*iters {
+		t.Fatalf("count = %d, want %d", got, goroutines*iters)
+	}
+	if got := h.Max(); got != goroutines {
+		t.Fatalf("max = %d, want %d", got, goroutines)
+	}
+}

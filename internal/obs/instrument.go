@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// Instrument attaches dev to the registry: a collector publishes the
+// device's persistence counters as the canonical pmem_* metric set on
+// every snapshot. The data path pays nothing — the device already
+// maintains these counters atomically — and the device's hook slot stays
+// free for crash schedulers.
+//
+// Metrics published (see docs/OBSERVABILITY.md):
+//
+//	pmem_store_total, pmem_store_bytes_total, pmem_pwb_total,
+//	pmem_pfence_total, pmem_psync_total, pmem_fence_total,
+//	pmem_line_persisted_total, pmem_persisted_bytes_total
+//
+// Counters reflect the device since its last ResetStats; reset the device
+// after setup work to scope metrics to the measured workload.
+func Instrument(dev *pmem.Device, r *Registry) {
+	r.Collect(func(set Setter) {
+		s := dev.Stats()
+		set("pmem_store_total", s.Stores)
+		set("pmem_store_bytes_total", s.BytesStored)
+		set("pmem_pwb_total", s.Pwbs)
+		set("pmem_pfence_total", s.Pfences)
+		set("pmem_psync_total", s.Psyncs)
+		set("pmem_fence_total", s.Pfences+s.Psyncs)
+		set("pmem_line_persisted_total", s.LinesPersisted)
+		set("pmem_persisted_bytes_total", s.BytesPersisted)
+	})
+}
+
+// InstrumentPTM attaches an engine's transaction counters to the registry
+// under the canonical ptm_* names, again as a zero-overhead collector:
+//
+//	ptm_update_tx_total, ptm_read_tx_total, ptm_abort_total,
+//	ptm_rollback_total, ptm_combined_total
+//
+// Every engine in the repository reports the same schema, so tools can
+// compare engines without per-engine cases.
+func InstrumentPTM(e ptm.PTM, r *Registry) {
+	r.Collect(func(set Setter) {
+		s := e.Stats()
+		set("ptm_update_tx_total", s.UpdateTxs)
+		set("ptm_read_tx_total", s.ReadTxs)
+		set("ptm_abort_total", s.Aborts)
+		set("ptm_rollback_total", s.Rollbacks)
+		set("ptm_combined_total", s.Combined)
+	})
+}
+
+// Traceable is implemented by every engine that can emit per-transaction
+// trace events. SetTrace must be called at a quiescent point (no
+// transactions in flight); a nil sink disables tracing.
+type Traceable interface {
+	SetTrace(Sink)
+}

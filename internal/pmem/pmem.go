@@ -25,13 +25,15 @@
 // the transactional layers above guarantee that at most one mutator runs at a
 // time and that readers never race with the mutator on the same locations,
 // matching the C++ memory-model assumptions of the original algorithms.
-// Statistics counters are plain fields owned by the mutator; snapshot them
-// only at quiescent points or from the mutating goroutine.
 //
-// The test hooks are the one exception: hook slots are atomic so a harness
-// goroutine may install, replace or remove hooks (and arm a Scheduler) while
-// worker goroutines drive the data path. The hooks themselves still run on
-// the mutating goroutine, inside the store/pwb/fence that triggered them.
+// The observability surface is the exception, fully synchronized so harness
+// and metrics goroutines can watch a live device: the statistics counters
+// are atomic (Stats and ResetStats are safe against concurrent instrumented
+// stores), and the single hook slot (SetHooks) is an atomic pointer so a
+// harness may install, replace or remove the hook bundle — and arm a
+// Scheduler — while worker goroutines drive the data path. The hooks
+// themselves still run on the mutating goroutine, inside the
+// store/pwb/fence that triggered them.
 package pmem
 
 import (
@@ -48,9 +50,9 @@ const LineSize = 64
 
 const lineShift = 6 // log2(LineSize)
 
-// Stats counts persistence-relevant events since the last ResetStats. The
-// counters feed Table 1 (fences per transaction, write amplification) and the
-// pwb histograms discussed in §6.2 of the paper.
+// Stats is a snapshot of the persistence-relevant event counters since the
+// last ResetStats. The counters feed Table 1 (fences per transaction, write
+// amplification) and the pwb histograms discussed in §6.2 of the paper.
 type Stats struct {
 	Stores         uint64 // store operations issued
 	BytesStored    uint64 // bytes written to the volatile image
@@ -59,6 +61,34 @@ type Stats struct {
 	Psyncs         uint64 // persist syncs issued
 	LinesPersisted uint64 // cache lines actually written to the persisted image
 	BytesPersisted uint64 // bytes written to the persisted image
+}
+
+// devStats is the live, atomically-maintained form of Stats: metrics
+// collectors snapshot and reset these counters while workers drive the data
+// path, so every field is an uncontended atomic add on the mutator.
+type devStats struct {
+	stores         atomic.Uint64
+	bytesStored    atomic.Uint64
+	pwbs           atomic.Uint64
+	pfences        atomic.Uint64
+	psyncs         atomic.Uint64
+	linesPersisted atomic.Uint64
+	bytesPersisted atomic.Uint64
+}
+
+// Hooks bundles the per-event callbacks a harness or scheduler attaches to
+// a Device. The bundle is installed atomically as one unit (SetHooks), so
+// there is a single attach point instead of three independently racing
+// slots; any nil member is simply skipped. Hooks run on the mutating
+// goroutine, inside the primitive that triggered them, and may panic to
+// simulate a crash at an exact persistence point.
+type Hooks struct {
+	// Store is called after every store with the total store count.
+	Store func(n uint64)
+	// Pwb is called after every Pwb with the total pwb count.
+	Pwb func(n uint64)
+	// Fence is called after every Pfence or Psync.
+	Fence func()
 }
 
 // Device is a simulated persistent-memory region. The zero value is not
@@ -72,12 +102,10 @@ type Device struct {
 	// can drain them without scanning the whole bitmap.
 	queuedLines []int64
 	model       Model
-	stats       Stats
-	// Hook slots are atomic pointers so that installation (from a harness
+	stats       devStats
+	// hooks is an atomic pointer so that installation (from a harness
 	// goroutine) never races with invocation (from the mutating goroutine).
-	pwbHook   atomic.Pointer[func(n uint64)] // called after every Pwb
-	storeHook atomic.Pointer[func(n uint64)] // called after every store
-	fenceHook atomic.Pointer[func()]         // called after every Pfence/Psync
+	hooks atomic.Pointer[Hooks]
 }
 
 // New creates a Device of the given size (rounded up to a whole number of
@@ -107,56 +135,52 @@ func (d *Device) Model() Model { return d.model }
 // quiescent points.
 func (d *Device) SetModel(m Model) { d.model = m }
 
-// Stats returns a snapshot of the event counters.
-func (d *Device) Stats() Stats { return d.stats }
-
-// ResetStats zeroes the event counters.
-func (d *Device) ResetStats() { d.stats = Stats{} }
-
-// SetPwbHook installs a test hook invoked after every Pwb with the total
-// number of Pwbs issued so far. The hook may panic to simulate a crash at an
-// exact persistence point. Passing nil removes the hook. Safe to call while
-// other goroutines drive the data path.
-func (d *Device) SetPwbHook(fn func(n uint64)) {
-	if fn == nil {
-		d.pwbHook.Store(nil)
-		return
+// Stats returns a consistent-enough snapshot of the event counters: each
+// counter is read atomically, so Stats is safe against concurrent
+// instrumented stores (individual counters may be skewed by in-flight
+// operations; snapshot at quiescent points for exact cross-counter ratios).
+func (d *Device) Stats() Stats {
+	return Stats{
+		Stores:         d.stats.stores.Load(),
+		BytesStored:    d.stats.bytesStored.Load(),
+		Pwbs:           d.stats.pwbs.Load(),
+		Pfences:        d.stats.pfences.Load(),
+		Psyncs:         d.stats.psyncs.Load(),
+		LinesPersisted: d.stats.linesPersisted.Load(),
+		BytesPersisted: d.stats.bytesPersisted.Load(),
 	}
-	d.pwbHook.Store(&fn)
 }
 
-// SetStoreHook installs a test hook invoked after every store with the total
-// number of stores issued so far. Passing nil removes the hook. Safe to call
-// while other goroutines drive the data path.
-func (d *Device) SetStoreHook(fn func(n uint64)) {
-	if fn == nil {
-		d.storeHook.Store(nil)
-		return
-	}
-	d.storeHook.Store(&fn)
+// ResetStats zeroes the event counters. Safe to call while other goroutines
+// drive the data path; counters reset one at a time, so a concurrent
+// mutator's in-flight events land in either the old or the new epoch.
+func (d *Device) ResetStats() {
+	d.stats.stores.Store(0)
+	d.stats.bytesStored.Store(0)
+	d.stats.pwbs.Store(0)
+	d.stats.pfences.Store(0)
+	d.stats.psyncs.Store(0)
+	d.stats.linesPersisted.Store(0)
+	d.stats.bytesPersisted.Store(0)
 }
 
-// SetFenceHook installs a test hook invoked after every Pfence or Psync.
-// Passing nil removes the hook. Safe to call while other goroutines drive
-// the data path.
-func (d *Device) SetFenceHook(fn func()) {
-	if fn == nil {
-		d.fenceHook.Store(nil)
-		return
-	}
-	d.fenceHook.Store(&fn)
-}
+// SetHooks atomically installs the hook bundle (nil removes it), replacing
+// whatever was installed before. Safe to call while other goroutines drive
+// the data path. This is the single attach point for schedulers and crash
+// harnesses; metrics use obs.Instrument, which reads the atomic counters
+// and leaves this slot free.
+func (d *Device) SetHooks(h *Hooks) { d.hooks.Store(h) }
 
 func (d *Device) markStored(off, n int) {
-	d.stats.Stores++
-	d.stats.BytesStored += uint64(n)
+	stores := d.stats.stores.Add(1)
+	d.stats.bytesStored.Add(uint64(n))
 	first := off >> lineShift
 	last := (off + n - 1) >> lineShift
 	for l := first; l <= last; l++ {
 		d.dirty.set(l)
 	}
-	if h := d.storeHook.Load(); h != nil {
-		(*h)(d.stats.Stores)
+	if h := d.hooks.Load(); h != nil && h.Store != nil {
+		h.Store(stores)
 	}
 }
 
@@ -269,7 +293,7 @@ func (d *Device) CopyWithin(dst, src, n int) {
 // queued until the next Pfence or Psync. Pwb of a clean, unqueued line is a
 // no-op apart from the injected latency, like flushing a clean line.
 func (d *Device) Pwb(off int) {
-	d.stats.Pwbs++
+	pwbs := d.stats.pwbs.Add(1)
 	d.model.delayPwb()
 	line := off >> lineShift
 	if d.dirty.test(line) {
@@ -281,8 +305,8 @@ func (d *Device) Pwb(off int) {
 			d.queuedLines = append(d.queuedLines, int64(line))
 		}
 	}
-	if h := d.pwbHook.Load(); h != nil {
-		(*h)(d.stats.Pwbs)
+	if h := d.hooks.Load(); h != nil && h.Pwb != nil {
+		h.Pwb(pwbs)
 	}
 }
 
@@ -301,21 +325,21 @@ func (d *Device) PwbRange(off, n int) {
 // Pfence orders preceding write-backs: every line queued by Pwb becomes
 // persistent before the fence returns.
 func (d *Device) Pfence() {
-	d.stats.Pfences++
+	d.stats.pfences.Add(1)
 	d.model.delayPfence()
 	d.drainQueue()
-	if h := d.fenceHook.Load(); h != nil {
-		(*h)()
+	if h := d.hooks.Load(); h != nil && h.Fence != nil {
+		h.Fence()
 	}
 }
 
 // Psync blocks until all preceding write-backs are persistent.
 func (d *Device) Psync() {
-	d.stats.Psyncs++
+	d.stats.psyncs.Add(1)
 	d.model.delayPsync()
 	d.drainQueue()
-	if h := d.fenceHook.Load(); h != nil {
-		(*h)()
+	if h := d.hooks.Load(); h != nil && h.Fence != nil {
+		h.Fence()
 	}
 }
 
@@ -333,8 +357,8 @@ func (d *Device) drainQueue() {
 func (d *Device) persistLine(line int) {
 	off := line << lineShift
 	copy(d.pm[off:off+LineSize], d.mem[off:off+LineSize])
-	d.stats.LinesPersisted++
-	d.stats.BytesPersisted += LineSize
+	d.stats.linesPersisted.Add(1)
+	d.stats.bytesPersisted.Add(LineSize)
 }
 
 // PersistAll force-persists the entire volatile image, as if every line had

@@ -358,7 +358,7 @@ func TestLoadFileRejectsBadImages(t *testing.T) {
 func TestPwbHookFiresAndCounts(t *testing.T) {
 	d := New(4096, ModelDRAM)
 	var seen []uint64
-	d.SetPwbHook(func(n uint64) { seen = append(seen, n) })
+	d.SetHooks(&Hooks{Pwb: func(n uint64) { seen = append(seen, n) }})
 	d.Store64(0, 1)
 	d.Pwb(0)
 	d.Pwb(0)
@@ -370,11 +370,26 @@ func TestPwbHookFiresAndCounts(t *testing.T) {
 func TestStoreHookFires(t *testing.T) {
 	d := New(4096, ModelDRAM)
 	var n uint64
-	d.SetStoreHook(func(c uint64) { n = c })
+	d.SetHooks(&Hooks{Store: func(c uint64) { n = c }})
 	d.Store64(0, 1)
 	d.Store8(9, 2)
 	if n != 2 {
 		t.Errorf("store hook saw %d, want 2", n)
+	}
+}
+
+func TestFenceHookFires(t *testing.T) {
+	d := New(4096, ModelDRAM)
+	n := 0
+	d.SetHooks(&Hooks{Fence: func() { n++ }})
+	d.Store64(0, 1)
+	d.Pwb(0)
+	d.Pfence()
+	d.Psync()
+	d.SetHooks(nil)
+	d.Pfence()
+	if n != 2 {
+		t.Errorf("fence hook fired %d times, want 2", n)
 	}
 }
 

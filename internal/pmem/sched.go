@@ -6,11 +6,22 @@ import (
 )
 
 // Scheduler is a deterministic crash-point scheduler for fault-injection
-// campaigns. It claims all three of a Device's hooks and counts every
-// persistence event (store, pwb, pfence/psync) with an atomic counter. When
-// armed, it captures a crash image — the media contents a power failure at
-// that exact event would leave behind — at the first event at or past the
-// armed target, without disturbing the running workload.
+// campaigns. It claims the Device's hook slot and counts every persistence
+// event (store, pwb, pfence/psync) with an atomic counter. When armed, it
+// captures a crash image — the media contents a power failure at that exact
+// event would leave behind — at the first event at or past the armed
+// target, without disturbing the running workload.
+//
+// Crash-point numbering: event indices form one global sequence over all
+// three event types, in program order on the mutating goroutine. Every
+// store counts as one event (a StoreBytes or CopyWithin of any length is
+// ONE store), every Pwb as one (a PwbRange of k lines is k events), and
+// every Pfence or Psync as one. The first event after attach has index 1,
+// and Arm targets are absolute positions in this sequence relative to the
+// current count: Arm(1, p) captures at the very next event. Because the
+// transactional layers serialize mutators, the numbering is deterministic
+// for a deterministic single-threaded workload — the property crash-chain
+// campaigns rely on to replay a failure from its recorded event index.
 //
 // Capturing instead of halting lets a single pass enumerate crash points:
 // the workload runs to completion, and recovery is exercised separately on
@@ -39,15 +50,13 @@ type Scheduler struct {
 	budget   int    // max captures; 0 means unlimited
 }
 
-// NewScheduler attaches a scheduler to dev, replacing any hooks previously
-// installed on it. The scheduler starts disarmed: events are counted but no
-// crash is pending until Arm.
+// NewScheduler attaches a scheduler to dev, replacing any hook bundle
+// previously installed on it. The scheduler starts disarmed: events are
+// counted but no crash is pending until Arm.
 func NewScheduler(dev *Device) *Scheduler {
 	s := &Scheduler{dev: dev}
 	n := func(uint64) { s.tick() }
-	dev.SetStoreHook(n)
-	dev.SetPwbHook(n)
-	dev.SetFenceHook(func() { s.tick() })
+	dev.SetHooks(&Hooks{Store: n, Pwb: n, Fence: func() { s.tick() }})
 	return s
 }
 
@@ -55,9 +64,7 @@ func NewScheduler(dev *Device) *Scheduler {
 // counting; a pending arm never fires.
 func (s *Scheduler) Detach() {
 	s.armed.Store(false)
-	s.dev.SetStoreHook(nil)
-	s.dev.SetPwbHook(nil)
-	s.dev.SetFenceHook(nil)
+	s.dev.SetHooks(nil)
 }
 
 // SetBudget bounds the total number of captures (Arm + CaptureNow) this

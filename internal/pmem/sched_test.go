@@ -146,12 +146,12 @@ func TestHookInstallRace(t *testing.T) {
 		s.Disarm()
 		s.Detach()
 		// Raw hook churn as well.
-		d.SetStoreHook(func(uint64) {})
-		d.SetPwbHook(func(uint64) {})
-		d.SetFenceHook(func() {})
-		d.SetStoreHook(nil)
-		d.SetPwbHook(nil)
-		d.SetFenceHook(nil)
+		d.SetHooks(&Hooks{
+			Store: func(uint64) {},
+			Pwb:   func(uint64) {},
+			Fence: func() {},
+		})
+		d.SetHooks(nil)
 	}
 	close(stop)
 	wg.Wait()

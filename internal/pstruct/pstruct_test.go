@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/pmem"
 	"repro/internal/pstruct"
 	"repro/internal/ptm"
 	"repro/internal/redolog"
@@ -554,11 +555,11 @@ func TestStructuresSurviveCrash(t *testing.T) {
 	// Crash mid-transaction.
 	dev := e.Device()
 	var img []byte
-	dev.SetPwbHook(func(n uint64) {
+	dev.SetHooks(&pmem.Hooks{Pwb: func(n uint64) {
 		if img == nil && n > 5 {
 			img = dev.CrashImage(crashKeepQueued())
 		}
-	})
+	}})
 	e.Update(func(tx ptm.Tx) error {
 		for k := uint64(200); k < 230; k++ {
 			if _, err := tree.Put(tx, k, 1); err != nil {
@@ -567,7 +568,7 @@ func TestStructuresSurviveCrash(t *testing.T) {
 		}
 		return nil
 	})
-	dev.SetPwbHook(nil)
+	dev.SetHooks(nil)
 	if img == nil {
 		t.Fatal("no crash image")
 	}

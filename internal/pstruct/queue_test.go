@@ -117,11 +117,11 @@ func TestQueueSurvivesCrash(t *testing.T) {
 	})
 	dev := e.Device()
 	var img []byte
-	dev.SetPwbHook(func(n uint64) {
+	dev.SetHooks(&pmem.Hooks{Pwb: func(n uint64) {
 		if img == nil && n > 3 {
 			img = dev.CrashImage(pmem.KeepQueued)
 		}
-	})
+	}})
 	// Mid-transaction crash during a dequeue+enqueue pair.
 	e.Update(func(tx ptm.Tx) error {
 		if _, _, err := q.Dequeue(tx); err != nil {
@@ -129,7 +129,7 @@ func TestQueueSurvivesCrash(t *testing.T) {
 		}
 		return q.Enqueue(tx, 100)
 	})
-	dev.SetPwbHook(nil)
+	dev.SetHooks(nil)
 	re, err := core.Open(pmem.FromImage(img, pmem.ModelDRAM), core.Config{Variant: core.RomLog})
 	if err != nil {
 		t.Fatal(err)

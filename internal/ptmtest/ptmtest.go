@@ -398,18 +398,18 @@ func testCrashAtomicity(t *testing.T, f Factory) {
 			images = append(images, dev.CrashImage(pol))
 		}
 	}
-	dev.SetStoreHook(func(uint64) { capture() })
-	dev.SetPwbHook(func(uint64) { capture() })
-	dev.SetFenceHook(capture)
+	dev.SetHooks(&pmem.Hooks{
+		Store: func(uint64) { capture() },
+		Pwb:   func(uint64) { capture() },
+		Fence: capture,
+	})
 	err := e.Update(func(tx ptm.Tx) error {
 		for i := 0; i < slots; i++ {
 			tx.Store64(p+ptm.Ptr(i*8), 200)
 		}
 		return nil
 	})
-	dev.SetStoreHook(nil)
-	dev.SetPwbHook(nil)
-	dev.SetFenceHook(nil)
+	dev.SetHooks(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

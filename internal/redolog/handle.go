@@ -1,6 +1,9 @@
 package redolog
 
-import "repro/internal/ptm"
+import (
+	"repro/internal/obs"
+	"repro/internal/ptm"
+)
 
 // Handle is a per-goroutine transaction context holding a reusable
 // transaction object and this thread's log-segment assignment.
@@ -42,6 +45,27 @@ func (h *Handle) Update(fn func(ptm.Tx) error) error {
 			if err == nil {
 				e.updates.Add(1)
 			}
+			if s := e.trace; s != nil {
+				t := &h.tx
+				out := obs.OutcomeCommit
+				if err != nil {
+					// Lazy versioning: a failed update never touched the
+					// persistent region, so the rollback is free.
+					out = obs.OutcomeRollback
+				}
+				s.Emit(obs.TxEvent{
+					Engine:      e.Name(),
+					Kind:        obs.KindUpdate,
+					Outcome:     out,
+					Reads:       t.loads,
+					Writes:      uint64(len(t.writes)),
+					WriteBytes:  8 * uint64(len(t.writes)),
+					CopiedBytes: t.logBytes,
+					Pwbs:        t.commitPwbs,
+					Fences:      t.commitFences,
+					Retries:     uint64(attempt),
+				})
+			}
 			return err
 		}
 		e.aborts.Add(1)
@@ -79,6 +103,19 @@ func (h *Handle) Read(fn func(ptm.Tx) error) error {
 		err, aborted := h.tryRead(fn)
 		if !aborted {
 			e.readTxs.Add(1)
+			if s := e.trace; s != nil {
+				out := obs.OutcomeOK
+				if err != nil {
+					out = obs.OutcomeError
+				}
+				s.Emit(obs.TxEvent{
+					Engine:  e.Name(),
+					Kind:    obs.KindRead,
+					Outcome: out,
+					Reads:   h.tx.loads,
+					Retries: uint64(attempt),
+				})
+			}
 			return err
 		}
 		e.aborts.Add(1)

@@ -300,17 +300,17 @@ func TestRecoveryReplaysCommittedLog(t *testing.T) {
 	// that was flushed, so take the image right at the committed=1 fence.
 	dev := e.Device()
 	var img []byte
-	dev.SetFenceHook(func() {
+	dev.SetHooks(&pmem.Hooks{Fence: func() {
 		base := e.segBase(0)
 		if img == nil && dev.Load64(base+segCommitted) == 1 {
 			img = dev.CrashImage(pmem.DropAll)
 		}
-	})
+	}})
 	e.Update(func(tx ptm.Tx) error {
 		tx.Store64(p, 2)
 		return nil
 	})
-	dev.SetFenceHook(nil)
+	dev.SetHooks(nil)
 	if img == nil {
 		t.Fatal("never observed a durable committed marker")
 	}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/alloc"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
 )
@@ -97,6 +98,10 @@ type Engine struct {
 	updates   atomic.Uint64
 	reads     atomic.Uint64
 	rollbacks atomic.Uint64
+
+	// trace receives one obs.TxEvent per transaction when non-nil; set only
+	// at quiescent points (SetTrace).
+	trace obs.Sink
 }
 
 var _ ptm.HandlePTM = (*Engine)(nil)
@@ -265,6 +270,7 @@ func (e *Engine) beginTx() *Tx {
 	t := &e.wtx
 	t.logTail = e.logBase
 	t.failed = nil
+	t.loads, t.stores, t.writeBytes, t.loggedBytes = 0, 0, 0, 0
 	// Go maps never shrink their bucket arrays: after one huge transaction
 	// (e.g. a hash-map resize), even an emptied map costs O(capacity) to
 	// iterate. Replace oversized maps instead of clearing them.
@@ -326,11 +332,14 @@ func (e *Engine) Update(fn func(ptm.Tx) error) error {
 	defer e.wmu.Unlock()
 	e.rw.writerLock()
 	defer e.rw.writerUnlock()
+	st := e.dev.Stats()
+	startPwb, startFence := st.Pwbs, st.Pfences+st.Psyncs
 	t := e.beginTx()
 	committed := false
 	defer func() {
 		if !committed {
 			e.rollbackTx()
+			e.emitUpdate(t, obs.OutcomeRollback, startPwb, startFence)
 		}
 	}()
 	if err := fn(t); err != nil {
@@ -342,7 +351,29 @@ func (e *Engine) Update(fn func(ptm.Tx) error) error {
 	e.commitTx()
 	committed = true
 	e.updates.Add(1)
+	e.emitUpdate(t, obs.OutcomeCommit, startPwb, startFence)
 	return nil
+}
+
+// emitUpdate sends the writer transaction's trace event. Called with the
+// writer lock held, so the device deltas are attributable to this tx.
+func (e *Engine) emitUpdate(t *Tx, out obs.Outcome, startPwb, startFence uint64) {
+	s := e.trace
+	if s == nil {
+		return
+	}
+	st := e.dev.Stats()
+	s.Emit(obs.TxEvent{
+		Engine:      e.Name(),
+		Kind:        obs.KindUpdate,
+		Outcome:     out,
+		Reads:       t.loads,
+		Writes:      t.stores,
+		WriteBytes:  t.writeBytes,
+		CopiedBytes: t.loggedBytes,
+		Pwbs:        st.Pwbs - startPwb,
+		Fences:      st.Pfences + st.Psyncs - startFence,
+	})
 }
 
 // Read implements ptm.PTM.
@@ -351,8 +382,20 @@ func (e *Engine) Read(fn func(ptm.Tx) error) error {
 	defer e.rw.readerUnlock()
 	e.reads.Add(1)
 	t := Tx{e: e, readOnly: true}
-	return fn(&t)
+	err := fn(&t)
+	if s := e.trace; s != nil {
+		out := obs.OutcomeOK
+		if err != nil {
+			out = obs.OutcomeError
+		}
+		s.Emit(obs.TxEvent{Engine: e.Name(), Kind: obs.KindRead, Outcome: out, Reads: t.loads})
+	}
+	return err
 }
+
+// SetTrace installs (or, with nil, removes) the per-transaction trace sink;
+// it implements obs.Traceable. Call at a quiescent point.
+func (e *Engine) SetTrace(s obs.Sink) { e.trace = s }
 
 // NewHandle implements ptm.HandlePTM. The global lock needs no per-thread
 // state, so handles simply delegate.

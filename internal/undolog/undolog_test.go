@@ -169,16 +169,16 @@ func TestRecoveryAppliesUndoInReverse(t *testing.T) {
 	var img []byte
 	dev := e.Device()
 	count := 0
-	dev.SetStoreHook(func(uint64) {
+	dev.SetHooks(&pmem.Hooks{Store: func(uint64) {
 		count++
-	})
+	}})
 	e.Update(func(tx ptm.Tx) error {
 		tx.StoreBytes(p, []byte{2, 2, 2, 2, 2, 2, 2, 2})
 		tx.StoreBytes(p, []byte{3, 3, 3, 3, 3, 3, 3, 3})
 		img = dev.CrashImage(pmem.KeepQueued) // both stores issued, tx not committed
 		return nil
 	})
-	dev.SetStoreHook(nil)
+	dev.SetHooks(nil)
 	re, err := Open(pmem.FromImage(img, pmem.ModelDRAM), Config{})
 	if err != nil {
 		t.Fatal(err)
