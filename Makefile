@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench tools experiments crashtest crashtest-short docs-check fuzz clean
+.PHONY: all build test race bench tools experiments crashtest crashtest-short audit docs-check fuzz clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: crashtest-short docs-check
+test: crashtest-short audit docs-check
 	go test ./...
 
 # Documentation hygiene: vet, formatting, and Markdown link integrity.
@@ -39,6 +39,8 @@ experiments: tools
 	./bin/romulus-db -n 100000 -threads 1,2,4                        | tee results/fig8.txt
 	./bin/romulus-sps -secs 0.3                                      | tee results/fig9.txt
 	./bin/romulus-bench -pwbhist                                     | tee results/pwbhist.txt
+	./bin/romulus-bench -workload swaps -ops 2000 -audit -json results/BENCH_swaps.json | tee results/workload_swaps.txt
+	./bin/romulus-bench -workload map -ops 2000 -audit -json results/BENCH_map.json     | tee results/workload_map.txt
 
 crashtest: tools
 	./bin/romulus-crashtest -rounds 2000 -chain 3 -engines all -threads 4
@@ -46,6 +48,13 @@ crashtest: tools
 # Quick crash-chain pass under the race detector; part of `make test`.
 crashtest-short:
 	go run -race ./cmd/romulus-crashtest -seed 1 -rounds 250 -chain 3 -engines all -threads 4
+
+# Crash-chain campaign with the durability auditor chained in front of the
+# crash scheduler: any dirty or unfenced line at a commit marker, any
+# durably-claimed line lost at a crash, and any unflushed line at engine
+# close fails the run. Part of `make test`.
+audit:
+	go run ./cmd/romulus-crashtest -audit -seed 1 -rounds 250 -chain 3 -engines all -threads 4
 
 fuzz:
 	go test -fuzz FuzzAllocFree -fuzztime 60s ./internal/alloc

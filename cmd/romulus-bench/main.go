@@ -42,6 +42,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload operation seed")
 	metrics := flag.Bool("metrics", false, "print the per-engine metrics registry after a -workload run")
 	trace := flag.String("trace", "", "write the per-transaction trace (JSON lines) of a -workload run to this file, or - for stdout")
+	audit := flag.Bool("audit", false, "chain the durability auditor onto each engine of a -workload run (violations fail the run; waste shows as audit_* metrics)")
+	jsonOut := flag.String("json", "", "write machine-readable per-engine results (romulus-bench/workload/v1 JSON lines) of a -workload run to this file, or - for stdout")
 	flag.Parse()
 
 	kinds, err := bench.ParseEngines(*engines)
@@ -60,6 +62,7 @@ func main() {
 			Seed:     *seed,
 			Model:    m,
 			Metrics:  *metrics,
+			Audit:    *audit,
 		}
 		if *trace != "" {
 			if *trace == "-" {
@@ -69,6 +72,16 @@ func main() {
 				exitOn(err)
 				defer f.Close()
 				wopts.TraceOut = f
+			}
+		}
+		if *jsonOut != "" {
+			if *jsonOut == "-" {
+				wopts.JSONOut = os.Stdout
+			} else {
+				f, err := os.Create(*jsonOut)
+				exitOn(err)
+				defer f.Close()
+				wopts.JSONOut = f
 			}
 		}
 		out, err := bench.RunWorkload(wopts)

@@ -35,6 +35,7 @@ func main() {
 	chain := flag.Int("chain", 1, "max crashes per round; beyond 1, later crashes land inside recovery")
 	engines := flag.String("engines", "all", "comma-separated engine list: "+
 		strings.Join(crashtest.EngineNames(), ",")+" (or all)")
+	audit := flag.Bool("audit", false, "chain the durability auditor in front of the crash scheduler; any dirty or unfenced line at a commit marker, crash loss of a durably-claimed line, or unflushed line at close fails the round")
 	jsonOut := flag.Bool("json", false, "emit reports (and any failure) as JSON")
 	metrics := flag.Bool("metrics", false, "print campaign totals (pmem_* and crash_* counters) after the reports")
 	trace := flag.String("trace", "", "write the workload transaction trace (JSON lines) to this file, or - for stdout")
@@ -49,6 +50,7 @@ func main() {
 		Threads:    *threads,
 		ChainDepth: *chain,
 		Engines:    strings.Split(*engines, ","),
+		Audit:      *audit,
 	}
 	if *metrics {
 		cfg.Metrics = obs.NewRegistry()
@@ -115,6 +117,12 @@ func main() {
 			"(%d inside recovery), workers: %d rolled back / %d carried forward\n",
 			r.Engine, r.Rounds, r.Threads, r.MidTxCrashes, r.ChainCrashes,
 			r.RecoveryCrashes, r.RolledBack, r.CarriedForward)
+		if cfg.Audit {
+			w := r.AuditWaste
+			fmt.Printf("         audit: %d violations; waste: %d clean pwbs, %d requeued pwbs, "+
+				"%d stores on queued lines, %d no-op fences\n",
+				r.AuditViolations, w.PwbClean, w.PwbRequeued, w.StoreQueued, w.FenceNoop)
+		}
 	}
 	if cfg.Metrics != nil {
 		fmt.Println("# campaign totals")

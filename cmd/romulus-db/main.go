@@ -12,6 +12,10 @@
 // retained per-transaction events as JSON lines. Each workload/thread
 // combination opens a fresh store, so /metrics reflects the store of the
 // currently running data point; /trace spans the whole run.
+//
+// With -audit a durability auditor chains onto each RomulusDB store: any
+// durability violation aborts the run, audit_* counters join /metrics, and
+// GET /audit serves the live auditor's summary (text; ?format=json).
 package main
 
 import (
@@ -23,7 +27,9 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/audit"
 	"repro/internal/bench"
+	"repro/internal/kvstore"
 	"repro/internal/obs"
 )
 
@@ -33,7 +39,8 @@ func main() {
 	workloads := flag.String("workloads", strings.Join(bench.DBWorkloads, ","), "workloads to run")
 	dbs := flag.String("dbs", "romdb,leveldb", "stores to benchmark")
 	dir := flag.String("dir", "", "scratch directory for leveldb files (default: temp)")
-	httpAddr := flag.String("http", "", "serve /metrics and /trace for the live romdb store on this address (e.g. :8080)")
+	httpAddr := flag.String("http", "", "serve /metrics, /trace and /audit for the live romdb store on this address (e.g. :8080)")
+	auditFlag := flag.Bool("audit", false, "chain a durability auditor onto each romdb store; violations abort the run")
 	flag.Parse()
 
 	ths, err := bench.ParseInts(*threads)
@@ -47,13 +54,31 @@ func main() {
 
 	// Each data point opens a fresh store, so the endpoint serves whichever
 	// registry the current RunDBBenchObs call is populating; the trace ring
-	// is shared across the run.
+	// is shared across the run. The auditor likewise follows the live store.
 	var cur atomic.Pointer[obs.Registry]
+	var curAud atomic.Pointer[audit.Auditor]
 	var ring *obs.RingSink
 	if *httpAddr != "" {
 		ring = obs.NewRingSink(4096)
 		cur.Store(obs.NewRegistry())
 		mux := http.NewServeMux()
+		mux.HandleFunc("/audit", func(w http.ResponseWriter, req *http.Request) {
+			a := curAud.Load()
+			if a == nil {
+				http.Error(w, "no auditor attached (run with -audit)", http.StatusServiceUnavailable)
+				return
+			}
+			// Summary diffs nothing (no crash image), so it is safe against
+			// the live store: shadow state only, no device bytes read.
+			rep := a.Summary()
+			if req.URL.Query().Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json")
+				rep.WriteJSON(w)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.WriteText(w)
+		})
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 			r := cur.Load()
 			if req.URL.Query().Get("format") == "json" {
@@ -90,8 +115,26 @@ func main() {
 					cur.Store(reg)
 					sink = ring
 				}
-				res, err := bench.RunDBBenchObs(db, w, filepath.Join(scratch, fmt.Sprintf("%s-%s-%d", db, w, i)), th, *n, reg, sink)
+				var onOpen func(*kvstore.DB)
+				if *auditFlag && db == "romdb" {
+					reg := reg
+					onOpen = func(kdb *kvstore.DB) {
+						a := audit.New(kdb.Engine().Device(), audit.Options{})
+						a.Attach()
+						kdb.SetAuditor(a)
+						if reg != nil {
+							a.PublishMetrics(reg)
+						}
+						curAud.Store(a)
+					}
+				}
+				res, err := bench.RunDBBenchHook(db, w, filepath.Join(scratch, fmt.Sprintf("%s-%s-%d", db, w, i)), th, *n, reg, sink, onOpen)
 				exitOn(err)
+				if a := curAud.Load(); a != nil {
+					if nv := a.ViolationCount(); nv > 0 {
+						exitOn(fmt.Errorf("%s/%s threads=%d: auditor found %d durability violation(s)", db, w, th, nv))
+					}
+				}
 				row = append(row, res.MicrosPerOp)
 			}
 			t.Row(row...)

@@ -1,0 +1,114 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is a structured durability report: the shadow state of the device
+// at one point (a crash, a live summary), the lost lines if a crash image
+// was diffed, the retained violations, and the waste counters. Field order
+// and the absence of volatile detail (pointers, file paths, line numbers)
+// make the JSON form deterministic for a deterministic workload.
+type Report struct {
+	// Point names the report trigger: "crash" or "summary".
+	Point string `json:"point"`
+	// Lines is the number of cache lines the device holds.
+	Lines int `json:"lines"`
+	// DirtyLines and QueuedLines count lines not yet persistent at the
+	// report point.
+	DirtyLines  int `json:"dirty_lines"`
+	QueuedLines int `json:"queued_lines"`
+	// LastDurableSeq is the store sequence number covered by the engine's
+	// most recent durability claim; StoreSeq is the current sequence.
+	LastDurableSeq uint64 `json:"last_durable_seq"`
+	StoreSeq       uint64 `json:"store_seq"`
+	// Lost lists lines whose volatile contents differ from the crash image,
+	// attributed to their last writer. Nil for summary reports.
+	Lost []LostLine `json:"lost,omitempty"`
+	// Violations are the retained violation records (capped); the total is
+	// never capped.
+	Violations      []Violation `json:"violations,omitempty"`
+	ViolationsTotal uint64      `json:"violations_total"`
+	Waste           Waste       `json:"waste"`
+}
+
+// LostLine is one cache line whose contents a crash discarded.
+type LostLine struct {
+	Line   int    `json:"line"`
+	Off    int    `json:"off"`
+	State  string `json:"state"`
+	Seq    uint64 `json:"seq"`
+	Engine string `json:"engine,omitempty"`
+	TxKind string `json:"tx_kind,omitempty"`
+	Site   string `json:"site,omitempty"`
+	// DurablyClaimed marks a line the engine had already claimed durable —
+	// losing it is a protocol violation, not expected crash damage.
+	DurablyClaimed bool `json:"durably_claimed"`
+}
+
+// Violation is one detected durability violation. Kind is "durable-point"
+// (line dirty or unfenced when the engine claimed durability), "crash-loss"
+// (durably-claimed line lost at a crash), or "close" (durably-claimed line
+// still unflushed at engine close).
+type Violation struct {
+	Kind   string `json:"kind"`
+	Point  string `json:"point"`
+	Line   int    `json:"line"`
+	Off    int    `json:"off"`
+	State  string `json:"state"`
+	Seq    uint64 `json:"seq"`
+	Engine string `json:"engine,omitempty"`
+	TxKind string `json:"tx_kind,omitempty"`
+	Site   string `json:"site,omitempty"`
+}
+
+// Waste aggregates redundant persistence work (§6.2: flushes the protocol
+// does not require).
+type Waste struct {
+	PwbClean    uint64 `json:"pwb_clean"`
+	PwbRequeued uint64 `json:"pwb_requeued"`
+	StoreQueued uint64 `json:"store_queued"`
+	FenceNoop   uint64 `json:"fence_noop"`
+}
+
+// WriteJSON writes the report as indented, deterministic JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText writes a human-readable rendering of the report.
+func (r *Report) WriteText(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "audit report (%s): %d lines, %d dirty, %d queued, store_seq %d, last_durable %d\n",
+		r.Point, r.Lines, r.DirtyLines, r.QueuedLines, r.StoreSeq, r.LastDurableSeq)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "waste: pwb_clean %d, pwb_requeued %d, store_queued %d, fence_noop %d\n",
+		r.Waste.PwbClean, r.Waste.PwbRequeued, r.Waste.StoreQueued, r.Waste.FenceNoop); err != nil {
+		return err
+	}
+	for _, l := range r.Lost {
+		tag := ""
+		if l.DurablyClaimed {
+			tag = "  [DURABLY CLAIMED]"
+		}
+		if _, err := fmt.Fprintf(w, "lost line %d @%#x state=%s seq=%d writer=%s/%s site=%q%s\n",
+			l.Line, l.Off, l.State, l.Seq, l.Engine, l.TxKind, l.Site, tag); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "violations: %d total\n", r.ViolationsTotal); err != nil {
+		return err
+	}
+	for _, v := range r.Violations {
+		if _, err := fmt.Fprintf(w, "VIOLATION [%s] at %s: line %d @%#x state=%s seq=%d writer=%s/%s site=%q\n",
+			v.Kind, v.Point, v.Line, v.Off, v.State, v.Seq, v.Engine, v.TxKind, v.Site); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -80,13 +80,16 @@ func (l *lvlDB) rangeAll(reverse bool, fn func(k, v []byte) bool) error {
 func (l *lvlDB) close() error       { return l.db.Close() }
 func (l *lvlDB) fdatasyncs() uint64 { return l.db.Stats().Fdatasyncs }
 
-func openBenchDB(kind, dir string, threads, entries, valueSize int, metrics *obs.Registry, trace obs.Sink) (dbIface, error) {
+func openBenchDB(kind, dir string, threads, entries, valueSize int, metrics *obs.Registry, trace obs.Sink, onOpen func(*kvstore.DB)) (dbIface, error) {
 	switch kind {
 	case "romdb":
 		region := entries*(220+valueSize+valueSize/2) + (16 << 20)
 		db, err := kvstore.Open(kvstore.Options{RegionSize: region, Metrics: metrics, Trace: trace})
 		if err != nil {
 			return nil, err
+		}
+		if onOpen != nil {
+			onOpen(db)
 		}
 		r := &romDB{db: db}
 		for i := 0; i < threads; i++ {
@@ -122,6 +125,16 @@ func RunDBBench(dbKind, workload, dir string, threads, entries int) (DBResult, e
 // ignored for leveldb, which has no transactional engine underneath.
 // The romulus-db -http endpoint is built on this hook.
 func RunDBBenchObs(dbKind, workload, dir string, threads, entries int, metrics *obs.Registry, trace obs.Sink) (DBResult, error) {
+	return RunDBBenchHook(dbKind, workload, dir, threads, entries, metrics, trace, nil)
+}
+
+// RunDBBenchHook is RunDBBenchObs plus an onOpen callback invoked with the
+// live RomulusDB store the moment it opens (nil for leveldb runs). The
+// romulus-db -audit flag uses it to chain a durability auditor onto the
+// store's device before any benchmark transaction runs; the store is closed
+// before RunDBBenchHook returns, so engine-close durability claims are
+// checked too.
+func RunDBBenchHook(dbKind, workload, dir string, threads, entries int, metrics *obs.Registry, trace obs.Sink, onOpen func(*kvstore.DB)) (DBResult, error) {
 	valueSize := 100
 	syncEach := false
 	ops := entries
@@ -134,7 +147,7 @@ func RunDBBenchObs(dbKind, workload, dir string, threads, entries int, metrics *
 		valueSize = 100 << 10
 	}
 	totalEntries := ops * threads
-	db, err := openBenchDB(dbKind, dir, threads, totalEntries, valueSize, metrics, trace)
+	db, err := openBenchDB(dbKind, dir, threads, totalEntries, valueSize, metrics, trace, onOpen)
 	if err != nil {
 		return DBResult{}, err
 	}

@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"strings"
+	"time"
 
+	"repro/internal/audit"
 	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/pstruct"
@@ -41,6 +44,39 @@ type WorkloadOptions struct {
 	TraceOut io.Writer
 	// TraceCap bounds the retained trace events per engine.
 	TraceCap int
+	// Audit chains a durability auditor onto each engine's device. Waste
+	// diagnostics surface as audit_* counters in the metrics block, and any
+	// durability violation fails the run with a diagnostic error.
+	Audit bool
+	// JSONOut, when non-nil, receives the machine-readable result: one
+	// WorkloadResult JSON object per engine, newline-delimited, schema
+	// "romulus-bench/workload/v1". Field set and ordering are fixed, so
+	// trajectory tooling can diff runs across commits.
+	JSONOut io.Writer
+}
+
+// WorkloadResult is one engine's row of a -json workload run. Everything
+// except the timing fields is deterministic for a fixed (workload, engine,
+// model, ops, seed) tuple.
+type WorkloadResult struct {
+	Schema     string  `json:"schema"`
+	Workload   string  `json:"workload"`
+	Engine     string  `json:"engine"`
+	Model      string  `json:"model"`
+	Threads    int     `json:"threads"`
+	Ops        int     `json:"ops"`
+	Seed       int64   `json:"seed"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Updates and Reads are committed transaction counts from the trace.
+	Updates uint64 `json:"updates"`
+	Reads   uint64 `json:"reads"`
+	// FencesPerTx and PwbsPerTx are the Table 1 persistence costs.
+	FencesPerTx float64 `json:"fences_per_tx"`
+	PwbsPerTx   float64 `json:"pwbs_per_tx"`
+	// Audit fields are present only for -audit runs.
+	AuditViolations uint64       `json:"audit_violations,omitempty"`
+	AuditWaste      *audit.Waste `json:"audit_waste,omitempty"`
 }
 
 // Workloads lists the workload names RunWorkload accepts.
@@ -77,6 +113,10 @@ func RunWorkload(opts WorkloadOptions) (string, error) {
 		reg  *obs.Registry
 	}
 	var blocks []block
+	jenc := json.NewEncoder(io.Discard)
+	if opts.JSONOut != nil {
+		jenc = json.NewEncoder(opts.JSONOut)
+	}
 	for _, kind := range kinds {
 		e, err := NewEngine(kind, 1<<21, opts.Model)
 		if err != nil {
@@ -85,6 +125,15 @@ func RunWorkload(opts WorkloadOptions) (string, error) {
 		reg := obs.NewRegistry()
 		obs.Instrument(e.Device(), reg)
 		obs.InstrumentPTM(e, reg)
+		var aud *audit.Auditor
+		if opts.Audit {
+			aud = audit.New(e.Device(), audit.Options{})
+			aud.Attach()
+			if sa, ok := e.(interface{ SetAuditor(ptm.Auditor) }); ok {
+				sa.SetAuditor(aud)
+			}
+			aud.PublishMetrics(reg)
+		}
 		ms := obs.NewMetricsSink(reg)
 		var ring *obs.RingSink
 		var sink obs.Sink = ms
@@ -92,14 +141,58 @@ func RunWorkload(opts WorkloadOptions) (string, error) {
 			ring = obs.NewRingSink(opts.TraceCap)
 			sink = obs.Tee(ms, ring)
 		}
+		start := time.Now()
 		if err := run(e, sink, opts); err != nil {
 			return "", fmt.Errorf("bench: workload %s on %s: %w", opts.Workload, kind, err)
+		}
+		elapsed := time.Since(start)
+		if aud != nil {
+			if n := aud.ViolationCount(); n > 0 {
+				var detail string
+				if vs := aud.Violations(); len(vs) > 0 {
+					v := vs[0]
+					detail = fmt.Sprintf("; first: [%s] at %s line %d (%s, %s/%s, site %s)",
+						v.Kind, v.Point, v.Line, v.State, v.Engine, v.TxKind, v.Site)
+				}
+				return "", fmt.Errorf("bench: workload %s on %s: auditor found %d durability violation(s)%s",
+					opts.Workload, kind, n, detail)
+			}
 		}
 		s := reg.Snapshot()
 		fences := s.Histograms["tx_fences"]
 		pwbs := s.Histograms["tx_pwbs"]
 		tbl.Row(kind, fences.Count, s.Counters["trace_read_total"],
 			fences.Mean, pwbs.Mean)
+		if opts.JSONOut != nil {
+			res := WorkloadResult{
+				Schema:      "romulus-bench/workload/v1",
+				Workload:    opts.Workload,
+				Engine:      kind,
+				Model:       opts.Model.Name,
+				Threads:     1,
+				Ops:         opts.Ops,
+				Seed:        opts.Seed,
+				ElapsedSec:  elapsed.Seconds(),
+				OpsPerSec:   float64(opts.Ops) / elapsed.Seconds(),
+				Updates:     fences.Count,
+				Reads:       s.Counters["trace_read_total"],
+				FencesPerTx: fences.Mean,
+				PwbsPerTx:   pwbs.Mean,
+			}
+			if aud != nil {
+				t := aud.Totals()
+				res.AuditViolations = t.Violations
+				res.AuditWaste = &audit.Waste{
+					PwbClean:    t.PwbClean,
+					PwbRequeued: t.PwbRequeued,
+					StoreQueued: t.StoreQueued,
+					FenceNoop:   t.FenceNoop,
+				}
+			}
+			if err := jenc.Encode(res); err != nil {
+				return "", err
+			}
+		}
 		if opts.TraceOut != nil {
 			if err := ring.WriteJSON(opts.TraceOut); err != nil {
 				return "", err

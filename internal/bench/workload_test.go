@@ -2,11 +2,14 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/pmem"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
@@ -110,5 +113,78 @@ func TestWorkloadTraceGolden(t *testing.T) {
 	}
 	if !bytes.Equal(trace.Bytes(), again.Bytes()) {
 		t.Fatal("two identical runs produced different traces")
+	}
+}
+
+// An audited workload run must stay violation-free on every engine, report
+// audit_* counters in the metrics block, and leave Table 1's fence counts
+// untouched (the auditor observes; it must not change the protocol).
+func TestRunWorkloadAudited(t *testing.T) {
+	out, err := RunWorkload(WorkloadOptions{
+		Workload: "swaps",
+		Engines:  EngineKinds,
+		Ops:      64,
+		Metrics:  true,
+		Audit:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 3 Romulus engines plus the Mnemosyne-style redo log all commit
+	// with exactly 4 fences; the auditor must not change that.
+	if got := strings.Count(out, "tx_fences_mean 4\n"); got != 4 {
+		t.Fatalf("want tx_fences_mean 4 for 4 engines under -audit, got %d in:\n%s", got, out)
+	}
+	for _, name := range []string{"audit_violation_total 0", "audit_durable_check_total", "audit_pwb_clean_total"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("metric %s missing from audited output", name)
+		}
+	}
+}
+
+// TestRunWorkloadJSON checks the machine-readable result stream: one
+// romulus-bench/workload/v1 object per engine with deterministic
+// persistence costs.
+func TestRunWorkloadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := RunWorkload(WorkloadOptions{
+		Workload: "swaps",
+		Engines:  []string{"rom", "pmdk"},
+		Ops:      32,
+		Model:    pmem.ModelDRAM,
+		Audit:    true,
+		JSONOut:  &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	var rows []WorkloadResult
+	for dec.More() {
+		var r WorkloadResult
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d JSON rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Schema != "romulus-bench/workload/v1" {
+			t.Errorf("%s: schema = %q", r.Engine, r.Schema)
+		}
+		if r.Model != "dram" || r.Ops != 32 || r.Threads != 1 {
+			t.Errorf("%s: bad identity fields: %+v", r.Engine, r)
+		}
+		if r.Updates == 0 || r.FencesPerTx == 0 || r.OpsPerSec <= 0 {
+			t.Errorf("%s: missing measurements: %+v", r.Engine, r)
+		}
+		if r.AuditViolations != 0 || r.AuditWaste == nil {
+			t.Errorf("%s: audit fields wrong: violations=%d waste=%v", r.Engine, r.AuditViolations, r.AuditWaste)
+		}
+	}
+	if rows[0].Engine != "rom" || rows[1].Engine != "pmdk" {
+		t.Errorf("row order not engine order: %q, %q", rows[0].Engine, rows[1].Engine)
 	}
 }

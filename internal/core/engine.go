@@ -61,6 +61,10 @@ type Config struct {
 	// DisableFlatCombining serializes writers with a plain spin lock
 	// instead of combining announced operations (ablation).
 	DisableFlatCombining bool
+	// Audit, when non-nil, receives the engine's durability-protocol
+	// markers: TxBegin/TxEnd around each update transaction, format and
+	// recovery, and DurablePoint at every commit-marker psync.
+	Audit ptm.Auditor
 }
 
 // Engine is a Romulus persistent transactional memory over a simulated
@@ -96,6 +100,10 @@ type Engine struct {
 	// baseline taken at beginTx, touched only by the single writer.
 	trace        obs.Sink
 	txStartFence uint64
+
+	// aud receives durability-protocol markers when non-nil. Set at Open
+	// (Config.Audit) or at a quiescent point (SetAuditor).
+	aud ptm.Auditor
 }
 
 var _ ptm.PTM = (*Engine)(nil)
@@ -156,10 +164,21 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 	e.wtx = Tx{e: e, base: e.mainBase}
 	e.wtx.log.enabled = cfg.Variant != Rom
 	e.wtx.log.merge = !cfg.DisableLogMerge
+	e.aud = cfg.Audit
 
 	if dev.Load64(offMagic) != magicValue {
+		if a := e.aud; a != nil {
+			a.TxBegin(e.Name(), "format")
+		}
 		if err := e.format(); err != nil {
+			if a := e.aud; a != nil {
+				a.TxEnd()
+			}
 			return nil, err
+		}
+		if a := e.aud; a != nil {
+			a.DurablePoint("format")
+			a.TxEnd()
 		}
 	} else {
 		if sum := headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize)); dev.Load64(offHeadSum) != sum {
@@ -172,7 +191,14 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 		if got := dev.Load64(offRegionSize); got != uint64(regionSize) {
 			return nil, fmt.Errorf("%w: header says %d, device implies %d", ErrRegionMismatch, got, regionSize)
 		}
+		if a := e.aud; a != nil {
+			a.TxBegin(e.Name(), "recovery")
+		}
 		e.recover()
+		if a := e.aud; a != nil {
+			a.DurablePoint("recovery")
+			a.TxEnd()
+		}
 	}
 	heap, err := alloc.Open((*heapMem)(e), heapBase)
 	if err != nil {
@@ -311,6 +337,9 @@ func (e *Engine) beginTx() *Tx {
 	t := &e.wtx
 	t.log.reset()
 	t.loads, t.stores, t.writeBytes = 0, 0, 0
+	if a := e.aud; a != nil {
+		a.TxBegin(e.Name(), "update")
+	}
 	st := e.dev.Stats()
 	e.txStartPwb = st.Pwbs
 	e.txStartFence = st.Pfences + st.Psyncs
@@ -334,6 +363,9 @@ func (e *Engine) durablePoint(t *Tx) {
 	d.Store64(offState, stateCPY)
 	d.Pwb(offState)
 	d.Psync()
+	if a := e.aud; a != nil {
+		a.DurablePoint("commit")
+	}
 }
 
 // replicate brings back up to date with main and returns the state machine
@@ -371,6 +403,9 @@ func (e *Engine) replicate(t *Tx) {
 			Fences:      st.Pfences + st.Psyncs - e.txStartFence,
 		})
 	}
+	if a := e.aud; a != nil {
+		a.TxEnd()
+	}
 }
 
 // rollbackTx reverts an in-flight transaction (user code returned an error
@@ -407,6 +442,9 @@ func (e *Engine) rollbackTx(t *Tx) {
 			Pwbs:        st.Pwbs - e.txStartPwb,
 			Fences:      st.Pfences + st.Psyncs - e.txStartFence,
 		})
+	}
+	if a := e.aud; a != nil {
+		a.TxEnd()
 	}
 }
 
@@ -454,6 +492,12 @@ func (e *Engine) Stats() ptm.TxStats {
 // events map one-to-one to Update calls.
 func (e *Engine) SetTrace(s obs.Sink) { e.trace = s }
 
+// SetAuditor installs (or, with nil, removes) the durability auditor. Like
+// SetTrace it must be called at a quiescent point: no transactions in
+// flight. Protocol work done before installation (e.g. format after New) is
+// simply unaudited.
+func (e *Engine) SetAuditor(a ptm.Auditor) { e.aud = a }
+
 // Device exposes the underlying device for statistics and crash testing.
 func (e *Engine) Device() *pmem.Device { return e.dev }
 
@@ -496,7 +540,12 @@ func (e *Engine) Verify() int {
 }
 
 // Close implements ptm.PTM. The persistent image remains valid.
-func (e *Engine) Close() error { return nil }
+func (e *Engine) Close() error {
+	if a := e.aud; a != nil {
+		a.EngineClose(e.Name())
+	}
+	return nil
+}
 
 // rawMem adapts the device for allocator access during format: plain
 // stores into main with no logging (the caller persists in bulk afterward).

@@ -23,8 +23,10 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/audit"
 	"repro/internal/obs"
 	"repro/internal/pmem"
+	"repro/internal/ptm"
 )
 
 // Config parameterizes a campaign.
@@ -56,6 +58,14 @@ type Config struct {
 	// (validation reads after recovery are not traced). The sink must be
 	// safe for concurrent Emit calls at Threads > 1.
 	Trace obs.Sink
+	// Audit attaches a durability auditor to every device the campaign
+	// creates (workload devices and each reopened crash image), composed
+	// with the crash scheduler via pmem.ChainHooks. Any durability
+	// violation — a dirty or unfenced line at a commit-marker advance, a
+	// durably-claimed line lost at a crash, or one still unflushed at
+	// engine close — fails the round. Waste diagnostics accumulate into
+	// Metrics as audit_* counters.
+	Audit bool
 }
 
 func (cfg *Config) applyDefaults() {
@@ -93,6 +103,13 @@ type Report struct {
 	// RecoveryCrashes counts chain crashes that interrupted real recovery
 	// work (the image had an in-flight transaction or non-empty log).
 	RecoveryCrashes int `json:"recovery_crashes"`
+	// AuditViolations counts durability violations detected by the auditor
+	// (only populated with Config.Audit; any nonzero count also fails the
+	// offending round).
+	AuditViolations uint64 `json:"audit_violations,omitempty"`
+	// AuditWaste aggregates the auditor's waste diagnostics over the
+	// campaign (only populated with Config.Audit).
+	AuditWaste audit.Waste `json:"audit_waste,omitempty"`
 }
 
 // CrashPoint records one injected failure of a round's crash chain.
@@ -177,6 +194,111 @@ func accumDevice(r *obs.Registry, dev *pmem.Device) {
 	r.Counter("pmem_persisted_bytes_total").Add(s.BytesPersisted)
 }
 
+// accumAudit folds one auditor's lifetime counters into the campaign
+// registry and the per-engine report, following the same accumulation
+// discipline as accumDevice (auditors are per-device, devices per-round).
+func accumAudit(r *obs.Registry, rep *Report, a *audit.Auditor) {
+	if a == nil {
+		return
+	}
+	t := a.Totals()
+	rep.AuditWaste.PwbClean += t.PwbClean
+	rep.AuditWaste.PwbRequeued += t.PwbRequeued
+	rep.AuditWaste.StoreQueued += t.StoreQueued
+	rep.AuditWaste.FenceNoop += t.FenceNoop
+	if r == nil {
+		return
+	}
+	r.Counter("audit_pwb_clean_total").Add(t.PwbClean)
+	r.Counter("audit_pwb_requeued_total").Add(t.PwbRequeued)
+	r.Counter("audit_store_queued_total").Add(t.StoreQueued)
+	r.Counter("audit_fence_noop_total").Add(t.FenceNoop)
+	r.Counter("audit_durable_check_total").Add(t.DurableChecks)
+	r.Counter("audit_violation_total").Add(t.Violations)
+}
+
+// forensicTrigger snapshots an auditor's crash forensics at the moment the
+// scheduler captures an image. It rides as the last bundle in the hook
+// chain: the auditor's shadow is already current and the scheduler has just
+// (maybe) captured, so checking at each fence diffs the views at the exact
+// failure point, before any later durable point can move the claim line.
+// finish is the harness-side fallback for captures not followed by a fence
+// (quiescent CaptureNow, or a crash landing on a trailing store).
+type forensicTrigger struct {
+	sched *pmem.Scheduler
+	aud   *audit.Auditor
+
+	mu   sync.Mutex
+	done bool
+}
+
+func (f *forensicTrigger) hooks() *pmem.Hooks {
+	return &pmem.Hooks{Fence: f.onFence}
+}
+
+func (f *forensicTrigger) onFence() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return
+	}
+	if img, _ := f.sched.Image(); img != nil {
+		f.done = true
+		f.aud.Forensics(img)
+	}
+}
+
+// finish runs the forensic diff for img unless a fence already did.
+func (f *forensicTrigger) finish(img []byte) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.done && img != nil {
+		f.done = true
+		f.aud.Forensics(img)
+	}
+}
+
+// roundAudit owns one round's auditors (one per device: the workload device
+// plus every reopened crash image).
+type roundAudit struct {
+	enabled bool
+	auds    []*audit.Auditor
+}
+
+// attach builds an auditor for dev and installs the round's hook
+// composition — auditor, then scheduler, then forensic trigger — replacing
+// the scheduler-only bundle NewScheduler installed. Returns nils when
+// auditing is off (the scheduler's own bundle stays in place).
+func (ra *roundAudit) attach(dev *pmem.Device, sched *pmem.Scheduler) (*audit.Auditor, *forensicTrigger) {
+	if !ra.enabled {
+		return nil, nil
+	}
+	a := audit.New(dev, audit.Options{})
+	ra.auds = append(ra.auds, a)
+	trig := &forensicTrigger{sched: sched, aud: a}
+	dev.SetHooks(pmem.ChainHooks(a.Hooks(), sched.Hooks(), trig.hooks()))
+	return a, trig
+}
+
+// violations sums detected violations across the round's auditors and
+// returns the first retained record for diagnostics.
+func (ra *roundAudit) violations() (uint64, *audit.Violation) {
+	var total uint64
+	var first *audit.Violation
+	for _, a := range ra.auds {
+		total += a.ViolationCount()
+		if first == nil {
+			if vs := a.Violations(); len(vs) > 0 {
+				first = &vs[0]
+			}
+		}
+	}
+	return total, first
+}
+
 // engineSeed derives a per-engine stream so campaigns are reproducible
 // independently of which engines are selected.
 func engineSeed(seed int64, name string) int64 {
@@ -246,8 +368,13 @@ func runRound(cfg Config, tgt target, threads, round int, roundSeed int64, rep *
 	// attaches after the store exists, so the map root is always durable
 	// and every captured image reopens through the recovery path, never
 	// through format.
+	ra := &roundAudit{enabled: cfg.Audit}
 	sched := pmem.NewScheduler(st.dev())
 	sched.SetBudget(cfg.ChainDepth)
+	aud, trig := ra.attach(st.dev(), sched)
+	if aud != nil {
+		st.setAudit(aud)
+	}
 	policy := randPolicy(rrng)
 	// ~24 persistence events per small transaction; the range deliberately
 	// overshoots so some rounds crash post-workload, at a quiescent point.
@@ -320,6 +447,9 @@ func runRound(cfg Config, tgt target, threads, round int, roundSeed int64, rep *
 		img = sched.CaptureNow(policy)
 		ev = sched.Events()
 	}
+	// Forensics fallback for captures with no subsequent fence (quiescent
+	// CaptureNow, or a crash landing on the workload's last store).
+	trig.finish(img)
 	sched.Detach()
 	accumDevice(cfg.Metrics, st.dev())
 	chain := []CrashPoint{{Event: ev}}
@@ -336,9 +466,15 @@ func runRound(cfg Config, tgt target, threads, round int, roundSeed int64, rep *
 		if len(chain) < cfg.ChainDepth {
 			s2.Arm(uint64(1+rrng.Intn(64)), randPolicy(rrng))
 		}
-		st2, err := tgt.reopen(dev)
+		a2, trig2 := ra.attach(dev, s2)
+		var audArg ptm.Auditor
+		if a2 != nil {
+			audArg = a2
+		}
+		st2, err := tgt.reopen(dev, audArg)
 		if s2.Captured() {
 			img2, ev2 := s2.Image()
+			trig2.finish(img2)
 			s2.Detach()
 			accumDevice(cfg.Metrics, dev)
 			rep.ChainCrashes++
@@ -352,6 +488,11 @@ func runRound(cfg Config, tgt target, threads, round int, roundSeed int64, rep *
 		s2.Detach()
 		if err != nil {
 			return &Failure{Chain: chain, Reason: fmt.Sprintf("reopen failed: %v", err)}
+		}
+		// Detach cleared the whole composed bundle; reinstall the auditor
+		// alone so the validation probe and engine close stay audited.
+		if a2 != nil {
+			dev.SetHooks(a2.Hooks())
 		}
 		final = st2
 		break
@@ -392,6 +533,27 @@ func runRound(cfg Config, tgt target, threads, round int, roundSeed int64, rep *
 	if v, found, err := final.get(0); err != nil || !found || v != probe {
 		return &Failure{Chain: chain, Reason: fmt.Sprintf(
 			"post-recovery write not readable: v=%d found=%v err=%v", v, found, err)}
+	}
+
+	// Phase 4 (audit rounds only): closing is the engine's final durability
+	// claim; then any violation recorded by any of the round's auditors —
+	// workload, chained recoveries, or the probe — fails the round.
+	if cfg.Audit {
+		if err := final.close(); err != nil {
+			return &Failure{Chain: chain, Reason: fmt.Sprintf("close after recovery: %v", err)}
+		}
+		for _, a := range ra.auds {
+			accumAudit(cfg.Metrics, rep, a)
+		}
+		if n, v := ra.violations(); n > 0 {
+			rep.AuditViolations += n
+			reason := fmt.Sprintf("auditor: %d durability violation(s)", n)
+			if v != nil {
+				reason += fmt.Sprintf("; first: [%s] at %s: line %d off %d state=%s seq=%d engine=%s tx=%s site=%s",
+					v.Kind, v.Point, v.Line, v.Off, v.State, v.Seq, v.Engine, v.TxKind, v.Site)
+			}
+			return &Failure{Chain: chain, Reason: reason}
+		}
 	}
 	return nil
 }

@@ -37,12 +37,18 @@ type store interface {
 	// setTrace attaches a per-transaction trace sink to the underlying
 	// engine (nil removes it). Called only at quiescent points.
 	setTrace(s obs.Sink)
+	// setAudit attaches a durability auditor to the underlying engine (nil
+	// removes it). Called only at quiescent points.
+	setAudit(a ptm.Auditor)
 	// update applies ops as ONE durable transaction.
 	update(ops []op) error
 	get(k uint64) (uint64, bool, error)
 	size() (int, error)
 	// check validates engine invariants after recovery (heap, twin copies).
 	check() error
+	// close shuts the engine down (the final durability claim the auditor
+	// verifies).
+	close() error
 }
 
 // target is a crash-test subject: a way to build a fresh store, reopen one
@@ -55,7 +61,9 @@ type target struct {
 	// single-mutator data path does not support, so it runs single-threaded.
 	concurrent bool
 	fresh      func() (store, error)
-	reopen     func(dev *pmem.Device) (store, error)
+	// reopen attaches to a crash image. The auditor (nil when auditing is
+	// off) is handed to the engine's Open so recovery runs fully audited.
+	reopen func(dev *pmem.Device, aud ptm.Auditor) (store, error)
 	// pending reports whether reopening this image performs real recovery
 	// work (in-flight transaction state, non-empty logs).
 	pending func(img []byte) bool
@@ -84,8 +92,8 @@ var targets = []target{
 			}
 			return newMapStore(e, nil, true)
 		},
-		reopen: func(dev *pmem.Device) (store, error) {
-			e, err := undolog.Open(dev, undolog.Config{LogSize: undoLogSize})
+		reopen: func(dev *pmem.Device, aud ptm.Auditor) (store, error) {
+			e, err := undolog.Open(dev, undolog.Config{LogSize: undoLogSize, Audit: aud})
 			if err != nil {
 				return nil, err
 			}
@@ -103,8 +111,8 @@ var targets = []target{
 			}
 			return newMapStore(e, nil, true)
 		},
-		reopen: func(dev *pmem.Device) (store, error) {
-			e, err := redolog.Open(dev, redolog.Config{SegmentSize: redoSegSize, Segments: redoSegs})
+		reopen: func(dev *pmem.Device, aud ptm.Auditor) (store, error) {
+			e, err := redolog.Open(dev, redolog.Config{SegmentSize: redoSegSize, Segments: redoSegs, Audit: aud})
 			if err != nil {
 				return nil, err
 			}
@@ -124,8 +132,8 @@ var targets = []target{
 			}
 			return &kvStore{db: db}, nil
 		},
-		reopen: func(dev *pmem.Device) (store, error) {
-			e, err := core.Open(dev, core.Config{Variant: core.RomLog})
+		reopen: func(dev *pmem.Device, aud ptm.Auditor) (store, error) {
+			e, err := core.Open(dev, core.Config{Variant: core.RomLog, Audit: aud})
 			if err != nil {
 				return nil, err
 			}
@@ -146,8 +154,8 @@ func coreTarget(name string, v core.Variant) target {
 			}
 			return newMapStore(e, coreVerify(e), true)
 		},
-		reopen: func(dev *pmem.Device) (store, error) {
-			e, err := core.Open(dev, core.Config{Variant: v})
+		reopen: func(dev *pmem.Device, aud ptm.Auditor) (store, error) {
+			e, err := core.Open(dev, core.Config{Variant: v, Audit: aud})
 			if err != nil {
 				return nil, err
 			}
@@ -174,6 +182,8 @@ type mapEngine interface {
 	Device() *pmem.Device
 	CheckHeap() error
 	SetTrace(obs.Sink)
+	SetAuditor(ptm.Auditor)
+	Close() error
 }
 
 // mapStore drives a pstruct.HashMap at root 0 on any engine.
@@ -206,6 +216,10 @@ func newMapStore(e mapEngine, verify func() error, create bool) (store, error) {
 func (s *mapStore) dev() *pmem.Device { return s.e.Device() }
 
 func (s *mapStore) setTrace(t obs.Sink) { s.e.SetTrace(t) }
+
+func (s *mapStore) setAudit(a ptm.Auditor) { s.e.SetAuditor(a) }
+
+func (s *mapStore) close() error { return s.e.Close() }
 
 func (s *mapStore) update(ops []op) error {
 	return s.e.Update(func(tx ptm.Tx) error {
@@ -279,6 +293,10 @@ func kvKey(k uint64) []byte {
 func (s *kvStore) dev() *pmem.Device { return s.db.Engine().Device() }
 
 func (s *kvStore) setTrace(t obs.Sink) { s.db.SetTrace(t) }
+
+func (s *kvStore) setAudit(a ptm.Auditor) { s.db.SetAuditor(a) }
+
+func (s *kvStore) close() error { return s.db.Close() }
 
 func (s *kvStore) update(ops []op) error {
 	if len(ops) == 1 {

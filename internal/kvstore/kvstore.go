@@ -53,6 +53,9 @@ type Options struct {
 	// Trace, when non-nil, receives one obs.TxEvent per transaction,
 	// starting after the store's own initialization transaction.
 	Trace obs.Sink
+	// Audit, when non-nil, receives the engine's durability-protocol
+	// markers (ptm.Auditor), including format/recovery at Open.
+	Audit ptm.Auditor
 }
 
 const defaultRegionSize = 64 << 20
@@ -72,7 +75,7 @@ func Open(opts Options) (*DB, error) {
 	if opts.RegionSize == 0 {
 		opts.RegionSize = defaultRegionSize
 	}
-	cfg := core.Config{Variant: opts.Variant, Model: opts.Model} // zero Variant = RomLog
+	cfg := core.Config{Variant: opts.Variant, Model: opts.Model, Audit: opts.Audit} // zero Variant = RomLog
 	var eng *core.Engine
 	var err error
 	if opts.Path != "" {
@@ -136,6 +139,10 @@ func opDone(h *obs.Histogram, start time.Time) {
 // SetTrace installs (or, with nil, removes) the per-transaction trace sink
 // on the underlying engine. Call at a quiescent point.
 func (db *DB) SetTrace(s obs.Sink) { db.eng.SetTrace(s) }
+
+// SetAuditor installs (or, with nil, removes) the durability auditor on the
+// underlying engine. Call at a quiescent point.
+func (db *DB) SetAuditor(a ptm.Auditor) { db.eng.SetAuditor(a) }
 
 // Attach wraps an already-opened engine whose root slot holds a map from a
 // previous run, without starting any transaction. Crash-recovery harnesses

@@ -1,0 +1,97 @@
+package pmem
+
+// ChainHooks composes several hook bundles into one: each callback of the
+// result invokes the corresponding non-nil callbacks of every argument, in
+// argument order. Nil bundles are skipped, so conditional observers compose
+// without special cases; with zero or one usable bundle the input is
+// returned as-is.
+//
+// The hook slot on a Device is single-occupancy (SetHooks replaces the whole
+// bundle), so an auditor and a crash Scheduler — or any other pair of
+// observers — must be chained rather than installed one after the other,
+// which would silently clobber. Order matters when a later bundle inspects
+// state a former one maintains: put the state-keeping observer (auditor)
+// before the one that acts on events (scheduler), so its view is current
+// when the scheduler captures a crash image.
+func ChainHooks(hooks ...*Hooks) *Hooks {
+	var hs []*Hooks
+	for _, h := range hooks {
+		if h != nil {
+			hs = append(hs, h)
+		}
+	}
+	switch len(hs) {
+	case 0:
+		return nil
+	case 1:
+		return hs[0]
+	}
+	var stores, pwbs []func(uint64)
+	var fences, crashes []func()
+	var storeAts []func(int, int)
+	var pwbAts []func(int)
+	for _, h := range hs {
+		if h.Store != nil {
+			stores = append(stores, h.Store)
+		}
+		if h.Pwb != nil {
+			pwbs = append(pwbs, h.Pwb)
+		}
+		if h.Fence != nil {
+			fences = append(fences, h.Fence)
+		}
+		if h.StoreAt != nil {
+			storeAts = append(storeAts, h.StoreAt)
+		}
+		if h.PwbAt != nil {
+			pwbAts = append(pwbAts, h.PwbAt)
+		}
+		if h.Crash != nil {
+			crashes = append(crashes, h.Crash)
+		}
+	}
+	out := &Hooks{}
+	if len(stores) > 0 {
+		out.Store = func(n uint64) {
+			for _, f := range stores {
+				f(n)
+			}
+		}
+	}
+	if len(pwbs) > 0 {
+		out.Pwb = func(n uint64) {
+			for _, f := range pwbs {
+				f(n)
+			}
+		}
+	}
+	if len(fences) > 0 {
+		out.Fence = func() {
+			for _, f := range fences {
+				f()
+			}
+		}
+	}
+	if len(storeAts) > 0 {
+		out.StoreAt = func(off, n int) {
+			for _, f := range storeAts {
+				f(off, n)
+			}
+		}
+	}
+	if len(pwbAts) > 0 {
+		out.PwbAt = func(off int) {
+			for _, f := range pwbAts {
+				f(off)
+			}
+		}
+	}
+	if len(crashes) > 0 {
+		out.Crash = func() {
+			for _, f := range crashes {
+				f()
+			}
+		}
+	}
+	return out
+}

@@ -89,6 +89,16 @@ type Hooks struct {
 	Pwb func(n uint64)
 	// Fence is called after every Pfence or Psync.
 	Fence func()
+	// StoreAt is called after every store with the byte range it covered,
+	// [off, off+n). A StoreBytes or CopyWithin of any length is one call.
+	StoreAt func(off, n int)
+	// PwbAt is called after every Pwb with the line-aligned offset of the
+	// flushed cache line.
+	PwbAt func(off int)
+	// Crash is called inside Crash after the policy has been applied to the
+	// persisted image but before the volatile image is discarded, so an
+	// observer can diff the two views at the exact failure point.
+	Crash func()
 }
 
 // Device is a simulated persistent-memory region. The zero value is not
@@ -179,8 +189,13 @@ func (d *Device) markStored(off, n int) {
 	for l := first; l <= last; l++ {
 		d.dirty.set(l)
 	}
-	if h := d.hooks.Load(); h != nil && h.Store != nil {
-		h.Store(stores)
+	if h := d.hooks.Load(); h != nil {
+		if h.StoreAt != nil {
+			h.StoreAt(off, n)
+		}
+		if h.Store != nil {
+			h.Store(stores)
+		}
 	}
 }
 
@@ -305,8 +320,13 @@ func (d *Device) Pwb(off int) {
 			d.queuedLines = append(d.queuedLines, int64(line))
 		}
 	}
-	if h := d.hooks.Load(); h != nil && h.Pwb != nil {
-		h.Pwb(pwbs)
+	if h := d.hooks.Load(); h != nil {
+		if h.PwbAt != nil {
+			h.PwbAt(line << lineShift)
+		}
+		if h.Pwb != nil {
+			h.Pwb(pwbs)
+		}
 	}
 }
 
@@ -376,6 +396,12 @@ func (d *Device) Persisted() []byte {
 	copy(out, d.pm)
 	return out
 }
+
+// PersistedBytes returns the persisted image slice for [off, off+n) without
+// copying. The caller must treat it as read-only and respect the same
+// synchronization rules as the data path; auditors use it to diff individual
+// cache lines against the volatile view.
+func (d *Device) PersistedBytes(off, n int) []byte { return d.pm[off : off+n] }
 
 // CrashPolicy controls the fate of not-yet-durable data at a simulated power
 // failure.
@@ -453,6 +479,9 @@ func (d *Device) applyCrash(img []byte, p CrashPolicy) {
 // device is quiescent and ready for recovery code.
 func (d *Device) Crash(p CrashPolicy) {
 	d.applyCrash(d.pm, p)
+	if h := d.hooks.Load(); h != nil && h.Crash != nil {
+		h.Crash()
+	}
 	d.dirty.reset()
 	d.queued.reset()
 	d.queuedLines = d.queuedLines[:0]

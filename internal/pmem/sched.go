@@ -36,7 +36,8 @@ import (
 // mutating goroutine, inside the persistence primitive that triggered it,
 // so it never races with the (single) mutator.
 type Scheduler struct {
-	dev *Device
+	dev   *Device
+	hooks *Hooks // the bundle NewScheduler installed
 
 	events atomic.Uint64 // persistence events observed since attach
 	armed  atomic.Bool   // fast path: is a capture pending?
@@ -56,9 +57,15 @@ type Scheduler struct {
 func NewScheduler(dev *Device) *Scheduler {
 	s := &Scheduler{dev: dev}
 	n := func(uint64) { s.tick() }
-	dev.SetHooks(&Hooks{Store: n, Pwb: n, Fence: func() { s.tick() }})
+	s.hooks = &Hooks{Store: n, Pwb: n, Fence: func() { s.tick() }}
+	dev.SetHooks(s.hooks)
 	return s
 }
+
+// Hooks returns the scheduler's hook bundle so a harness can compose it with
+// other observers via ChainHooks and reinstall the composition with
+// SetHooks. The bundle itself is immutable after NewScheduler.
+func (s *Scheduler) Hooks() *Hooks { return s.hooks }
 
 // Detach removes the scheduler's hooks from the device. Events stop
 // counting; a pending arm never fires.

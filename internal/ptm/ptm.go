@@ -133,6 +133,24 @@ type PTM interface {
 	Close() error
 }
 
+// Auditor observes an engine's durability protocol from the outside. The
+// engine calls TxBegin/TxEnd around each update-side protocol section (an
+// update transaction, a format, a recovery) so stores can be attributed to a
+// writer, and DurablePoint at every point where its protocol claims all
+// prior effects are persistent — in Romulus terms, immediately after the
+// psync that advances the commit marker (§4.1). EngineClose marks the final
+// durability claim when the engine shuts down.
+//
+// Implementations live outside the engines (internal/audit); engines only
+// hold the interface so auditing adds no dependency and, when nil, no cost
+// beyond a branch.
+type Auditor interface {
+	TxBegin(engine, kind string)
+	TxEnd()
+	DurablePoint(point string)
+	EngineClose(engine string)
+}
+
 // Handle is a per-goroutine transaction context. Engines keep per-thread
 // announcement and read-indicator slots; acquiring a Handle pins one slot,
 // avoiding per-transaction registry traffic on hot paths. A Handle must be

@@ -97,6 +97,11 @@ type Config struct {
 	SegmentSize int
 	// Segments is the number of concurrent commit logs (default 8).
 	Segments int
+	// Audit, when non-nil, receives the engine's durability-protocol
+	// markers (ptm.Auditor). Because commits run concurrently, the engine
+	// only emits TxBegin/DurablePoint when a commit is the sole one in
+	// flight; overlapping commits are counted but not individually audited.
+	Audit ptm.Auditor
 }
 
 const (
@@ -129,6 +134,12 @@ type Engine struct {
 	// single-writer engines, events are emitted concurrently here, so the
 	// sink's own concurrency guarantee is what serializes them.
 	trace obs.Sink
+
+	// aud receives durability-protocol markers when non-nil; activeCommits
+	// tracks overlapping commits so audit markers are only emitted for
+	// commits with the device to themselves.
+	aud           ptm.Auditor
+	activeCommits atomic.Int32
 }
 
 var _ ptm.HandlePTM = (*Engine)(nil)
@@ -176,9 +187,20 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 		segMu:      make([]sync.Mutex, cfg.Segments),
 		handles:    make(chan *Handle, hsync.MaxThreads),
 	}
+	e.aud = cfg.Audit
 	if dev.Load64(offMagic) != magicValue {
+		if a := e.aud; a != nil {
+			a.TxBegin(e.Name(), "format")
+		}
 		if err := e.format(); err != nil {
+			if a := e.aud; a != nil {
+				a.TxEnd()
+			}
 			return nil, err
+		}
+		if a := e.aud; a != nil {
+			a.DurablePoint("format")
+			a.TxEnd()
 		}
 	} else {
 		if sum := headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize),
@@ -195,8 +217,18 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 		if got := dev.Load64(offSegSize); got != uint64(cfg.SegmentSize) {
 			return nil, fmt.Errorf("redolog: header segment size %d, config says %d", got, cfg.SegmentSize)
 		}
+		if a := e.aud; a != nil {
+			a.TxBegin(e.Name(), "recovery")
+		}
 		if err := e.recover(); err != nil {
+			if a := e.aud; a != nil {
+				a.TxEnd()
+			}
 			return nil, err
+		}
+		if a := e.aud; a != nil {
+			a.DurablePoint("recovery")
+			a.TxEnd()
 		}
 	}
 	heap, err := alloc.Open(rawMem{e}, heapBase)
@@ -346,8 +378,17 @@ func (e *Engine) Device() *pmem.Device { return e.dev }
 // CheckHeap validates allocator invariants; used by recovery tests.
 func (e *Engine) CheckHeap() error { return e.heap.CheckInvariants() }
 
+// SetAuditor installs (or, with nil, removes) the durability auditor. Call
+// at a quiescent point; protocol work done earlier is simply unaudited.
+func (e *Engine) SetAuditor(a ptm.Auditor) { e.aud = a }
+
 // Close implements ptm.PTM.
-func (e *Engine) Close() error { return nil }
+func (e *Engine) Close() error {
+	if a := e.aud; a != nil {
+		a.EngineClose(e.Name())
+	}
+	return nil
+}
 
 // rawMem gives the allocator direct access during format/validation; at
 // runtime allocator calls flow through transactions instead (txMem).

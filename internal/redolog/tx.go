@@ -341,6 +341,19 @@ func (t *Tx) commit(seg int) error {
 			t.abort()
 		}
 	}
+	// No abort paths remain past this point, so audit markers opened here
+	// are always closed. Overlapping commits dirty disjoint lines the
+	// auditor cannot attribute to one claim, so markers are emitted only
+	// when this commit has the device to itself.
+	aud := e.aud
+	audited := false
+	if aud != nil {
+		if e.activeCommits.Add(1) == 1 {
+			audited = true
+			aud.TxBegin(e.Name(), "update")
+		}
+		defer e.activeCommits.Add(-1)
+	}
 	// Phase 3: persist the redo log (fences 1 and 2).
 	d := e.dev
 	base := e.segBase(seg)
@@ -367,6 +380,9 @@ func (t *Tx) commit(seg int) error {
 	d.Store64(base+segCommitted, 0)
 	d.Pwb(base + segCommitted)
 	d.Psync()
+	if audited && e.activeCommits.Load() == 1 {
+		aud.DurablePoint("commit")
+	}
 	// Phase 5: release stripes at the new version.
 	for _, w := range words {
 		e.stripe(w).Store(wv << 1)
@@ -379,6 +395,9 @@ func (t *Tx) commit(seg int) error {
 		1 + uint64(len(words)) + 1
 	t.commitFences = 4
 	t.logBytes = uint64(len(words) * entrySize)
+	if audited {
+		aud.TxEnd()
+	}
 	return nil
 }
 

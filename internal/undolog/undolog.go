@@ -59,6 +59,9 @@ type Config struct {
 	// LogSize is the undo-log capacity in bytes (default 1 MiB). A
 	// transaction whose log outgrows it fails with ErrLogFull.
 	LogSize int
+	// Audit, when non-nil, receives the engine's durability-protocol
+	// markers (ptm.Auditor).
+	Audit ptm.Auditor
 }
 
 // ErrLogFull is returned when a transaction overflows the undo log.
@@ -102,6 +105,10 @@ type Engine struct {
 	// trace receives one obs.TxEvent per transaction when non-nil; set only
 	// at quiescent points (SetTrace).
 	trace obs.Sink
+
+	// aud receives durability-protocol markers when non-nil. Set at Open
+	// (Config.Audit) or at a quiescent point (SetAuditor).
+	aud ptm.Auditor
 }
 
 var _ ptm.HandlePTM = (*Engine)(nil)
@@ -142,9 +149,20 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 		logSize:    cfg.LogSize,
 	}
 	e.wtx = Tx{e: e, logged: make(map[uint64]bool)}
+	e.aud = cfg.Audit
 	if dev.Load64(offMagic) != magicValue {
+		if a := e.aud; a != nil {
+			a.TxBegin(e.Name(), "format")
+		}
 		if err := e.format(); err != nil {
+			if a := e.aud; a != nil {
+				a.TxEnd()
+			}
 			return nil, err
+		}
+		if a := e.aud; a != nil {
+			a.DurablePoint("format")
+			a.TxEnd()
 		}
 	} else {
 		if sum := headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize), dev.Load64(offLogSize)); dev.Load64(offHeadSum) != sum {
@@ -157,8 +175,18 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 		if got := dev.Load64(offRegionSize); got != uint64(regionSize) {
 			return nil, fmt.Errorf("undolog: header region size %d, device implies %d", got, regionSize)
 		}
+		if a := e.aud; a != nil {
+			a.TxBegin(e.Name(), "recovery")
+		}
 		if err := e.recover(); err != nil {
+			if a := e.aud; a != nil {
+				a.TxEnd()
+			}
 			return nil, err
+		}
+		if a := e.aud; a != nil {
+			a.DurablePoint("recovery")
+			a.TxEnd()
 		}
 	}
 	heap, err := alloc.Open((*heapMem)(e), heapBase)
@@ -291,6 +319,9 @@ func (e *Engine) commitTx() {
 	d.Store64(offLogCount, 0)
 	d.Pwb(offLogCount)
 	d.Psync()
+	if a := e.aud; a != nil {
+		a.DurablePoint("commit")
+	}
 }
 
 // rollbackTx restores pre-transaction state from the undo log (same code
@@ -323,8 +354,17 @@ func (e *Engine) Device() *pmem.Device { return e.dev }
 // CheckHeap validates allocator invariants; used by recovery tests.
 func (e *Engine) CheckHeap() error { return e.heap.CheckInvariants() }
 
+// SetAuditor installs (or, with nil, removes) the durability auditor. Call
+// at a quiescent point; protocol work done earlier is simply unaudited.
+func (e *Engine) SetAuditor(a ptm.Auditor) { e.aud = a }
+
 // Close implements ptm.PTM.
-func (e *Engine) Close() error { return nil }
+func (e *Engine) Close() error {
+	if a := e.aud; a != nil {
+		a.EngineClose(e.Name())
+	}
+	return nil
+}
 
 // Update implements ptm.PTM.
 func (e *Engine) Update(fn func(ptm.Tx) error) error {
@@ -334,6 +374,10 @@ func (e *Engine) Update(fn func(ptm.Tx) error) error {
 	defer e.rw.writerUnlock()
 	st := e.dev.Stats()
 	startPwb, startFence := st.Pwbs, st.Pfences+st.Psyncs
+	if a := e.aud; a != nil {
+		a.TxBegin(e.Name(), "update")
+		defer a.TxEnd()
+	}
 	t := e.beginTx()
 	committed := false
 	defer func() {
