@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench tools experiments crashtest crashtest-short audit docs-check fuzz clean
+.PHONY: all build test race bench bench-scale tools experiments crashtest crashtest-short crashtest-batch audit docs-check fuzz clean
 
 all: build test
 
@@ -23,6 +23,13 @@ race:
 bench:
 	go test -bench=. -benchmem ./...
 
+# Flat-combining contention microbenchmarks: batch formation and amortized
+# per-op cost at 1..8 writers, plus the engine-level scaling sweep (batched
+# durability rounds must push fences/tx below the solo floor of 4).
+bench-scale: tools
+	go test -bench 'Combiner|Execute' -benchtime 100000x ./internal/flatcombine
+	./bin/romulus-bench -workload swaps -engines rom,romlog,romlr -ops 4000 -threads 1,2,4,8
+
 tools:
 	go build -o bin/ ./cmd/...
 
@@ -39,11 +46,17 @@ experiments: tools
 	./bin/romulus-db -n 100000 -threads 1,2,4                        | tee results/fig8.txt
 	./bin/romulus-sps -secs 0.3                                      | tee results/fig9.txt
 	./bin/romulus-bench -pwbhist                                     | tee results/pwbhist.txt
-	./bin/romulus-bench -workload swaps -ops 2000 -audit -json results/BENCH_swaps.json | tee results/workload_swaps.txt
-	./bin/romulus-bench -workload map -ops 2000 -audit -json results/BENCH_map.json     | tee results/workload_map.txt
+	./bin/romulus-bench -workload swaps -ops 2000 -threads 1,2,4,8 -audit -json results/BENCH_swaps.json -append | tee results/workload_swaps.txt
+	./bin/romulus-bench -workload map -ops 2000 -threads 1,2,4,8 -audit -json results/BENCH_map.json -append    | tee results/workload_map.txt
+	./bin/benchcheck results/BENCH_swaps.json results/BENCH_map.json
 
 crashtest: tools
 	./bin/romulus-crashtest -rounds 2000 -chain 3 -engines all -threads 4
+
+# Combined-batch crash campaign: crashes aimed inside flat-combined
+# durability rounds; recovery must expose every batch all-or-nothing.
+crashtest-batch: tools
+	./bin/romulus-crashtest -batch -rounds 1000 -chain 2 -threads 4 -audit
 
 # Quick crash-chain pass under the race detector; part of `make test`.
 crashtest-short:

@@ -1,0 +1,49 @@
+// Command benchcheck guards benchmark trajectories: it reads one or more
+// JSON-lines files accumulated with `romulus-bench -workload ... -json FILE
+// -append` and exits non-zero if the newest row of any (workload, engine,
+// model, threads) group regressed fences_per_tx above the group's
+// historical best by more than the tolerance. Wire it after the experiment
+// run (see `make experiments`) so a change that silently breaks fence
+// amortization — batches collapsing to one op, elision lost — fails the
+// build instead of shipping as a slower artifact.
+//
+// Usage:
+//
+//	benchcheck [-tol 0.30] results/BENCH_swaps.json results/BENCH_map.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	tol := flag.Float64("tol", bench.DefaultTrajectoryTol,
+		"relative headroom over a group's best historical fences_per_tx")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no trajectory files given")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		regs, err := bench.CheckTrajectoryFile(path, *tol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: REGRESSION %s\n", path, r)
+			failed = true
+		}
+		if len(regs) == 0 {
+			fmt.Printf("benchcheck: %s: ok\n", path)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -44,6 +44,7 @@ func main() {
 	trace := flag.String("trace", "", "write the per-transaction trace (JSON lines) of a -workload run to this file, or - for stdout")
 	audit := flag.Bool("audit", false, "chain the durability auditor onto each engine of a -workload run (violations fail the run; waste shows as audit_* metrics)")
 	jsonOut := flag.String("json", "", "write machine-readable per-engine results (romulus-bench/workload/v1 JSON lines) of a -workload run to this file, or - for stdout")
+	appendJSON := flag.Bool("append", false, "append to the -json file instead of truncating it (trajectory mode: one row per run accumulates history)")
 	flag.Parse()
 
 	kinds, err := bench.ParseEngines(*engines)
@@ -59,6 +60,7 @@ func main() {
 			Workload: *workload,
 			Engines:  kinds,
 			Ops:      *ops,
+			Threads:  ths,
 			Seed:     *seed,
 			Model:    m,
 			Metrics:  *metrics,
@@ -78,7 +80,11 @@ func main() {
 			if *jsonOut == "-" {
 				wopts.JSONOut = os.Stdout
 			} else {
-				f, err := os.Create(*jsonOut)
+				mode := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+				if *appendJSON {
+					mode = os.O_WRONLY | os.O_CREATE | os.O_APPEND
+				}
+				f, err := os.OpenFile(*jsonOut, mode, 0o644)
 				exitOn(err)
 				defer f.Close()
 				wopts.JSONOut = f

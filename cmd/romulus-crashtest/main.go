@@ -26,6 +26,54 @@ import (
 	"repro/internal/obs"
 )
 
+// runBatchCampaign executes the combined-batch campaign and prints its
+// reports (text or JSON), exiting non-zero on a safety failure. The map
+// workload flags (-keys, -trace, -metrics) do not apply here.
+func runBatchCampaign(cfg crashtest.BatchConfig, jsonOut bool) {
+	if !jsonOut {
+		fmt.Printf("romulus-crashtest -batch: %d rounds/variant, seed %d, %d threads, chain depth %d\n",
+			cfg.Rounds, cfg.Seed, cfg.Threads, cfg.ChainDepth)
+	}
+	reports, err := crashtest.RunBatch(cfg)
+	if jsonOut {
+		out := struct {
+			Seed    int64                   `json:"seed"`
+			Reports []crashtest.BatchReport `json:"reports"`
+			Failure *crashtest.Failure      `json:"failure,omitempty"`
+			Error   string                  `json:"error,omitempty"`
+		}{Seed: cfg.Seed, Reports: reports}
+		if err != nil {
+			var f *crashtest.Failure
+			if errors.As(err, &f) {
+				out.Failure = f
+			} else {
+				out.Error = err.Error()
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range reports {
+		fmt.Printf("%-8s %6d rounds, %d threads — %d mid-batch crashes, %d multi-op rounds, "+
+			"%d chain crashes (%d inside recovery), ops: %d survived / %d lost\n",
+			r.Engine, r.Rounds, r.Threads, r.MidBatchCrashes, r.MultiOpRounds,
+			r.ChainCrashes, r.RecoveryCrashes, r.OpsSurvived, r.OpsLost)
+		if cfg.Audit {
+			fmt.Printf("         audit: %d violations\n", r.AuditViolations)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAILURE: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}
+
 func main() {
 	rounds := flag.Int("rounds", 1000, "crash/recover cycles per engine")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "campaign seed (printed for reproduction)")
@@ -36,12 +84,26 @@ func main() {
 	engines := flag.String("engines", "all", "comma-separated engine list: "+
 		strings.Join(crashtest.EngineNames(), ",")+" (or all)")
 	audit := flag.Bool("audit", false, "chain the durability auditor in front of the crash scheduler; any dirty or unfenced line at a commit marker, crash loss of a durably-claimed line, or unflushed line at close fails the round")
+	batch := flag.Bool("batch", false, "run the combined-batch campaign instead: concurrent batched writers ("+
+		strings.Join(crashtest.BatchEngineNames(), ",")+" only), crashes aimed inside combined durability rounds, all-or-nothing batch visibility asserted after recovery")
 	jsonOut := flag.Bool("json", false, "emit reports (and any failure) as JSON")
 	metrics := flag.Bool("metrics", false, "print campaign totals (pmem_* and crash_* counters) after the reports")
 	trace := flag.String("trace", "", "write the workload transaction trace (JSON lines) to this file, or - for stdout")
 	traceCap := flag.Int("tracecap", 4096, "trailing trace events retained with -trace")
 	flag.Parse()
 
+	if *batch {
+		runBatchCampaign(crashtest.BatchConfig{
+			Rounds:       *rounds,
+			Seed:         *seed,
+			Threads:      *threads,
+			OpsPerWorker: *txs,
+			ChainDepth:   *chain,
+			Engines:      strings.Split(*engines, ","),
+			Audit:        *audit,
+		}, *jsonOut)
+		return
+	}
 	cfg := crashtest.Config{
 		Rounds:     *rounds,
 		Seed:       *seed,

@@ -65,6 +65,9 @@ type Totals struct {
 	Violations    uint64 // durability violations detected (all kinds)
 	DirtyLines    uint64 // lines currently dirty
 	QueuedLines   uint64 // lines currently flush-queued
+	Batches       uint64 // flat-combined batch commits reported (BatchCommitted)
+	BatchOps      uint64 // operations those batches retired
+	MaxBatch      uint64 // largest single reported batch
 }
 
 // Auditor shadows one Device. All state is guarded by one mutex: the hook
@@ -97,6 +100,9 @@ type Auditor struct {
 	storeQueued   uint64
 	fenceNoop     uint64
 	durableChecks uint64
+	batches       uint64
+	batchOps      uint64
+	maxBatch      uint64
 
 	violationsTotal uint64
 	violations      []Violation
@@ -251,6 +257,20 @@ func (a *Auditor) TxBegin(engine, kind string) {
 func (a *Auditor) TxEnd() {
 	a.mu.Lock()
 	a.curEngine, a.curKind = "", ""
+	a.mu.Unlock()
+}
+
+// BatchCommitted records that the durable point just checked covered a
+// flat-combined batch of ops announced operations — one durability round
+// shared by the whole batch. Implements ptm.BatchAuditor; engines without a
+// batch commit path never call it.
+func (a *Auditor) BatchCommitted(ops int) {
+	a.mu.Lock()
+	a.batches++
+	a.batchOps += uint64(ops)
+	if uint64(ops) > a.maxBatch {
+		a.maxBatch = uint64(ops)
+	}
 	a.mu.Unlock()
 }
 
@@ -425,6 +445,9 @@ func (a *Auditor) Totals() Totals {
 		Violations:    a.violationsTotal,
 		DirtyLines:    uint64(a.dirtyCount),
 		QueuedLines:   uint64(a.queuedCount),
+		Batches:       a.batches,
+		BatchOps:      a.batchOps,
+		MaxBatch:      a.maxBatch,
 	}
 }
 
@@ -456,6 +479,9 @@ func (a *Auditor) PublishMetrics(r *obs.Registry) {
 		set("audit_violation_total", t.Violations)
 		set("audit_dirty_lines", t.DirtyLines)
 		set("audit_queued_lines", t.QueuedLines)
+		set("audit_batch_total", t.Batches)
+		set("audit_batch_ops_total", t.BatchOps)
+		set("audit_batch_max", t.MaxBatch)
 	})
 }
 

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// WorkloadSchema identifies the JSON-lines row format emitted by -json
+// workload runs and consumed by the trajectory checker.
+const WorkloadSchema = "romulus-bench/workload/v1"
+
+// DefaultTrajectoryTol is the relative headroom a row gets over its group's
+// historical best before the checker calls it a regression. Multi-thread
+// rows depend on combiner batch sizes, which vary a little with scheduling,
+// so the tolerance is generous; a broken amortization (batches collapsing
+// to one op, fences back at the per-tx floor) overshoots it many times over.
+const DefaultTrajectoryTol = 0.30
+
+// trajectoryEps is absolute slack added on top of the relative tolerance,
+// so near-zero baselines (highly amortized fence rates) don't flag on
+// sub-hundredth jitter.
+const trajectoryEps = 0.05
+
+// Regression describes one trajectory group whose newest row got worse.
+type Regression struct {
+	Workload string
+	Engine   string
+	Model    string
+	Threads  int
+	// Metric is the regressed quantity ("fences_per_tx").
+	Metric string
+	// Newest is the metric of the latest appended row; Best the minimum over
+	// all earlier rows of the group; Limit the threshold Newest exceeded.
+	Newest, Best, Limit float64
+}
+
+// String renders the regression as one human-readable line.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s/%s model=%s threads=%d: %s %.3f exceeds %.3f (best earlier row %.3f)",
+		r.Workload, r.Engine, r.Model, r.Threads, r.Metric, r.Newest, r.Limit, r.Best)
+}
+
+// CheckTrajectory reads a trajectory file — WorkloadSchema JSON lines
+// accumulated across runs with romulus-bench -json -append — and reports
+// every (workload, engine, model, threads) group whose newest row regresses
+// fences_per_tx above the group's historical best by more than tol
+// (relative, plus a small absolute slack). Groups with a single row have no
+// baseline and pass. Blank lines are skipped; rows of a different schema
+// are an error, as mixing formats in one trajectory file hides history.
+func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
+	if tol <= 0 {
+		tol = DefaultTrajectoryTol
+	}
+	type group struct {
+		rows []WorkloadResult
+	}
+	groups := map[string]*group{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var row WorkloadResult
+		if err := json.Unmarshal([]byte(text), &row); err != nil {
+			return nil, fmt.Errorf("bench: trajectory line %d: %w", line, err)
+		}
+		if row.Schema != WorkloadSchema {
+			return nil, fmt.Errorf("bench: trajectory line %d: schema %q, want %q", line, row.Schema, WorkloadSchema)
+		}
+		key := fmt.Sprintf("%s\x00%s\x00%s\x00%d", row.Workload, row.Engine, row.Model, row.Threads)
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: reading trajectory: %w", err)
+	}
+	var regs []Regression
+	sort.Strings(order)
+	for _, key := range order {
+		rows := groups[key].rows
+		if len(rows) < 2 {
+			continue
+		}
+		newest := rows[len(rows)-1]
+		best := rows[0].FencesPerTx
+		for _, row := range rows[1 : len(rows)-1] {
+			if row.FencesPerTx < best {
+				best = row.FencesPerTx
+			}
+		}
+		limit := best*(1+tol) + trajectoryEps
+		if newest.FencesPerTx > limit {
+			regs = append(regs, Regression{
+				Workload: newest.Workload,
+				Engine:   newest.Engine,
+				Model:    newest.Model,
+				Threads:  newest.Threads,
+				Metric:   "fences_per_tx",
+				Newest:   newest.FencesPerTx,
+				Best:     best,
+				Limit:    limit,
+			})
+		}
+	}
+	return regs, nil
+}
+
+// CheckTrajectoryFile is CheckTrajectory over a file path.
+func CheckTrajectoryFile(path string, tol float64) ([]Regression, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return CheckTrajectory(f, tol)
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func trajRow(workload, engine string, threads int, fences float64) string {
+	return fmt.Sprintf(`{"schema":"romulus-bench/workload/v1","workload":%q,"engine":%q,`+
+		`"model":"dram","threads":%d,"ops":1000,"seed":1,"elapsed_sec":0.1,"ops_per_sec":1,`+
+		`"updates":1000,"reads":250,"fences_per_tx":%g,"pwbs_per_tx":6}`,
+		workload, engine, threads, fences)
+}
+
+func TestCheckTrajectoryPassesAndFails(t *testing.T) {
+	// Two runs of the same group: stable single-thread row, improved
+	// multi-thread row. No regressions.
+	ok := strings.Join([]string{
+		trajRow("swaps", "romlog", 1, 4),
+		trajRow("swaps", "romlog", 8, 2),
+		"",
+		trajRow("swaps", "romlog", 1, 4),
+		trajRow("swaps", "romlog", 8, 0.5),
+	}, "\n")
+	regs, err := CheckTrajectory(strings.NewReader(ok), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// Third run: the 8-thread row collapses back to the per-tx fence floor
+	// (combining broken). Must flag exactly that group; jitter on the other
+	// row (within tolerance) must not flag.
+	bad := ok + "\n" + trajRow("swaps", "romlog", 1, 4.2) + "\n" + trajRow("swaps", "romlog", 8, 4)
+	regs, err = CheckTrajectory(strings.NewReader(bad), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Threads != 8 || r.Newest != 4 || r.Best != 0.5 {
+		t.Fatalf("wrong regression flagged: %+v", r)
+	}
+	if !strings.Contains(r.String(), "fences_per_tx") {
+		t.Errorf("regression string %q lacks metric name", r.String())
+	}
+}
+
+func TestCheckTrajectorySingleRowGroupsPass(t *testing.T) {
+	one := trajRow("map", "rom", 4, 4)
+	regs, err := CheckTrajectory(strings.NewReader(one), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("single-row group flagged: %v", regs)
+	}
+}
+
+func TestCheckTrajectoryRejectsForeignSchema(t *testing.T) {
+	_, err := CheckTrajectory(strings.NewReader(`{"schema":"other/v2"}`), 0)
+	if err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/audit"
@@ -30,6 +31,14 @@ type WorkloadOptions struct {
 	// Ops is the number of update transactions per engine (default 1000).
 	// One read transaction runs per four updates.
 	Ops int
+	// Threads lists writer-thread counts to sweep; each engine runs the
+	// workload once per count on a fresh device (default {1}). With more
+	// than one thread Ops is split across workers, each driving its own
+	// deterministic operation stream (seed+worker); interleaving — and so
+	// batch formation — is scheduling-dependent, which is the point: the
+	// sweep measures how flat-combined batching amortizes fences as writers
+	// contend.
+	Threads []int
 	// Seed fixes the operation sequence (default 1).
 	Seed int64
 	// Model is the persistence model for the devices.
@@ -71,9 +80,15 @@ type WorkloadResult struct {
 	// Updates and Reads are committed transaction counts from the trace.
 	Updates uint64 `json:"updates"`
 	Reads   uint64 `json:"reads"`
-	// FencesPerTx and PwbsPerTx are the Table 1 persistence costs.
+	// FencesPerTx and PwbsPerTx are the Table 1 persistence costs, measured
+	// as device totals over logical committed updates — so with combining a
+	// batch's shared durability round is amortized across its operations.
 	FencesPerTx float64 `json:"fences_per_tx"`
 	PwbsPerTx   float64 `json:"pwbs_per_tx"`
+	// Batches and OpsPerBatch describe flat-combined batch formation during
+	// the measured run (absent for engines without a batch commit path).
+	Batches     uint64  `json:"batches,omitempty"`
+	OpsPerBatch float64 `json:"ops_per_batch,omitempty"`
 	// Audit fields are present only for -audit runs.
 	AuditViolations uint64       `json:"audit_violations,omitempty"`
 	AuditWaste      *audit.Waste `json:"audit_waste,omitempty"`
@@ -106,10 +121,15 @@ func RunWorkload(opts WorkloadOptions) (string, error) {
 			opts.Workload, strings.Join(Workloads, ", "))
 	}
 
+	threadCounts := opts.Threads
+	if len(threadCounts) == 0 {
+		threadCounts = []int{1}
+	}
+
 	var out strings.Builder
-	tbl := NewTable("engine", "updates", "reads", "fences/tx", "pwbs/tx")
+	tbl := NewTable("engine", "threads", "updates", "reads", "fences/tx", "pwbs/tx", "ops/batch")
 	type block struct {
-		kind string
+		name string
 		reg  *obs.Registry
 	}
 	var blocks []block
@@ -118,92 +138,120 @@ func RunWorkload(opts WorkloadOptions) (string, error) {
 		jenc = json.NewEncoder(opts.JSONOut)
 	}
 	for _, kind := range kinds {
-		e, err := NewEngine(kind, 1<<21, opts.Model)
-		if err != nil {
-			return "", err
-		}
-		reg := obs.NewRegistry()
-		obs.Instrument(e.Device(), reg)
-		obs.InstrumentPTM(e, reg)
-		var aud *audit.Auditor
-		if opts.Audit {
-			aud = audit.New(e.Device(), audit.Options{})
-			aud.Attach()
-			if sa, ok := e.(interface{ SetAuditor(ptm.Auditor) }); ok {
-				sa.SetAuditor(aud)
+		for _, threads := range threadCounts {
+			if threads < 1 {
+				return "", fmt.Errorf("bench: invalid thread count %d", threads)
 			}
-			aud.PublishMetrics(reg)
-		}
-		ms := obs.NewMetricsSink(reg)
-		var ring *obs.RingSink
-		var sink obs.Sink = ms
-		if opts.TraceOut != nil {
-			ring = obs.NewRingSink(opts.TraceCap)
-			sink = obs.Tee(ms, ring)
-		}
-		start := time.Now()
-		if err := run(e, sink, opts); err != nil {
-			return "", fmt.Errorf("bench: workload %s on %s: %w", opts.Workload, kind, err)
-		}
-		elapsed := time.Since(start)
-		if aud != nil {
-			if n := aud.ViolationCount(); n > 0 {
-				var detail string
-				if vs := aud.Violations(); len(vs) > 0 {
-					v := vs[0]
-					detail = fmt.Sprintf("; first: [%s] at %s line %d (%s, %s/%s, site %s)",
-						v.Kind, v.Point, v.Line, v.State, v.Engine, v.TxKind, v.Site)
+			e, err := NewEngine(kind, 1<<21, opts.Model)
+			if err != nil {
+				return "", err
+			}
+			reg := obs.NewRegistry()
+			obs.Instrument(e.Device(), reg)
+			obs.InstrumentPTM(e, reg)
+			var aud *audit.Auditor
+			if opts.Audit {
+				aud = audit.New(e.Device(), audit.Options{})
+				aud.Attach()
+				if sa, ok := e.(interface{ SetAuditor(ptm.Auditor) }); ok {
+					sa.SetAuditor(aud)
 				}
-				return "", fmt.Errorf("bench: workload %s on %s: auditor found %d durability violation(s)%s",
-					opts.Workload, kind, n, detail)
+				aud.PublishMetrics(reg)
 			}
-		}
-		s := reg.Snapshot()
-		fences := s.Histograms["tx_fences"]
-		pwbs := s.Histograms["tx_pwbs"]
-		tbl.Row(kind, fences.Count, s.Counters["trace_read_total"],
-			fences.Mean, pwbs.Mean)
-		if opts.JSONOut != nil {
-			res := WorkloadResult{
-				Schema:      "romulus-bench/workload/v1",
-				Workload:    opts.Workload,
-				Engine:      kind,
-				Model:       opts.Model.Name,
-				Threads:     1,
-				Ops:         opts.Ops,
-				Seed:        opts.Seed,
-				ElapsedSec:  elapsed.Seconds(),
-				OpsPerSec:   float64(opts.Ops) / elapsed.Seconds(),
-				Updates:     fences.Count,
-				Reads:       s.Counters["trace_read_total"],
-				FencesPerTx: fences.Mean,
-				PwbsPerTx:   pwbs.Mean,
+			ms := obs.NewMetricsSink(reg)
+			var ring *obs.RingSink
+			var sink obs.Sink = ms
+			if opts.TraceOut != nil {
+				ring = obs.NewRingSink(opts.TraceCap)
+				sink = obs.Tee(ms, ring)
 			}
+			start := time.Now()
+			base, err := run(e, sink, opts, threads)
+			if err != nil {
+				return "", fmt.Errorf("bench: workload %s on %s: %w", opts.Workload, kind, err)
+			}
+			elapsed := time.Since(start)
 			if aud != nil {
-				t := aud.Totals()
-				res.AuditViolations = t.Violations
-				res.AuditWaste = &audit.Waste{
-					PwbClean:    t.PwbClean,
-					PwbRequeued: t.PwbRequeued,
-					StoreQueued: t.StoreQueued,
-					FenceNoop:   t.FenceNoop,
+				if n := aud.ViolationCount(); n > 0 {
+					var detail string
+					if vs := aud.Violations(); len(vs) > 0 {
+						v := vs[0]
+						detail = fmt.Sprintf("; first: [%s] at %s line %d (%s, %s/%s, site %s)",
+							v.Kind, v.Point, v.Line, v.State, v.Engine, v.TxKind, v.Site)
+					}
+					return "", fmt.Errorf("bench: workload %s on %s: auditor found %d durability violation(s)%s",
+						opts.Workload, kind, n, detail)
 				}
 			}
-			if err := jenc.Encode(res); err != nil {
-				return "", err
+			s := reg.Snapshot()
+			// Per-transaction costs from device totals over logical committed
+			// updates: under combining the tx_fences histogram is per batch
+			// (one event covers the whole durability round), so dividing
+			// device counters by operations is what shows amortization.
+			fin := e.Stats()
+			devst := e.Device().Stats()
+			updates := fin.UpdateTxs - base.UpdateTxs
+			if updates == 0 {
+				updates = 1
 			}
-		}
-		if opts.TraceOut != nil {
-			if err := ring.WriteJSON(opts.TraceOut); err != nil {
-				return "", err
+			fencesPerTx := float64(devst.Pfences+devst.Psyncs) / float64(updates)
+			pwbsPerTx := float64(devst.Pwbs) / float64(updates)
+			batches := fin.Batches - base.Batches
+			batchOps := fin.BatchOps - base.BatchOps
+			opsPerBatch := 0.0
+			if batches > 0 {
+				opsPerBatch = float64(batchOps) / float64(batches)
 			}
+			tbl.Row(kind, threads, updates, s.Counters["trace_read_total"],
+				fencesPerTx, pwbsPerTx, opsPerBatch)
+			if opts.JSONOut != nil {
+				res := WorkloadResult{
+					Schema:      WorkloadSchema,
+					Workload:    opts.Workload,
+					Engine:      kind,
+					Model:       opts.Model.Name,
+					Threads:     threads,
+					Ops:         opts.Ops,
+					Seed:        opts.Seed,
+					ElapsedSec:  elapsed.Seconds(),
+					OpsPerSec:   float64(opts.Ops) / elapsed.Seconds(),
+					Updates:     updates,
+					Reads:       s.Counters["trace_read_total"],
+					FencesPerTx: fencesPerTx,
+					PwbsPerTx:   pwbsPerTx,
+					Batches:     batches,
+					OpsPerBatch: opsPerBatch,
+				}
+				if aud != nil {
+					t := aud.Totals()
+					res.AuditViolations = t.Violations
+					res.AuditWaste = &audit.Waste{
+						PwbClean:    t.PwbClean,
+						PwbRequeued: t.PwbRequeued,
+						StoreQueued: t.StoreQueued,
+						FenceNoop:   t.FenceNoop,
+					}
+				}
+				if err := jenc.Encode(res); err != nil {
+					return "", err
+				}
+			}
+			if opts.TraceOut != nil {
+				if err := ring.WriteJSON(opts.TraceOut); err != nil {
+					return "", err
+				}
+			}
+			name := kind
+			if threads != 1 {
+				name = fmt.Sprintf("%s threads=%d", kind, threads)
+			}
+			blocks = append(blocks, block{name, reg})
 		}
-		blocks = append(blocks, block{kind, reg})
 	}
 	out.WriteString(tbl.String())
 	if opts.Metrics {
 		for _, b := range blocks {
-			fmt.Fprintf(&out, "\n# engine %s\n", b.kind)
+			fmt.Fprintf(&out, "\n# engine %s\n", b.name)
 			if err := b.reg.WriteText(&out); err != nil {
 				return "", err
 			}
@@ -214,13 +262,46 @@ func RunWorkload(opts WorkloadOptions) (string, error) {
 
 // workloadFunc resolves a workload name to its driver. Drivers perform
 // setup, reset device statistics, attach the sink, and then run the
-// deterministic transaction sequence.
-func workloadFunc(name string) func(Engine, obs.Sink, WorkloadOptions) error {
+// transaction sequence on the requested number of worker threads. They
+// return the engine's post-setup TxStats so callers can delta out setup
+// work from transaction and batch counters.
+func workloadFunc(name string) func(Engine, obs.Sink, WorkloadOptions, int) (ptm.TxStats, error) {
 	switch name {
 	case "swaps":
 		return runSwapsWorkload
 	case "map":
 		return runMapWorkload
+	}
+	return nil
+}
+
+// runWorkers splits ops across threads workers (worker 0 absorbs the
+// remainder) and runs them concurrently, each with its own worker index for
+// seed derivation. A single thread runs inline, preserving the exact
+// sequential transaction order golden traces pin.
+func runWorkers(threads, ops int, worker func(w, ops int) error) error {
+	if threads <= 1 {
+		return worker(0, ops)
+	}
+	share := ops / threads
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		n := share
+		if w == 0 {
+			n += ops % threads
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			errs[w] = worker(w, n)
+		}(w, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -237,7 +318,7 @@ func setTrace(e Engine, s obs.Sink) {
 // runSwapsWorkload: SPS-style array swaps, one swap per transaction — the
 // minimal update against which Table 1 counts 4 fences per transaction for
 // the Romulus engines.
-func runSwapsWorkload(e Engine, sink obs.Sink, opts WorkloadOptions) error {
+func runSwapsWorkload(e Engine, sink obs.Sink, opts WorkloadOptions, threads int) (ptm.TxStats, error) {
 	const arrayLen = 1024
 	var arr ptm.Ptr
 	if err := e.Update(func(tx ptm.Tx) error {
@@ -251,92 +332,100 @@ func runSwapsWorkload(e Engine, sink obs.Sink, opts WorkloadOptions) error {
 		}
 		return nil
 	}); err != nil {
-		return err
+		return ptm.TxStats{}, err
 	}
 	e.Device().ResetStats()
 	setTrace(e, sink)
 	defer setTrace(e, nil)
-	h, err := e.NewHandle()
-	if err != nil {
-		return err
-	}
-	defer h.Release()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	for n := 0; n < opts.Ops; n++ {
-		i := ptm.Ptr(rng.Intn(arrayLen) * 8)
-		j := ptm.Ptr(rng.Intn(arrayLen) * 8)
-		if err := h.Update(func(tx ptm.Tx) error {
-			a := tx.Load64(arr + i)
-			b := tx.Load64(arr + j)
-			tx.Store64(arr+i, b)
-			tx.Store64(arr+j, a)
-			return nil
-		}); err != nil {
+	base := e.Stats()
+	err := runWorkers(threads, opts.Ops, func(w, ops int) error {
+		h, err := e.NewHandle()
+		if err != nil {
 			return err
 		}
-		if n%4 == 3 {
-			if err := h.Read(func(tx ptm.Tx) error {
-				tx.Load64(arr + i)
+		defer h.Release()
+		rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+		for n := 0; n < ops; n++ {
+			i := ptm.Ptr(rng.Intn(arrayLen) * 8)
+			j := ptm.Ptr(rng.Intn(arrayLen) * 8)
+			if err := h.Update(func(tx ptm.Tx) error {
+				a := tx.Load64(arr + i)
+				b := tx.Load64(arr + j)
+				tx.Store64(arr+i, b)
+				tx.Store64(arr+j, a)
 				return nil
 			}); err != nil {
 				return err
 			}
+			if n%4 == 3 {
+				if err := h.Read(func(tx ptm.Tx) error {
+					tx.Load64(arr + i)
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
 		}
-	}
-	return nil
+		return nil
+	})
+	return base, err
 }
 
 // runMapWorkload: hash-map puts, gets and deletes against pstruct.ByteMap —
 // the RomulusDB-flavoured mix, with value sizes spanning cache lines.
-func runMapWorkload(e Engine, sink obs.Sink, opts WorkloadOptions) error {
+func runMapWorkload(e Engine, sink obs.Sink, opts WorkloadOptions, threads int) (ptm.TxStats, error) {
 	var m *pstruct.ByteMap
 	if err := e.Update(func(tx ptm.Tx) error {
 		var err error
 		m, err = pstruct.NewByteMap(tx, 0, 256)
 		return err
 	}); err != nil {
-		return err
+		return ptm.TxStats{}, err
 	}
 	e.Device().ResetStats()
 	setTrace(e, sink)
 	defer setTrace(e, nil)
-	h, err := e.NewHandle()
-	if err != nil {
-		return err
-	}
-	defer h.Release()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	val := make([]byte, 100)
-	for n := 0; n < opts.Ops; n++ {
-		k := dbKey(rng.Intn(4 * opts.Ops))
-		switch {
-		case n%10 == 9:
-			if err := h.Update(func(tx ptm.Tx) error {
-				_, err := m.Delete(tx, k)
-				return err
-			}); err != nil {
-				return err
-			}
-		default:
-			rng.Read(val)
-			if err := h.Update(func(tx ptm.Tx) error {
-				_, err := m.Put(tx, k, val)
-				return err
-			}); err != nil {
-				return err
-			}
+	base := e.Stats()
+	err := runWorkers(threads, opts.Ops, func(w, ops int) error {
+		h, err := e.NewHandle()
+		if err != nil {
+			return err
 		}
-		if n%4 == 3 {
-			if err := h.Read(func(tx ptm.Tx) error {
-				_, err := m.Get(tx, k, nil)
-				if err == pstruct.ErrNotFound {
-					return nil
+		defer h.Release()
+		rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+		val := make([]byte, 100)
+		for n := 0; n < ops; n++ {
+			k := dbKey(rng.Intn(4 * opts.Ops))
+			switch {
+			case n%10 == 9:
+				if err := h.Update(func(tx ptm.Tx) error {
+					_, err := m.Delete(tx, k)
+					return err
+				}); err != nil {
+					return err
 				}
-				return err
-			}); err != nil {
-				return err
+			default:
+				rng.Read(val)
+				if err := h.Update(func(tx ptm.Tx) error {
+					_, err := m.Put(tx, k, val)
+					return err
+				}); err != nil {
+					return err
+				}
+			}
+			if n%4 == 3 {
+				if err := h.Read(func(tx ptm.Tx) error {
+					_, err := m.Get(tx, k, nil)
+					if err == pstruct.ErrNotFound {
+						return nil
+					}
+					return err
+				}); err != nil {
+					return err
+				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
+	return base, err
 }

@@ -35,6 +35,8 @@ func TestConformanceAblations(t *testing.T) {
 		"defer-pwb":    {Variant: core.RomLog, DeferPwb: true},
 		"no-combining": {Variant: core.RomLog, DisableFlatCombining: true},
 		"lr-defer-pwb": {Variant: core.RomLR, DeferPwb: true},
+		"eager-pwb":    {Variant: core.RomLog, EagerPwb: true},
+		"rom-eager":    {Variant: core.Rom, EagerPwb: true},
 	}
 	for name, cfg := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -58,6 +58,11 @@ type Config struct {
 	// per modified cache line from the compacted log instead of one per
 	// store (ablation; log variants only).
 	DeferPwb bool
+	// EagerPwb restores the pre-batching flush discipline: one pwb issued
+	// inline with every store, re-flushing lines already queued (ablation;
+	// the default is a deduplicated per-batch flush set that write-backs
+	// each dirty line exactly once before the commit fence).
+	EagerPwb bool
 	// DisableFlatCombining serializes writers with a plain spin lock
 	// instead of combining announced operations (ablation).
 	DisableFlatCombining bool
@@ -85,6 +90,11 @@ type Engine struct {
 	wlock   hsync.SpinLock // writer serialization when combining is disabled
 	wtx     Tx             // the single writer transaction, reused
 	handles chan *Handle   // pool for the convenience Update/Read API
+
+	// fset collects the dirty lines of the current batch for one
+	// deduplicated write-back burst at commit. Only the single writer (the
+	// combiner) touches it, like wtx.
+	fset *pmem.FlushSet
 
 	updates   atomic.Uint64
 	reads     atomic.Uint64
@@ -164,6 +174,7 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 	e.wtx = Tx{e: e, base: e.mainBase}
 	e.wtx.log.enabled = cfg.Variant != Rom
 	e.wtx.log.merge = !cfg.DisableLogMerge
+	e.fset = pmem.NewFlushSet(dev.Size())
 	e.aud = cfg.Audit
 
 	if dev.Load64(offMagic) != magicValue {
@@ -297,7 +308,8 @@ func (e *Engine) wireConcurrency() {
 				e.rw.WriterArrive()
 				return e.beginTx()
 			},
-			Commit: func(t *Tx) {
+			Commit: func(t *Tx, ops int) {
+				t.batchOps = ops
 				e.durablePoint(t)
 				e.replicate(t)
 				e.rw.WriterDepart()
@@ -315,7 +327,8 @@ func (e *Engine) wireConcurrency() {
 				e.lr.Toggle(leftright.Back)
 				return e.beginTx()
 			},
-			Commit: func(t *Tx) {
+			Commit: func(t *Tx, ops int) {
+				t.batchOps = ops
 				e.durablePoint(t)
 				// Second toggle: main is durable, let readers at it while
 				// we bring back up to date.
@@ -332,11 +345,13 @@ func (e *Engine) wireConcurrency() {
 }
 
 // beginTx opens the single writer transaction: publish MUT durably, then
-// let user code mutate main in place. Fence 1 of 4.
+// let user code mutate main in place. Fence 1 of 4 (elided when the MUT
+// marker's write-back already persisted, as under ordered-pwb models).
 func (e *Engine) beginTx() *Tx {
 	t := &e.wtx
 	t.log.reset()
 	t.loads, t.stores, t.writeBytes = 0, 0, 0
+	t.batchOps = 1
 	if a := e.aud; a != nil {
 		a.TxBegin(e.Name(), "update")
 	}
@@ -345,40 +360,72 @@ func (e *Engine) beginTx() *Tx {
 	e.txStartFence = st.Pfences + st.Psyncs
 	e.dev.Store64(offState, stateMUT)
 	e.dev.Pwb(offState)
-	e.dev.Pfence()
+	if e.dev.NeedsFence() {
+		e.dev.Pfence()
+	}
 	return t
 }
 
 // durablePoint commits the transaction to main: after the psync returns,
 // the transaction is durable (ACID) even though back is stale. Fences 2
 // and 3 of 4.
+//
+// This is where the batch's deferred write-backs land: one deduplicated pwb
+// per dirty line (each line flushed at most once per durability round, no
+// matter how many stores — from how many batched operations — hit it),
+// ordered by the fence ahead of the CPY marker. Fences with no queued
+// write-backs are provably no-ops and skipped, so an empty update
+// transaction pays no flush traffic at all.
 func (e *Engine) durablePoint(t *Tx) {
 	d := e.dev
 	if e.cfg.DeferPwb && t.log.enabled {
 		for _, r := range t.log.compacted() {
 			d.PwbRange(e.mainBase+int(r.Off), int(r.N))
 		}
+	} else if !e.cfg.EagerPwb {
+		e.fset.Flush(d)
 	}
-	d.Pfence()
+	if d.NeedsFence() {
+		d.Pfence()
+	}
 	d.Store64(offState, stateCPY)
 	d.Pwb(offState)
-	d.Psync()
+	if d.NeedsFence() {
+		d.Psync()
+	}
 	if a := e.aud; a != nil {
 		a.DurablePoint("commit")
+		if ba, ok := a.(ptm.BatchAuditor); ok {
+			ba.BatchCommitted(t.batchOps)
+		}
 	}
 }
 
 // replicate brings back up to date with main and returns the state machine
-// to IDL. Fence 4 of 4. The final IDL store needs no pwb: if it fails to
-// persist, recovery from CPY re-runs this (idempotent) copy.
+// to IDL. Fence 4 of 4 (elided when replication left nothing queued, e.g.
+// an empty transaction or an ordered-pwb model). The final IDL store needs
+// no pwb: if it fails to persist, recovery from CPY re-runs this
+// (idempotent) copy.
 func (e *Engine) replicate(t *Tx) {
 	d := e.dev
 	var copied uint64
 	if t.log.enabled {
+		// Copy every range before writing any back: distinct log ranges can
+		// share a cache line, and interleaving copy/pwb per range would store
+		// into lines already queued for write-back. The flush set (empty
+		// since the durable point drained it) dedups the burst instead.
+		eager := e.cfg.EagerPwb
 		for _, r := range t.log.compacted() {
 			d.CopyWithin(e.backBase+int(r.Off), e.mainBase+int(r.Off), int(r.N))
-			d.PwbRange(e.backBase+int(r.Off), int(r.N))
+			if eager {
+				d.PwbRange(e.backBase+int(r.Off), int(r.N))
+			} else {
+				e.fset.Add(e.backBase+int(r.Off), int(r.N))
+			}
 			copied += r.N
+		}
+		if !eager {
+			e.fset.Flush(d)
 		}
 	} else {
 		wm := int(d.Load64(offWatermark))
@@ -386,7 +433,9 @@ func (e *Engine) replicate(t *Tx) {
 		d.PwbRange(e.backBase, wm)
 		copied = uint64(wm)
 	}
-	d.Pfence()
+	if d.NeedsFence() {
+		d.Pfence()
+	}
 	d.Store64(offState, stateIDL)
 	st := d.Stats()
 	e.pwbHist.Add(st.Pwbs - e.txStartPwb)
@@ -401,6 +450,7 @@ func (e *Engine) replicate(t *Tx) {
 			CopiedBytes: copied,
 			Pwbs:        st.Pwbs - e.txStartPwb,
 			Fences:      st.Pfences + st.Psyncs - e.txStartFence,
+			BatchOps:    uint64(t.batchOps),
 		})
 	}
 	if a := e.aud; a != nil {
@@ -413,12 +463,29 @@ func (e *Engine) replicate(t *Tx) {
 // same copy recovery would perform, done eagerly.
 func (e *Engine) rollbackTx(t *Tx) {
 	d := e.dev
+	// Drop the batch's deferred write-backs: the restore below flushes the
+	// authoritative bytes itself (through the same deduplicated burst, since
+	// restored ranges can share cache lines just like replicated ones). The
+	// watermark write-back is the one entry that must survive the drop — the
+	// media watermark has to stay ahead of the media heap top even when the
+	// allocating transaction rolls back — so it is reissued here and drained
+	// by the fence below.
+	e.fset.Reset()
+	d.Pwb(offWatermark)
 	var copied uint64
 	if t.log.enabled {
+		eager := e.cfg.EagerPwb
 		for _, r := range t.log.compacted() {
 			d.CopyWithin(e.mainBase+int(r.Off), e.backBase+int(r.Off), int(r.N))
-			d.PwbRange(e.mainBase+int(r.Off), int(r.N))
+			if eager {
+				d.PwbRange(e.mainBase+int(r.Off), int(r.N))
+			} else {
+				e.fset.Add(e.mainBase+int(r.Off), int(r.N))
+			}
 			copied += r.N
+		}
+		if !eager {
+			e.fset.Flush(d)
 		}
 	} else {
 		wm := int(d.Load64(offWatermark))
@@ -426,7 +493,9 @@ func (e *Engine) rollbackTx(t *Tx) {
 		d.PwbRange(e.mainBase, wm)
 		copied = uint64(wm)
 	}
-	d.Pfence()
+	if d.NeedsFence() {
+		d.Pfence()
+	}
 	d.Store64(offState, stateIDL)
 	e.rollbacks.Add(1)
 	if s := e.trace; s != nil {
@@ -463,11 +532,21 @@ func (e *Engine) heapTopRaw() uint64 {
 // The watermark is monotonic and lives in the header, outside the twin
 // copies: if it persists "too high" after a rollback the only cost is
 // copying a few extra (unreachable) bytes.
+//
+// Under the deduplicated flush discipline the write-back joins the batch's
+// flush set (drained before the commit marker, so the watermark is durable
+// by the durable point) instead of queueing the header line mid-mutation —
+// the state-word store at commit lands on that same line, and an immediate
+// pwb here would turn every allocating transaction into store_queued waste.
 func (e *Engine) bumpWatermark() {
 	top := e.heap.Top()
 	if top > e.dev.Load64(offWatermark) {
 		e.dev.Store64(offWatermark, top)
-		e.dev.Pwb(offWatermark)
+		if e.cfg.EagerPwb || (e.cfg.DeferPwb && e.wtx.log.enabled) {
+			e.dev.Pwb(offWatermark)
+		} else {
+			e.fset.Add(offWatermark, 8)
+		}
 	}
 }
 
@@ -476,12 +555,15 @@ func (e *Engine) Name() string { return e.cfg.Variant.String() }
 
 // Stats implements ptm.PTM.
 func (e *Engine) Stats() ptm.TxStats {
-	combined, _ := e.comb.Combined()
+	cs := e.comb.Stats()
 	return ptm.TxStats{
 		UpdateTxs: e.updates.Load(),
 		ReadTxs:   e.reads.Load(),
 		Rollbacks: e.rollbacks.Load(),
-		Combined:  combined,
+		Combined:  cs.Combined,
+		Batches:   cs.Batches,
+		BatchOps:  cs.BatchOps,
+		CombineNs: cs.CombineNs,
 	}
 }
 

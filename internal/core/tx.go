@@ -27,6 +27,9 @@ type Tx struct {
 	loads      uint64
 	stores     uint64
 	writeBytes uint64
+	// batchOps is the number of flat-combined operations this durability
+	// round carries, set by the Commit hook before the durable point.
+	batchOps int
 }
 
 var _ ptm.Tx = (*Tx)(nil)
@@ -80,11 +83,19 @@ func (t *Tx) LoadBytes(p ptm.Ptr, dst []byte) {
 
 // store interposition: in-place modification of main, log entry (address
 // and length only), and a write-back of the modified line. The paper notes
-// the order of the three steps is free as long as the pwb follows the
-// store.
+// the order of the three steps is free as long as the pwb precedes the
+// commit fence, so by default the line joins the batch's deduplicated
+// flush set and is written back exactly once at the durable point, however
+// many stores (from however many combined operations) dirtied it.
 func (t *Tx) flush(off, n int) {
-	if !t.e.cfg.DeferPwb {
-		t.e.dev.PwbRange(off, n)
+	e := t.e
+	switch {
+	case e.cfg.DeferPwb && t.log.enabled:
+		// Flushed from the compacted log at commit.
+	case e.cfg.EagerPwb:
+		e.dev.PwbRange(off, n)
+	default:
+		e.fset.Add(off, n)
 	}
 }
 
@@ -236,18 +247,32 @@ func (h *Handle) Release() { h.e.reg.Release(h.tid) }
 
 // Update runs fn in a durable update transaction (see ptm.PTM).
 func (h *Handle) Update(fn func(ptm.Tx) error) error {
+	_, err := h.UpdateBatched(fn)
+	return err
+}
+
+// UpdateBatched is Update but also reports the durability round (combiner
+// batch sequence number, assigned in commit order from 1) that made fn's
+// effects durable. Operations reporting the same round committed atomically
+// in one crash-atomic batch: after a crash, recovery exposes either all or
+// none of them. A failed (rolled-back) operation reports round 0; so does
+// the DisableFlatCombining ablation, which has no batch commit path.
+func (h *Handle) UpdateBatched(fn func(ptm.Tx) error) (uint64, error) {
 	e := h.e
 	op := func(t *Tx) error { return fn(t) }
-	var err error
+	var (
+		seq uint64
+		err error
+	)
 	if e.cfg.DisableFlatCombining {
 		err = e.updateNoCombining(op)
 	} else {
-		err = e.comb.Execute(h.tid, op)
+		seq, err = e.comb.ExecuteSeq(h.tid, op)
 	}
 	if err == nil {
 		e.updates.Add(1)
 	}
-	return err
+	return seq, err
 }
 
 // updateNoCombining is the ablation path: plain spin lock, no aggregation.
@@ -265,7 +290,7 @@ func (e *Engine) updateNoCombining(op func(*Tx) error) error {
 	if err := op(t); err != nil {
 		return err // deferred rollback fires
 	}
-	e.hooks.Commit(t)
+	e.hooks.Commit(t, 1)
 	committed = true
 	return nil
 }

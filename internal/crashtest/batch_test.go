@@ -1,0 +1,75 @@
+package crashtest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBatchCampaignSmall runs the combined-batch campaign across all three
+// core variants with concurrent writers: crashes land inside batched
+// durability rounds and recovery must expose an all-or-nothing prefix of
+// them.
+func TestBatchCampaignSmall(t *testing.T) {
+	reports, err := RunBatch(BatchConfig{Rounds: 20, Seed: 1, Threads: 4, ChainDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(BatchEngineNames()) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(BatchEngineNames()))
+	}
+	for _, r := range reports {
+		if r.Rounds != 20 {
+			t.Errorf("%s: %d rounds completed, want 20", r.Engine, r.Rounds)
+		}
+		if r.MultiOpRounds == 0 {
+			t.Errorf("%s: no round committed a multi-op batch; campaign never exercised combined commits", r.Engine)
+		}
+		if r.MidBatchCrashes == 0 {
+			t.Errorf("%s: no crash landed inside the workload", r.Engine)
+		}
+		if r.OpsSurvived == 0 || r.OpsLost == 0 {
+			t.Errorf("%s: want both survived and lost ops, got %d/%d",
+				r.Engine, r.OpsSurvived, r.OpsLost)
+		}
+		t.Logf("%s: %+v", r.Engine, r)
+	}
+}
+
+// TestBatchCampaignAudited chains the durability auditor onto every device:
+// batched commits must uphold the fence protocol exactly like solo ones.
+func TestBatchCampaignAudited(t *testing.T) {
+	reports, err := RunBatch(BatchConfig{Rounds: 8, Seed: 5, Threads: 4, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.AuditViolations != 0 {
+			t.Errorf("%s: %d audit violations, want 0", r.Engine, r.AuditViolations)
+		}
+	}
+}
+
+// TestBatchCampaignDeterministic: a single-threaded campaign is a pure
+// function of its seed.
+func TestBatchCampaignDeterministic(t *testing.T) {
+	cfg := BatchConfig{Rounds: 10, Seed: 42, Threads: 1, ChainDepth: 2, Engines: []string{"romlog"}}
+	a, err := RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestBatchCampaignUnknownEngine(t *testing.T) {
+	_, err := RunBatch(BatchConfig{Rounds: 1, Engines: []string{"undolog"}})
+	if err == nil || !strings.Contains(err.Error(), "no batch variant") {
+		t.Fatalf("err = %v, want no-batch-variant error", err)
+	}
+}

@@ -7,6 +7,14 @@
 // with combining, the average number of fences per mutation drops below the
 // four a solo transaction pays.
 //
+// The combiner drains, not just gathers: after executing the announcements
+// it found on entry it rescans the array and folds any operations announced
+// meanwhile into the same open transaction, repeating until a scan comes up
+// empty. Only then does it pay the single durability round (one log replay /
+// one main→back sync, one set of fences) for the whole batch, so the batch
+// keeps growing for as long as writers keep arriving and the per-operation
+// fence cost falls with contention instead of rising.
+//
 // The combiner is generic over the transaction handle type T supplied by
 // the engine's Hooks, so the same code drives Romulus, RomulusLog and
 // RomulusLR (which differ in what Begin/Commit do: reader draining for
@@ -26,6 +34,7 @@ package flatcombine
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hsync"
 )
@@ -42,8 +51,10 @@ type Hooks[T any] struct {
 	// for left-right it performs the first version toggle.
 	Begin func() T
 	// Commit makes the transaction durable (the psync of Algorithm 1) and
-	// publishes its effects.
-	Commit func(tx T)
+	// publishes its effects. ops is the number of announced operations the
+	// transaction carries, so the engine can attribute the durability round
+	// to the whole batch.
+	Commit func(tx T, ops int)
 	// Rollback reverts every effect of the transaction using the twin copy
 	// (or the engine's log) and releases whatever Begin acquired.
 	Rollback func(tx T)
@@ -53,13 +64,15 @@ type reqState int32
 
 const (
 	statePending reqState = iota
+	stateClaimed          // gathered into the current combiner's open batch
 	stateDone
 )
 
 type request[T any] struct {
 	op    Op[T]
 	err   error
-	pval  any // value recovered from a panicking op, re-raised at the owner
+	pval  any    // value recovered from a panicking op, re-raised at the owner
+	seq   uint64 // durability round that committed this op (0 = rolled back)
 	state atomic.Int32
 }
 
@@ -70,11 +83,33 @@ type paddedSlot[T any] struct {
 
 // Combiner is a flat-combining array paired with a writer spin lock.
 type Combiner[T any] struct {
-	slots    [hsync.MaxThreads]paddedSlot[T]
-	lock     hsync.SpinLock
-	hooks    Hooks[T]
-	combined atomic.Uint64 // ops executed on behalf of other threads
-	batches  atomic.Uint64 // combining passes that executed at least one op
+	slots     [hsync.MaxThreads]paddedSlot[T]
+	lock      hsync.SpinLock
+	hooks     Hooks[T]
+	combined  atomic.Uint64 // ops executed on behalf of other threads
+	seq       atomic.Uint64 // committed durability rounds, monotone
+	batches   atomic.Uint64 // committed durability rounds (== seq, kept for stats reads)
+	batchOps  atomic.Uint64 // ops retired across committed rounds
+	maxBatch  atomic.Uint64 // largest single committed batch
+	combineNs atomic.Uint64 // total wall time spent inside combining passes
+}
+
+// Stats is a snapshot of a combiner's batching counters.
+type Stats struct {
+	// Batches counts committed durability rounds. Each round pays one set
+	// of commit fences regardless of how many operations it carries.
+	Batches uint64
+	// BatchOps counts operations retired across those rounds, so
+	// BatchOps/Batches is the mean batch size.
+	BatchOps uint64
+	// Combined counts operations executed by a combiner on behalf of
+	// another thread.
+	Combined uint64
+	// MaxBatch is the largest single committed batch.
+	MaxBatch uint64
+	// CombineNs is total wall-clock nanoseconds spent inside combining
+	// passes (batch execution plus its durability round).
+	CombineNs uint64
 }
 
 // New creates a combiner with the given engine hooks.
@@ -83,9 +118,22 @@ func New[T any](hooks Hooks[T]) *Combiner[T] {
 }
 
 // Combined returns the number of operations executed by a combiner on
-// behalf of another thread, and the number of combining passes.
+// behalf of another thread, and the number of committed batches.
 func (c *Combiner[T]) Combined() (ops, batches uint64) {
 	return c.combined.Load(), c.batches.Load()
+}
+
+// Stats returns a snapshot of the batching counters. Safe to call
+// concurrently with combining; counters are read individually, so the
+// snapshot is only loosely consistent (fine for metrics).
+func (c *Combiner[T]) Stats() Stats {
+	return Stats{
+		Batches:   c.batches.Load(),
+		BatchOps:  c.batchOps.Load(),
+		Combined:  c.combined.Load(),
+		MaxBatch:  c.maxBatch.Load(),
+		CombineNs: c.combineNs.Load(),
+	}
 }
 
 // Execute announces op in the slot of thread tid and waits until it has been
@@ -93,8 +141,26 @@ func (c *Combiner[T]) Combined() (ops, batches uint64) {
 // becomes the combiner) or by another combiner. It returns the operation's
 // error and re-raises its panic, if any.
 func (c *Combiner[T]) Execute(tid int, op Op[T]) error {
+	_, err := c.ExecuteSeq(tid, op)
+	return err
+}
+
+// ExecuteSeq is Execute but also returns the durability round (batch
+// sequence number) that committed the operation. Rounds are assigned in
+// commit order starting at 1; operations committed by the same round share
+// a number and became durable atomically. A rolled-back (failed) operation
+// reports round 0.
+func (c *Combiner[T]) ExecuteSeq(tid int, op Op[T]) (uint64, error) {
 	req := &request[T]{op: op}
 	c.slots[tid].req.Store(req)
+	// Announce-then-yield: give up the processor once between announcing and
+	// competing for the writer lock. A combiner running elsewhere gets a
+	// chance to fold this request into its open batch instead of losing the
+	// lock hand-off race to us, and on oversubscribed (or single-processor)
+	// schedulers the yield creates the arrival overlap that hardware
+	// parallelism provides naturally — without it every thread finds the
+	// lock free and self-combines, so batches never exceed one operation.
+	runtime.Gosched()
 	for spins := 0; ; spins++ {
 		if req.state.Load() == int32(stateDone) {
 			break
@@ -117,51 +183,101 @@ func (c *Combiner[T]) Execute(tid int, op Op[T]) error {
 	if req.pval != nil {
 		panic(req.pval)
 	}
-	return req.err
+	return req.seq, req.err
 }
 
-// combine gathers all pending announcements and executes them in a single
-// transaction. Called with the writer lock held.
-func (c *Combiner[T]) combine() {
-	var batch []*request[T]
+// gather scans the announcement array and claims every pending request,
+// appending it to batch. Claiming (rather than leaving requests pending)
+// lets the drain loop rescan without re-collecting operations already in
+// the open transaction. Called with the writer lock held.
+func (c *Combiner[T]) gather(batch []*request[T]) []*request[T] {
 	for i := range c.slots {
 		r := c.slots[i].req.Load()
 		if r != nil && r.state.Load() == int32(statePending) {
+			r.state.Store(int32(stateClaimed))
 			batch = append(batch, r)
 		}
 	}
+	return batch
+}
+
+// combine drains the announcement array into a single transaction: execute
+// what was pending on entry, rescan, fold in late arrivals, and repeat
+// until a scan finds nothing new; then commit the whole batch in one
+// durability round. Called with the writer lock held.
+func (c *Combiner[T]) combine() {
+	batch := c.gather(nil)
 	if len(batch) == 0 {
 		return
 	}
-	c.batches.Add(1)
+	start := time.Now()
+	tx := c.hooks.Begin()
+	ok, ran := true, 0
+	for ok {
+		for ran < len(batch) {
+			r := batch[ran]
+			ran++
+			r.err, r.pval = nil, nil
+			if !runOp(r, tx) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		next := c.gather(batch)
+		if len(next) == len(batch) {
+			break
+		}
+		batch = next
+	}
+	if ok {
+		c.hooks.Commit(tx, len(batch))
+		seq := c.seq.Add(1)
+		for _, r := range batch {
+			r.seq = seq
+		}
+		c.recordBatch(len(batch))
+	} else {
+		// At least one operation failed: the whole transaction was rolled
+		// back. Isolate failures by re-running each claimed operation in its
+		// own transaction (its own durability round).
+		c.hooks.Rollback(tx)
+		for _, r := range batch {
+			c.runSolo(r)
+		}
+	}
 	c.combined.Add(uint64(len(batch) - 1))
-	if c.runBatch(batch) {
-		c.finish(batch)
-		return
-	}
-	// At least one operation failed: the whole transaction was rolled back.
-	// Isolate failures by re-running each operation in its own transaction.
-	for _, r := range batch {
-		c.runBatch([]*request[T]{r})
-	}
+	c.combineNs.Add(uint64(time.Since(start)))
 	c.finish(batch)
 }
 
-// runBatch executes the batch inside one transaction. It returns false if
-// any operation failed, in which case the transaction has been rolled back
-// and no request has been marked done.
-func (c *Combiner[T]) runBatch(batch []*request[T]) bool {
+// runSolo re-executes one operation in its own transaction after a batch
+// failure, assigning it its own durability round on success.
+func (c *Combiner[T]) runSolo(r *request[T]) {
 	tx := c.hooks.Begin()
-	for _, r := range batch {
-		r.err = nil
-		r.pval = nil
-		if !runOp(r, tx) {
-			c.hooks.Rollback(tx)
-			return false
+	r.err, r.pval = nil, nil
+	if runOp(r, tx) {
+		c.hooks.Commit(tx, 1)
+		r.seq = c.seq.Add(1)
+		c.recordBatch(1)
+	} else {
+		c.hooks.Rollback(tx)
+		r.seq = 0
+	}
+}
+
+// recordBatch accounts one committed durability round of ops operations.
+func (c *Combiner[T]) recordBatch(ops int) {
+	c.batches.Add(1)
+	c.batchOps.Add(uint64(ops))
+	for {
+		cur := c.maxBatch.Load()
+		if uint64(ops) <= cur || c.maxBatch.CompareAndSwap(cur, uint64(ops)) {
+			return
 		}
 	}
-	c.hooks.Commit(tx)
-	return true
 }
 
 // runOp invokes a single operation, capturing error and panic. It returns

@@ -3,6 +3,7 @@ package flatcombine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -20,6 +21,7 @@ type fakeEngine struct {
 	begins    int
 	commits   int
 	rollbacks int
+	batchOps  []int
 	inTx      bool
 }
 
@@ -40,9 +42,10 @@ func (e *fakeEngine) hooks() Hooks[fakeTx] {
 			e.mu.Unlock()
 			return fakeTx{e}
 		},
-		Commit: func(tx fakeTx) {
+		Commit: func(tx fakeTx, ops int) {
 			e.mu.Lock()
 			e.commits++
+			e.batchOps = append(e.batchOps, ops)
 			e.inTx = false
 			e.mu.Unlock()
 		},
@@ -242,6 +245,148 @@ func TestSequentialReuseOfSlot(t *testing.T) {
 	}
 	if e.value != 100 {
 		t.Errorf("value = %d, want 100", e.value)
+	}
+}
+
+func TestExecuteSeqMonotoneAndStats(t *testing.T) {
+	e := &fakeEngine{}
+	c := New(e.hooks())
+	var last uint64
+	for i := 0; i < 50; i++ {
+		seq, err := c.ExecuteSeq(0, func(tx fakeTx) error { tx.add(1); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq <= last {
+			t.Fatalf("seq %d not monotone after %d", seq, last)
+		}
+		last = seq
+	}
+	st := c.Stats()
+	if st.Batches != 50 || st.BatchOps != 50 {
+		t.Errorf("stats = %+v, want 50 batches of 1 op", st)
+	}
+	if st.MaxBatch != 1 {
+		t.Errorf("MaxBatch = %d, want 1 (sequential execution)", st.MaxBatch)
+	}
+	if st.Combined != 0 {
+		t.Errorf("Combined = %d, want 0 (no other threads)", st.Combined)
+	}
+}
+
+func TestFailedOpReportsSeqZero(t *testing.T) {
+	e := &fakeEngine{}
+	c := New(e.hooks())
+	seq, err := c.ExecuteSeq(0, func(tx fakeTx) error { return errors.New("no") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if seq != 0 {
+		t.Errorf("seq = %d for rolled-back op, want 0", seq)
+	}
+}
+
+func TestConcurrentBatchesShareSeq(t *testing.T) {
+	// Under contention, ops committed by one durability round must report
+	// the same sequence number, and every round's ops count must match the
+	// count handed to the Commit hook.
+	e := &fakeEngine{}
+	c := New(e.hooks())
+	var reg hsync.Registry
+	const workers, iters = 8, 100
+	var mu sync.Mutex
+	perSeq := map[uint64]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tid, _ := reg.Acquire()
+			defer reg.Release(tid)
+			for i := 0; i < iters; i++ {
+				seq, err := c.ExecuteSeq(tid, func(tx fakeTx) error { tx.add(1); return nil })
+				if err != nil || seq == 0 {
+					t.Errorf("seq %d err %v", seq, err)
+					return
+				}
+				mu.Lock()
+				perSeq[seq]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if e.value != workers*iters {
+		t.Fatalf("value = %d, want %d", e.value, workers*iters)
+	}
+	st := c.Stats()
+	if st.BatchOps != workers*iters {
+		t.Errorf("BatchOps = %d, want %d", st.BatchOps, workers*iters)
+	}
+	if st.Batches != uint64(len(perSeq)) {
+		t.Errorf("Batches = %d but %d distinct seqs observed", st.Batches, len(perSeq))
+	}
+	// Cross-check each round's size against what the Commit hook saw.
+	// Rounds commit in seq order, so the i-th commit is seq i+1.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.batchOps) != len(perSeq) {
+		t.Fatalf("%d commits, %d seqs", len(e.batchOps), len(perSeq))
+	}
+	total := 0
+	for seq, n := range perSeq {
+		if got := e.batchOps[seq-1]; got != n {
+			t.Errorf("seq %d: commit hook saw %d ops, owners saw %d", seq, got, n)
+		}
+		total += n
+	}
+	if total != workers*iters {
+		t.Errorf("seq op total = %d, want %d", total, workers*iters)
+	}
+}
+
+func TestDrainFoldsLateArrivals(t *testing.T) {
+	// A second op announced while the combiner is mid-batch must be folded
+	// into the same open transaction (same seq), not deferred to its own
+	// durability round. The first op blocks inside the transaction until it
+	// observes the second announcement.
+	e := &fakeEngine{}
+	c := New(e.hooks())
+	announced := make(chan struct{})
+	var seq2 uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var err error
+		// Announce from tid 1 once tid 0's op signals it is running.
+		<-announced
+		seq2, err = c.ExecuteSeq(1, func(tx fakeTx) error { tx.add(1); return nil })
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	seq1, err := c.ExecuteSeq(0, func(tx fakeTx) error {
+		tx.add(1)
+		close(announced)
+		// Wait until the second request is visible in the announcement
+		// array so the combiner's rescan is guaranteed to find it.
+		for c.slots[1].req.Load() == nil {
+			runtime.Gosched()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if seq1 != seq2 {
+		t.Errorf("late arrival got seq %d, combiner batch was seq %d; want same round", seq2, seq1)
+	}
+	if e.commits != 1 {
+		t.Errorf("commits = %d, want 1 (single drained batch)", e.commits)
+	}
+	if st := c.Stats(); st.MaxBatch != 2 {
+		t.Errorf("MaxBatch = %d, want 2", st.MaxBatch)
 	}
 }
 

@@ -37,10 +37,12 @@ func Instrument(dev *pmem.Device, r *Registry) {
 // under the canonical ptm_* names, again as a zero-overhead collector:
 //
 //	ptm_update_tx_total, ptm_read_tx_total, ptm_abort_total,
-//	ptm_rollback_total, ptm_combined_total
+//	ptm_rollback_total, ptm_combined_total, ptm_batch_total,
+//	ptm_batch_ops_total, ptm_batch_combine_ns_total
 //
 // Every engine in the repository reports the same schema, so tools can
-// compare engines without per-engine cases.
+// compare engines without per-engine cases. The ptm_batch_* gauges stay zero
+// for engines without a flat-combined batch commit path.
 func InstrumentPTM(e ptm.PTM, r *Registry) {
 	r.Collect(func(set Setter) {
 		s := e.Stats()
@@ -49,6 +51,9 @@ func InstrumentPTM(e ptm.PTM, r *Registry) {
 		set("ptm_abort_total", s.Aborts)
 		set("ptm_rollback_total", s.Rollbacks)
 		set("ptm_combined_total", s.Combined)
+		set("ptm_batch_total", s.Batches)
+		set("ptm_batch_ops_total", s.BatchOps)
+		set("ptm_batch_combine_ns_total", s.CombineNs)
 	})
 }
 

@@ -64,6 +64,11 @@ type TxEvent struct {
 	// Retries counts conflict aborts before this transaction committed
 	// (redo-log STM only; 0 elsewhere).
 	Retries uint64 `json:"retries,omitempty"`
+	// BatchOps is the number of announced operations this durability round
+	// carried (flat-combined engines only; 0 elsewhere). An update event with
+	// BatchOps > 1 is one crash-atomic super-transaction whose Pwbs and
+	// Fences are shared by that many logical operations.
+	BatchOps uint64 `json:"batch_ops,omitempty"`
 }
 
 // Sink receives per-transaction trace events. Implementations must be safe
@@ -155,6 +160,7 @@ type MetricsSink struct {
 	writes     *Histogram
 	writeBytes *Histogram
 	copied     *Histogram
+	batchOps   *Histogram
 	readLoads  *Histogram
 }
 
@@ -171,6 +177,7 @@ func NewMetricsSink(r *Registry) *MetricsSink {
 		writes:     r.Histogram("tx_writes"),
 		writeBytes: r.Histogram("tx_write_bytes"),
 		copied:     r.Histogram("tx_copied_bytes"),
+		batchOps:   r.Histogram("tx_batch_ops"),
 		readLoads:  r.Histogram("read_tx_loads"),
 	}
 }
@@ -190,6 +197,9 @@ func (s *MetricsSink) Emit(ev TxEvent) {
 		s.writes.Observe(ev.Writes)
 		s.writeBytes.Observe(ev.WriteBytes)
 		s.copied.Observe(ev.CopiedBytes)
+		if ev.BatchOps > 0 {
+			s.batchOps.Observe(ev.BatchOps)
+		}
 	case KindRead:
 		s.reads.Inc()
 		s.readLoads.Observe(ev.Reads)

@@ -1,0 +1,72 @@
+package pmem
+
+// FlushSet is a deduplicated set of dirty cache lines awaiting write-back.
+// Engines that defer per-store pwbs to commit time record every stored range
+// here and then issue exactly one Pwb per distinct line in one burst before
+// the commit fence — the line-granular batching that eliminates the
+// store-on-queued-line and re-queued-pwb waste classes an eager per-store
+// flush discipline produces (§6.2; see also FliT's analysis of redundant
+// flush traffic).
+//
+// Membership is tracked with an epoch-stamped array, so Reset is O(1) and
+// Add never allocates after the first few batches; insertion order is
+// preserved so flush bursts (and therefore traces and audit streams) are
+// deterministic for a deterministic store sequence.
+//
+// A FlushSet is confined to the single mutator of its device region, like
+// the data path itself; it performs no synchronization.
+type FlushSet struct {
+	stamps []uint32
+	epoch  uint32
+	lines  []int32
+}
+
+// NewFlushSet creates a flush set covering a device (or region) of size
+// bytes starting at offset 0.
+func NewFlushSet(size int) *FlushSet {
+	return &FlushSet{
+		stamps: make([]uint32, (size+LineSize-1)>>lineShift),
+		epoch:  1,
+	}
+}
+
+// Add records every cache line overlapping [off, off+n) as needing
+// write-back. Lines already in the set are skipped.
+func (f *FlushSet) Add(off, n int) {
+	if n <= 0 {
+		return
+	}
+	last := (off + n - 1) >> lineShift
+	for line := off >> lineShift; line <= last; line++ {
+		if f.stamps[line] != f.epoch {
+			f.stamps[line] = f.epoch
+			f.lines = append(f.lines, int32(line))
+		}
+	}
+}
+
+// Len returns the number of distinct lines currently in the set.
+func (f *FlushSet) Len() int { return len(f.lines) }
+
+// Flush issues one Pwb per recorded line, in insertion order, then resets
+// the set. The caller still owns the ordering fence.
+func (f *FlushSet) Flush(d *Device) {
+	for _, line := range f.lines {
+		d.Pwb(int(line) << lineShift)
+	}
+	f.Reset()
+}
+
+// Reset empties the set without issuing write-backs (rollback path: the
+// engine restores and flushes the modified ranges from its twin copy
+// instead).
+func (f *FlushSet) Reset() {
+	f.lines = f.lines[:0]
+	f.epoch++
+	if f.epoch == 0 { // epoch wrapped: stamps may alias, clear them
+		for i := range f.stamps {
+			f.stamps[i] = 0
+		}
+		f.epoch = 1
+	}
+}

@@ -342,6 +342,14 @@ func (d *Device) PwbRange(off, n int) {
 	}
 }
 
+// NeedsFence reports whether any write-back is queued and unfenced, i.e.
+// whether a Pfence or Psync issued now would do ordering work. Under ordered
+// models (CLFLUSH) lines persist at Pwb time and this is always false,
+// matching the paper's observation that CLFLUSH needs no fences. Engines use
+// it to elide provably-no-op fences; like the data path it must only be
+// called from the mutating goroutine.
+func (d *Device) NeedsFence() bool { return len(d.queuedLines) > 0 }
+
 // Pfence orders preceding write-backs: every line queued by Pwb becomes
 // persistent before the fence returns.
 func (d *Device) Pfence() {

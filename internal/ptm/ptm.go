@@ -105,6 +105,14 @@ type TxStats struct {
 	Aborts    uint64 // internal aborts/retries (only the redo-log STM aborts)
 	Rollbacks uint64 // user-requested rollbacks (fn returned an error)
 	Combined  uint64 // update operations executed by a flat-combining pass on behalf of another thread
+
+	// Batch counters (flat-combined engines only; zero elsewhere). A batch
+	// is one committed durability round: one log replay / main→back sync and
+	// one set of commit fences shared by every operation it carries, so
+	// BatchOps/Batches is the fence-amortization factor.
+	Batches   uint64 // committed durability rounds
+	BatchOps  uint64 // update operations retired across those rounds
+	CombineNs uint64 // total wall-clock ns spent in combining passes
 }
 
 // PTM is a persistent transactional memory engine.
@@ -149,6 +157,14 @@ type Auditor interface {
 	TxEnd()
 	DurablePoint(point string)
 	EngineClose(engine string)
+}
+
+// BatchAuditor is optionally implemented by an Auditor that wants batch
+// attribution: engines whose durable points cover flat-combined batches call
+// BatchCommitted(ops) immediately after the DurablePoint of a round that
+// retired ops announced operations in one crash-atomic transaction.
+type BatchAuditor interface {
+	BatchCommitted(ops int)
 }
 
 // Handle is a per-goroutine transaction context. Engines keep per-thread

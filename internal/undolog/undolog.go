@@ -312,13 +312,20 @@ func (e *Engine) beginTx() *Tx {
 	return t
 }
 
-// commitTx: make all in-place stores durable, then truncate the log.
+// commitTx: make all in-place stores durable, then truncate the log. Fences
+// with nothing queued (an empty transaction, or an ordered-pwb model) are
+// provably no-ops and skipped; safe here because the writer lock makes this
+// engine single-mutator.
 func (e *Engine) commitTx() {
 	d := e.dev
-	d.Pfence() // drain data write-backs
+	if d.NeedsFence() {
+		d.Pfence() // drain data write-backs
+	}
 	d.Store64(offLogCount, 0)
 	d.Pwb(offLogCount)
-	d.Psync()
+	if d.NeedsFence() {
+		d.Psync()
+	}
 	if a := e.aud; a != nil {
 		a.DurablePoint("commit")
 	}
