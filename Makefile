@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-scale tools experiments crashtest crashtest-short crashtest-batch audit docs-check fuzz clean
+.PHONY: all build test race bench bench-scale tools experiments crashtest crashtest-short crashtest-batch shardtest audit docs-check fuzz clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: crashtest-short audit docs-check
+test: crashtest-short shardtest audit docs-check
 	go test ./...
 
 # Documentation hygiene: vet, formatting, and Markdown link integrity.
@@ -48,7 +48,8 @@ experiments: tools
 	./bin/romulus-bench -pwbhist                                     | tee results/pwbhist.txt
 	./bin/romulus-bench -workload swaps -ops 2000 -threads 1,2,4,8 -audit -json results/BENCH_swaps.json -append | tee results/workload_swaps.txt
 	./bin/romulus-bench -workload map -ops 2000 -threads 1,2,4,8 -audit -json results/BENCH_map.json -append    | tee results/workload_map.txt
-	./bin/benchcheck results/BENCH_swaps.json results/BENCH_map.json
+	./bin/romulus-bench -shards 1,2,4 -threads 4 -ops 2000 -audit -json results/BENCH_shard.json -append       | tee results/workload_shard.txt
+	./bin/benchcheck results/BENCH_swaps.json results/BENCH_map.json results/BENCH_shard.json
 
 crashtest: tools
 	./bin/romulus-crashtest -rounds 2000 -chain 3 -engines all -threads 4
@@ -61,6 +62,12 @@ crashtest-batch: tools
 # Quick crash-chain pass under the race detector; part of `make test`.
 crashtest-short:
 	go run -race ./cmd/romulus-crashtest -seed 1 -rounds 250 -chain 3 -engines all -threads 4
+
+# Cross-shard crash campaign: whole-process crash images across every shard
+# device plus the coordinator log; in-doubt two-phase batches must resolve
+# all-or-nothing under the auditor. Part of `make test`.
+shardtest:
+	go run -race ./cmd/romulus-crashtest -xshard -audit -seed 1 -rounds 120 -chain 2 -shards 3
 
 # Crash-chain campaign with the durability auditor chained in front of the
 # crash scheduler: any dirty or unfenced line at a commit marker, any

@@ -1,7 +1,7 @@
 // Command benchcheck guards benchmark trajectories: it reads one or more
 // JSON-lines files accumulated with `romulus-bench -workload ... -json FILE
 // -append` and exits non-zero if the newest row of any (workload, engine,
-// model, threads) group regressed fences_per_tx above the group's
+// model, threads, shards) group regressed fences_per_tx above the group's
 // historical best by more than the tolerance. Wire it after the experiment
 // run (see `make experiments`) so a change that silently breaks fence
 // amortization — batches collapsing to one op, elision lost — fails the

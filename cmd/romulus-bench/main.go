@@ -16,6 +16,12 @@
 //
 //	romulus-bench -workload swaps -metrics [-ops 1000] [-seed 1]
 //	romulus-bench -workload map -trace trace.jsonl
+//
+// Sharded mode sweeps the single-key workload across shard counts of the
+// partitioned store (internal/shard): the same client load routed over more
+// independent engines, reported in the same JSON-lines schema:
+//
+//	romulus-bench -shards 1,2,4 [-engines romlog] [-threads 4] [-json FILE]
 package main
 
 import (
@@ -38,6 +44,7 @@ func main() {
 	sizes := flag.String("sizes", "10000,100000,1000000", "figure 6 population sizes")
 	model := flag.String("model", "dram", "persistence model: dram, clwb, clflushopt, clflush, stt, pcm")
 	workload := flag.String("workload", "", "run a deterministic workload (swaps, map) instead of a figure")
+	shardCounts := flag.String("shards", "", "sweep the sharded store across these shard counts (e.g. 1,2,4) instead of a figure; -engines selects Romulus variants, the first -threads value sets client goroutines")
 	ops := flag.Int("ops", 1000, "update transactions per engine in -workload mode")
 	seed := flag.Int64("seed", 1, "workload operation seed")
 	metrics := flag.Bool("metrics", false, "print the per-engine metrics registry after a -workload run")
@@ -54,6 +61,42 @@ func main() {
 	m, ok := pmem.ModelByName(*model)
 	if !ok {
 		exitOn(fmt.Errorf("unknown model %q", *model))
+	}
+	if *shardCounts != "" {
+		counts, err := bench.ParseInts(*shardCounts)
+		exitOn(err)
+		sopts := bench.ShardWorkloadOptions{
+			ShardCounts: counts,
+			Threads:     ths[0],
+			Ops:         *ops,
+			Seed:        *seed,
+			Model:       m,
+			Metrics:     *metrics,
+			Audit:       *audit,
+		}
+		// -engines all means every engine with a sharded composition, which
+		// is exactly the Romulus variants.
+		if *engines != "all" {
+			sopts.Engines = kinds
+		}
+		if *jsonOut != "" {
+			if *jsonOut == "-" {
+				sopts.JSONOut = os.Stdout
+			} else {
+				mode := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+				if *appendJSON {
+					mode = os.O_WRONLY | os.O_CREATE | os.O_APPEND
+				}
+				f, err := os.OpenFile(*jsonOut, mode, 0o644)
+				exitOn(err)
+				defer f.Close()
+				sopts.JSONOut = f
+			}
+		}
+		out, err := bench.RunShardWorkload(sopts)
+		exitOn(err)
+		fmt.Print(out)
+		return
 	}
 	if *workload != "" {
 		wopts := bench.WorkloadOptions{

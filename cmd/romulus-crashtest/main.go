@@ -74,6 +74,65 @@ func runBatchCampaign(cfg crashtest.BatchConfig, jsonOut bool) {
 	fmt.Println("OK")
 }
 
+// runXShardCampaign executes the cross-shard campaign and prints its report
+// (text or JSON), exiting non-zero on a safety failure. The per-engine flags
+// (-engines, -threads, -trace) do not apply: the store is always the sharded
+// RomulusDB composition and the workload is single-threaded so that the
+// multi-device crash captures are consistent.
+func runXShardCampaign(cfg crashtest.XShardConfig, jsonOut bool) {
+	if !jsonOut {
+		fmt.Printf("romulus-crashtest -xshard: %d rounds, seed %d, %d shards, chain depth %d\n",
+			cfg.Rounds, cfg.Seed, cfg.Shards, cfg.ChainDepth)
+	}
+	rep, err := crashtest.RunXShard(cfg)
+	if jsonOut {
+		out := struct {
+			Seed    int64                  `json:"seed"`
+			XShard  crashtest.XShardReport `json:"xshard"`
+			Metrics *obs.Snapshot          `json:"metrics,omitempty"`
+			Failure *crashtest.Failure     `json:"failure,omitempty"`
+			Error   string                 `json:"error,omitempty"`
+		}{Seed: cfg.Seed, XShard: rep}
+		if cfg.Metrics != nil {
+			snap := cfg.Metrics.Snapshot()
+			out.Metrics = &snap
+		}
+		if err != nil {
+			var f *crashtest.Failure
+			if errors.As(err, &f) {
+				out.Failure = f
+			} else {
+				out.Error = err.Error()
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("xshard   %6d rounds, %d shards — %d mid-op crashes, %d cross-shard batches, "+
+		"%d chain crashes (%d inside recovery), in-doubt: %d replayed / %d rolled back, "+
+		"rounds: %d rolled back / %d carried forward\n",
+		rep.Rounds, rep.Shards, rep.MidOpCrashes, rep.XBatches,
+		rep.ChainCrashes, rep.RecoveryCrashes, rep.Replays, rep.Rollbacks,
+		rep.RolledBack, rep.CarriedForward)
+	if cfg.Audit {
+		fmt.Printf("         audit: %d violations\n", rep.AuditViolations)
+	}
+	if cfg.Metrics != nil {
+		fmt.Println("# campaign totals")
+		cfg.Metrics.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAILURE: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}
+
 func main() {
 	rounds := flag.Int("rounds", 1000, "crash/recover cycles per engine")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "campaign seed (printed for reproduction)")
@@ -86,12 +145,30 @@ func main() {
 	audit := flag.Bool("audit", false, "chain the durability auditor in front of the crash scheduler; any dirty or unfenced line at a commit marker, crash loss of a durably-claimed line, or unflushed line at close fails the round")
 	batch := flag.Bool("batch", false, "run the combined-batch campaign instead: concurrent batched writers ("+
 		strings.Join(crashtest.BatchEngineNames(), ",")+" only), crashes aimed inside combined durability rounds, all-or-nothing batch visibility asserted after recovery")
+	xshard := flag.Bool("xshard", false, "run the cross-shard campaign instead: a sharded store (-shards devices plus a coordinator log), whole-process crash images captured consistently across every device, two-phase cross-shard batches asserted all-or-nothing after recovery")
+	shards := flag.Int("shards", 3, "shard count for the -xshard campaign")
 	jsonOut := flag.Bool("json", false, "emit reports (and any failure) as JSON")
 	metrics := flag.Bool("metrics", false, "print campaign totals (pmem_* and crash_* counters) after the reports")
 	trace := flag.String("trace", "", "write the workload transaction trace (JSON lines) to this file, or - for stdout")
 	traceCap := flag.Int("tracecap", 4096, "trailing trace events retained with -trace")
 	flag.Parse()
 
+	if *xshard {
+		xcfg := crashtest.XShardConfig{
+			Rounds:      *rounds,
+			Seed:        *seed,
+			Shards:      *shards,
+			Keys:        *keys,
+			OpsPerRound: *txs,
+			ChainDepth:  *chain,
+			Audit:       *audit,
+		}
+		if *metrics {
+			xcfg.Metrics = obs.NewRegistry()
+		}
+		runXShardCampaign(xcfg, *jsonOut)
+		return
+	}
 	if *batch {
 		runBatchCampaign(crashtest.BatchConfig{
 			Rounds:       *rounds,

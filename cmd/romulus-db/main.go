@@ -19,18 +19,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/bench"
 	"repro/internal/kvstore"
 	"repro/internal/obs"
+	"repro/internal/obshttp"
 )
 
 func main() {
@@ -61,44 +63,27 @@ func main() {
 	if *httpAddr != "" {
 		ring = obs.NewRingSink(4096)
 		cur.Store(obs.NewRegistry())
-		mux := http.NewServeMux()
-		mux.HandleFunc("/audit", func(w http.ResponseWriter, req *http.Request) {
-			a := curAud.Load()
-			if a == nil {
-				http.Error(w, "no auditor attached (run with -audit)", http.StatusServiceUnavailable)
-				return
-			}
-			// Summary diffs nothing (no crash image), so it is safe against
-			// the live store: shadow state only, no device bytes read.
-			rep := a.Summary()
-			if req.URL.Query().Get("format") == "json" {
-				w.Header().Set("Content-Type", "application/json")
-				rep.WriteJSON(w)
-				return
-			}
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			rep.WriteText(w)
+		// The shared observability mux (same layout romulusd serves): bind
+		// errors fail the run up front instead of dying in a goroutine, and
+		// in-flight scrapes drain before exit.
+		mux := obshttp.NewMux(obshttp.Sources{
+			Registry: func() *obs.Registry { return cur.Load() },
+			Trace:    ring,
+			Auditor:  func() *audit.Auditor { return curAud.Load() },
 		})
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-			r := cur.Load()
-			if req.URL.Query().Get("format") == "json" {
-				w.Header().Set("Content-Type", "application/json")
-				r.WriteJSON(w)
-				return
-			}
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			r.WriteText(w)
-		})
-		mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
-			w.Header().Set("Content-Type", "application/x-ndjson")
-			ring.WriteJSON(w)
-		})
+		hs, err := obshttp.Listen(*httpAddr, mux)
+		exitOn(err)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			hs.Shutdown(ctx)
+			cancel()
+		}()
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+			if err := <-hs.Err(); err != nil {
 				fmt.Fprintln(os.Stderr, "romulus-db: http:", err)
 			}
 		}()
-		fmt.Printf("observability endpoint on %s (/metrics, /trace)\n", *httpAddr)
+		fmt.Printf("observability endpoint on %s (/metrics, /trace, /audit)\n", hs.Addr())
 	}
 
 	for _, w := range strings.Split(*workloads, ",") {

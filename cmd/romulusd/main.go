@@ -1,0 +1,142 @@
+// Command romulusd serves the sharded persistent KV store over TCP: a
+// line-oriented protocol (PING, GET, SET, DEL, MULTI…EXEC, STATS, QUIT; see
+// internal/server) on -addr, one goroutine per connection.
+//
+// Keys hash-partition across -shards independent Romulus engines (-engine
+// rom|romlog|romlr); multi-key MULTI batches that span shards commit through
+// a durable two-phase record and are atomic across crashes. With -dir the
+// shard and coordinator images persist across restarts (loaded on startup,
+// written on shutdown). With -http an observability endpoint serves
+// /metrics (shard_*, xshard_*, net_* series), /stats (JSON snapshot) and,
+// with -audit, /audit.
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight commands
+// finish and flush their replies, then the store closes (saving images).
+// Every acknowledged write is durable before its reply, so a drain or crash
+// after the ack never loses it.
+//
+//	romulusd -addr :6380 -shards 4 -engine romlog -dir /tmp/romulusd -http :8080
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obshttp"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":6380", "TCP listen address for the KV protocol")
+	shards := flag.Int("shards", 4, "number of hash partitions (fixed at store creation)")
+	engine := flag.String("engine", "romlog", "Romulus engine per shard: rom, romlog or romlr")
+	region := flag.Int("region", 8<<20, "persistent heap bytes per twin copy per shard")
+	dir := flag.String("dir", "", "image directory for persistence across restarts (empty: in-memory)")
+	httpAddr := flag.String("http", "", "serve /metrics and /stats on this address (e.g. :8080)")
+	auditFlag := flag.Bool("audit", false, "attach durability auditors to every shard and the coordinator")
+	drainTimeout := flag.Duration("drain", 5*time.Second, "graceful shutdown budget before connections are closed forcibly")
+	flag.Parse()
+
+	variant, err := parseVariant(*engine)
+	exitOn(err)
+
+	reg := obs.NewRegistry()
+	st, err := shard.Open(shard.Options{
+		Shards:     *shards,
+		RegionSize: *region,
+		Variant:    variant,
+		Dir:        *dir,
+		Metrics:    reg,
+		Audit:      *auditFlag,
+	})
+	exitOn(err)
+
+	srv := server.New(st, server.Options{Registry: reg})
+
+	if *httpAddr != "" {
+		mux := obshttp.NewMux(obshttp.Sources{
+			Registry: func() *obs.Registry { return reg },
+		})
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(st.Stats())
+		})
+		if *auditFlag {
+			mux.HandleFunc("/audit", func(w http.ResponseWriter, _ *http.Request) {
+				per := make([]uint64, 0, st.NumShards()+1)
+				for _, a := range st.Auditors() {
+					if a != nil {
+						per = append(per, a.ViolationCount())
+					}
+				}
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(map[string]any{
+					"violations_total": st.ViolationCount(),
+					"per_device":       per,
+				})
+			})
+		}
+		hs, err := obshttp.Listen(*httpAddr, mux)
+		exitOn(err)
+		defer hs.Shutdown(context.Background())
+		fmt.Printf("romulusd: observability on http://%s (/metrics, /stats)\n", hs.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	exitOn(err)
+	fmt.Printf("romulusd: serving %d shards (%s) on %s\n", st.NumShards(), variant, ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("romulusd: %v, draining connections (%v budget)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "romulusd: drain incomplete:", err)
+		}
+		<-done
+	case err := <-done:
+		exitOn(err)
+	}
+	exitOn(st.Close())
+	fmt.Println("romulusd: store closed cleanly")
+	if n := st.ViolationCount(); n > 0 {
+		exitOn(fmt.Errorf("%d durability violation(s) recorded", n))
+	}
+}
+
+func parseVariant(s string) (core.Variant, error) {
+	switch s {
+	case "rom":
+		return core.Rom, nil
+	case "romlog":
+		return core.RomLog, nil
+	case "romlr":
+		return core.RomLR, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want rom, romlog or romlr)", s)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "romulusd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pmem"
+	"repro/internal/shard"
+)
+
+// ShardWorkloadOptions configure RunShardWorkload, the sharded-store sweep
+// behind `romulus-bench -shards`. Each data point opens a fresh shard.Store
+// (N shard devices plus the cross-shard coordinator log) and drives the
+// single-key RomulusDB mix against it, so the sweep measures how routing
+// update traffic across independent engines scales the batched fast path.
+type ShardWorkloadOptions struct {
+	// ShardCounts lists the shard counts to sweep (default {1, 2, 4}).
+	ShardCounts []int
+	// Engines lists the Romulus variants to run (default all three; mne and
+	// pmdk have no sharded composition and are rejected).
+	Engines []string
+	// Threads is the number of concurrent client goroutines per data point
+	// (default 4). Held fixed across shard counts so the sweep isolates the
+	// partitioning dimension.
+	Threads int
+	// Ops is the number of update operations per data point (default 1000).
+	// One read runs per four updates, as in the map workload.
+	Ops int
+	// Seed fixes the per-worker operation streams (default 1).
+	Seed int64
+	// Model is the persistence model for every device.
+	Model pmem.Model
+	// Metrics appends each data point's registry snapshot (shard_* routing
+	// counters included) to the output.
+	Metrics bool
+	// Audit chains a durability auditor onto every device — each shard's and
+	// the coordinator's; any violation fails the run.
+	Audit bool
+	// JSONOut, when non-nil, receives one WorkloadResult row per data point
+	// (workload "shardkv", the shards field set), newline-delimited, in the
+	// same romulus-bench/workload/v1 schema the trajectory checker consumes.
+	JSONOut io.Writer
+}
+
+// shardVariants maps engine names accepted by -engines to shard.Store
+// variants. Only the Romulus engines compose into the sharded store.
+var shardVariants = map[string]core.Variant{
+	"rom":    core.Rom,
+	"romlog": core.RomLog,
+	"romlr":  core.RomLR,
+}
+
+// RunShardWorkload sweeps the single-key workload across shard counts,
+// returning a throughput table followed (with Metrics) by one metrics block
+// per data point. Throughput rows at 1, 2 and 4 shards are the scaling
+// evidence: the same client load spread over more independent engines means
+// fewer writers contending per flat-combined batch.
+func RunShardWorkload(opts ShardWorkloadOptions) (string, error) {
+	if len(opts.ShardCounts) == 0 {
+		opts.ShardCounts = []int{1, 2, 4}
+	}
+	if len(opts.Engines) == 0 {
+		opts.Engines = []string{"rom", "romlog", "romlr"}
+	}
+	if opts.Threads == 0 {
+		opts.Threads = 4
+	}
+	if opts.Ops == 0 {
+		opts.Ops = 1000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	for _, n := range opts.ShardCounts {
+		if n < 1 {
+			return "", fmt.Errorf("bench: invalid shard count %d", n)
+		}
+	}
+	var out strings.Builder
+	tbl := NewTable("engine", "shards", "threads", "updates", "reads", "ops/sec", "fences/tx", "pwbs/tx")
+	type block struct {
+		name string
+		reg  *obs.Registry
+	}
+	var blocks []block
+	jenc := json.NewEncoder(io.Discard)
+	if opts.JSONOut != nil {
+		jenc = json.NewEncoder(opts.JSONOut)
+	}
+	for _, kind := range opts.Engines {
+		variant, ok := shardVariants[kind]
+		if !ok {
+			return "", fmt.Errorf("bench: engine %q has no sharded composition (use %s)",
+				kind, strings.Join([]string{"rom", "romlog", "romlr"}, ", "))
+		}
+		for _, shards := range opts.ShardCounts {
+			reg := obs.NewRegistry()
+			st, err := shard.Open(shard.Options{
+				Shards:     shards,
+				RegionSize: 1 << 21,
+				CoordSize:  64 << 10,
+				Variant:    variant,
+				Model:      opts.Model,
+				Metrics:    reg,
+				Audit:      opts.Audit,
+			})
+			if err != nil {
+				return "", err
+			}
+			res, err := runShardPoint(st, kind, shards, opts, jenc)
+			st.Close()
+			if err != nil {
+				return "", fmt.Errorf("bench: shardkv on %s/%d shards: %w", kind, shards, err)
+			}
+			tbl.Row(kind, shards, opts.Threads, res.Updates, res.Reads,
+				res.OpsPerSec, res.FencesPerTx, res.PwbsPerTx)
+			blocks = append(blocks, block{fmt.Sprintf("%s shards=%d", kind, shards), reg})
+		}
+	}
+	out.WriteString(tbl.String())
+	if opts.Metrics {
+		for _, b := range blocks {
+			fmt.Fprintf(&out, "\n# store %s\n", b.name)
+			if err := b.reg.WriteText(&out); err != nil {
+				return "", err
+			}
+		}
+	}
+	return out.String(), nil
+}
+
+// runShardPoint drives one (engine, shard count) data point: the single-key
+// mix of the map workload — puts with 100-byte values, one delete per ten
+// updates, one read per four — split across Threads workers, each routing
+// by key hash onto its shard's batched fast path.
+func runShardPoint(st *shard.Store, kind string, shards int, opts ShardWorkloadOptions, jenc *json.Encoder) (WorkloadResult, error) {
+	// Setup (map initialization, device formatting) is excluded from the
+	// measured device totals.
+	for _, d := range st.Devices() {
+		d.ResetStats()
+	}
+	base := shardTxTotals(st)
+
+	start := time.Now()
+	err := runWorkers(opts.Threads, opts.Ops, func(w, ops int) error {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+		val := make([]byte, 100)
+		for n := 0; n < ops; n++ {
+			k := dbKey(rng.Intn(4 * opts.Ops))
+			switch {
+			case n%10 == 9:
+				if err := st.Delete(k); err != nil {
+					return err
+				}
+			default:
+				rng.Read(val)
+				if err := st.Put(k, val); err != nil {
+					return err
+				}
+			}
+			if n%4 == 3 {
+				if _, err := st.Get(k); err != nil && err != shard.ErrNotFound {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	if opts.Audit {
+		if n := st.ViolationCount(); n > 0 {
+			return WorkloadResult{}, fmt.Errorf("auditor found %d durability violation(s)", n)
+		}
+	}
+
+	fin := shardTxTotals(st)
+	updates := fin.updates - base.updates
+	if updates == 0 {
+		updates = 1
+	}
+	var pwbs, fences uint64
+	for _, d := range st.Devices() {
+		ds := d.Stats()
+		pwbs += ds.Pwbs
+		fences += ds.Pfences + ds.Psyncs
+	}
+	res := WorkloadResult{
+		Schema:      WorkloadSchema,
+		Workload:    "shardkv",
+		Engine:      kind,
+		Model:       opts.Model.Name,
+		Threads:     opts.Threads,
+		Shards:      shards,
+		Ops:         opts.Ops,
+		Seed:        opts.Seed,
+		ElapsedSec:  elapsed.Seconds(),
+		OpsPerSec:   float64(opts.Ops) / elapsed.Seconds(),
+		Updates:     updates,
+		Reads:       fin.reads - base.reads,
+		FencesPerTx: float64(fences) / float64(updates),
+		PwbsPerTx:   float64(pwbs) / float64(updates),
+	}
+	if opts.Audit {
+		var t audit.Totals
+		for _, a := range st.Auditors() {
+			if a == nil {
+				continue
+			}
+			at := a.Totals()
+			t.PwbClean += at.PwbClean
+			t.PwbRequeued += at.PwbRequeued
+			t.StoreQueued += at.StoreQueued
+			t.FenceNoop += at.FenceNoop
+			t.Violations += at.Violations
+		}
+		res.AuditViolations = t.Violations
+		res.AuditWaste = &audit.Waste{
+			PwbClean:    t.PwbClean,
+			PwbRequeued: t.PwbRequeued,
+			StoreQueued: t.StoreQueued,
+			FenceNoop:   t.FenceNoop,
+		}
+	}
+	if err := jenc.Encode(res); err != nil {
+		return WorkloadResult{}, err
+	}
+	return res, nil
+}
+
+// shardTxTotals sums committed transaction counts across a store's shard
+// engines; deltas of these are the logical operation counts the per-tx cost
+// fields divide by.
+type txTotals struct {
+	updates, reads uint64
+}
+
+func shardTxTotals(st *shard.Store) txTotals {
+	var t txTotals
+	for i := 0; i < st.NumShards(); i++ {
+		s := st.Engine(i).Stats()
+		t.updates += s.UpdateTxs
+		t.reads += s.ReadTxs
+	}
+	return t
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRunShardWorkload drives the sharded sweep end to end: one variant,
+// shard counts 1 and 2, audited, JSON rows captured — pinning the row shape
+// trajectory tooling depends on.
+func TestRunShardWorkload(t *testing.T) {
+	var js strings.Builder
+	out, err := RunShardWorkload(ShardWorkloadOptions{
+		ShardCounts: []int{1, 2},
+		Engines:     []string{"romlog"},
+		Threads:     2,
+		Ops:         400,
+		Audit:       true,
+		Metrics:     true,
+		JSONOut:     &js,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shards") || !strings.Contains(out, "fences/tx") {
+		t.Fatalf("table missing columns:\n%s", out)
+	}
+	if !strings.Contains(out, "shard_route_put_total") {
+		t.Fatalf("metrics block missing shard routing counters:\n%s", out)
+	}
+	var rows []WorkloadResult
+	sc := bufio.NewScanner(strings.NewReader(js.String()))
+	for sc.Scan() {
+		var row WorkloadResult
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad JSON row %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d JSON rows, want 2", len(rows))
+	}
+	for i, row := range rows {
+		if row.Schema != WorkloadSchema || row.Workload != "shardkv" || row.Engine != "romlog" {
+			t.Fatalf("row %d malformed: %+v", i, row)
+		}
+		if want := []int{1, 2}[i]; row.Shards != want {
+			t.Fatalf("row %d shards = %d, want %d", i, row.Shards, want)
+		}
+		if row.Updates == 0 || row.FencesPerTx <= 0 || row.OpsPerSec <= 0 {
+			t.Fatalf("row %d has empty measurements: %+v", i, row)
+		}
+		if row.AuditViolations != 0 || row.AuditWaste == nil {
+			t.Fatalf("row %d audit fields wrong: %+v", i, row)
+		}
+	}
+}
+
+// TestRunShardWorkloadRejectsForeignEngine pins that engines without a
+// sharded composition are an error, not a silent skip.
+func TestRunShardWorkloadRejectsForeignEngine(t *testing.T) {
+	_, err := RunShardWorkload(ShardWorkloadOptions{Engines: []string{"pmdk"}, Ops: 10})
+	if err == nil || !strings.Contains(err.Error(), "sharded composition") {
+		t.Fatalf("pmdk accepted: %v", err)
+	}
+}
+
+// TestCheckTrajectoryShardsDimension pins that shard counts separate
+// trajectory groups: a regression at shards=4 must not be masked by a good
+// shards=1 history, and rows differing only in shards never share a group.
+func TestCheckTrajectoryShardsDimension(t *testing.T) {
+	shardRow := func(shards int, fences float64) string {
+		return fmt.Sprintf(`{"schema":"romulus-bench/workload/v1","workload":"shardkv",`+
+			`"engine":"romlog","model":"dram","threads":4,"shards":%d,"ops":1000,"seed":1,`+
+			`"elapsed_sec":0.1,"ops_per_sec":1,"updates":1000,"reads":250,`+
+			`"fences_per_tx":%g,"pwbs_per_tx":6}`, shards, fences)
+	}
+	in := strings.Join([]string{
+		shardRow(1, 4), shardRow(4, 1),
+		shardRow(1, 4), shardRow(4, 3),
+	}, "\n")
+	regs, err := CheckTrajectory(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if r := regs[0]; r.Shards != 4 || r.Newest != 3 {
+		t.Fatalf("wrong group flagged: %+v", r)
+	}
+	if !strings.Contains(regs[0].String(), "shards=4") {
+		t.Errorf("regression string %q lacks shards dimension", regs[0].String())
+	}
+}

@@ -32,6 +32,9 @@ type Regression struct {
 	Engine   string
 	Model    string
 	Threads  int
+	// Shards is the partition count of the regressed group (zero for
+	// single-engine rows).
+	Shards int
 	// Metric is the regressed quantity ("fences_per_tx").
 	Metric string
 	// Newest is the metric of the latest appended row; Best the minimum over
@@ -41,13 +44,17 @@ type Regression struct {
 
 // String renders the regression as one human-readable line.
 func (r Regression) String() string {
-	return fmt.Sprintf("%s/%s model=%s threads=%d: %s %.3f exceeds %.3f (best earlier row %.3f)",
-		r.Workload, r.Engine, r.Model, r.Threads, r.Metric, r.Newest, r.Limit, r.Best)
+	dims := fmt.Sprintf("model=%s threads=%d", r.Model, r.Threads)
+	if r.Shards > 0 {
+		dims += fmt.Sprintf(" shards=%d", r.Shards)
+	}
+	return fmt.Sprintf("%s/%s %s: %s %.3f exceeds %.3f (best earlier row %.3f)",
+		r.Workload, r.Engine, dims, r.Metric, r.Newest, r.Limit, r.Best)
 }
 
 // CheckTrajectory reads a trajectory file — WorkloadSchema JSON lines
 // accumulated across runs with romulus-bench -json -append — and reports
-// every (workload, engine, model, threads) group whose newest row regresses
+// every (workload, engine, model, threads, shards) group whose newest row regresses
 // fences_per_tx above the group's historical best by more than tol
 // (relative, plus a small absolute slack). Groups with a single row have no
 // baseline and pass. Blank lines are skipped; rows of a different schema
@@ -77,7 +84,7 @@ func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
 		if row.Schema != WorkloadSchema {
 			return nil, fmt.Errorf("bench: trajectory line %d: schema %q, want %q", line, row.Schema, WorkloadSchema)
 		}
-		key := fmt.Sprintf("%s\x00%s\x00%s\x00%d", row.Workload, row.Engine, row.Model, row.Threads)
+		key := fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d", row.Workload, row.Engine, row.Model, row.Threads, row.Shards)
 		g := groups[key]
 		if g == nil {
 			g = &group{}
@@ -110,6 +117,7 @@ func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
 				Engine:   newest.Engine,
 				Model:    newest.Model,
 				Threads:  newest.Threads,
+				Shards:   newest.Shards,
 				Metric:   "fences_per_tx",
 				Newest:   newest.FencesPerTx,
 				Best:     best,

@@ -68,11 +68,14 @@ type WorkloadOptions struct {
 // except the timing fields is deterministic for a fixed (workload, engine,
 // model, ops, seed) tuple.
 type WorkloadResult struct {
-	Schema     string  `json:"schema"`
-	Workload   string  `json:"workload"`
-	Engine     string  `json:"engine"`
-	Model      string  `json:"model"`
-	Threads    int     `json:"threads"`
+	Schema   string `json:"schema"`
+	Workload string `json:"workload"`
+	Engine   string `json:"engine"`
+	Model    string `json:"model"`
+	Threads  int    `json:"threads"`
+	// Shards is the partition count for sharded-store rows (workload
+	// "shardkv", emitted by RunShardWorkload); zero for single-engine rows.
+	Shards     int     `json:"shards,omitempty"`
 	Ops        int     `json:"ops"`
 	Seed       int64   `json:"seed"`
 	ElapsedSec float64 `json:"elapsed_sec"`

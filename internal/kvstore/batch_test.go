@@ -1,0 +1,82 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBatchLastOpWins pins the documented batch guarantee: operations apply
+// in queue order, so when one batch both Puts and Deletes a key, the last
+// queued operation decides the outcome. Cross-shard batches (internal/shard)
+// inherit this per key, so the pin here protects both layers.
+func TestBatchLastOpWins(t *testing.T) {
+	db, err := Open(Options{RegionSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Put([]byte("pre"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+
+	var b Batch
+	b.Put([]byte("a"), []byte("1"))
+	b.Delete([]byte("a")) // Put then Delete: delete wins
+	b.Delete([]byte("b"))
+	b.Put([]byte("b"), []byte("2")) // Delete then Put: put wins
+	b.Put([]byte("c"), []byte("x"))
+	b.Put([]byte("c"), []byte("3")) // Put then Put: last value wins
+	b.Put([]byte("pre"), []byte("mid"))
+	b.Delete([]byte("pre"))
+	b.Put([]byte("pre"), []byte("new")) // pre-existing key: final Put wins
+	if err := db.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := db.Get([]byte("a")); err != ErrNotFound {
+		t.Fatalf("key a: want ErrNotFound after Put+Delete, got err=%v", err)
+	}
+	for _, want := range []struct{ k, v string }{
+		{"b", "2"}, {"c", "3"}, {"pre", "new"},
+	} {
+		got, err := db.Get([]byte(want.k))
+		if err != nil {
+			t.Fatalf("key %s: %v", want.k, err)
+		}
+		if !bytes.Equal(got, []byte(want.v)) {
+			t.Fatalf("key %s = %q, want %q", want.k, got, want.v)
+		}
+	}
+	if n := db.Len(); n != 3 {
+		t.Fatalf("Len = %d, want 3", n)
+	}
+}
+
+// TestBatchEachOrder pins that Each iterates in queue order — the order
+// Apply uses — so routing layers that split a batch see the same sequence
+// the single-store path applies.
+func TestBatchEachOrder(t *testing.T) {
+	var b Batch
+	b.Put([]byte("k"), []byte("1"))
+	b.Delete([]byte("k"))
+	b.Put([]byte("k"), []byte("2"))
+
+	var seq []string
+	b.Each(func(del bool, key, val []byte) {
+		if del {
+			seq = append(seq, "del:"+string(key))
+		} else {
+			seq = append(seq, "put:"+string(key)+"="+string(val))
+		}
+	})
+	want := []string{"put:k=1", "del:k", "put:k=2"}
+	if len(seq) != len(want) {
+		t.Fatalf("Each visited %d ops, want %d", len(seq), len(want))
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("Each op %d = %q, want %q", i, seq[i], want[i])
+		}
+	}
+}

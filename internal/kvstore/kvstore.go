@@ -8,6 +8,17 @@
 // and no buffered-durability window in which completed operations can be
 // lost. Batches are durable and atomic as a unit. Read operations run as
 // Romulus read-only transactions and therefore scale with reader threads.
+//
+// # Batch semantics
+//
+// A Batch applies its operations in queue order within one transaction, so
+// when the same key is both Put and Deleted in a single batch the LAST
+// queued operation wins: Put(k,v) then Delete(k) leaves k absent, Delete(k)
+// then Put(k,v) leaves k=v, and repeated Puts leave the final value. This
+// guarantee is load-bearing above the single store: cross-shard batches
+// (internal/shard) split a batch by key routing and apply each shard's
+// slice in the original queue order, so they inherit last-op-wins per key —
+// a key always routes to one shard, keeping its operations totally ordered.
 package kvstore
 
 import (
@@ -281,20 +292,38 @@ func (b *Batch) Len() int { return len(b.ops) }
 // Reset clears the batch for reuse.
 func (b *Batch) Reset() { b.ops = b.ops[:0] }
 
+// Each calls fn for every queued operation in queue order — the order Apply
+// uses, so iteration observes exactly the last-op-wins sequence. del is true
+// for Delete entries (val is nil); the key and value slices are the batch's
+// own copies and must not be mutated.
+func (b *Batch) Each(fn func(del bool, key, val []byte)) {
+	for _, op := range b.ops {
+		fn(op.del, op.key, op.val)
+	}
+}
+
+// Apply applies the batch's operations, in queue order, inside an existing
+// update transaction. It is the building block under Write and under the
+// sharded store's cross-shard commits, which need a batch's effects plus
+// their own bookkeeping in ONE durable transaction.
+func (db *DB) Apply(tx ptm.Tx, b *Batch) error {
+	for _, op := range b.ops {
+		if op.del {
+			if _, err := db.m.Delete(tx, op.key); err != nil {
+				return err
+			}
+		} else if _, err := db.m.Put(tx, op.key, op.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Write applies the batch atomically in one durable transaction.
 func (db *DB) Write(b *Batch) error {
 	start := opStart(db.batchNs)
 	err := db.eng.Update(func(tx ptm.Tx) error {
-		for _, op := range b.ops {
-			if op.del {
-				if _, err := db.m.Delete(tx, op.key); err != nil {
-					return err
-				}
-			} else if _, err := db.m.Put(tx, op.key, op.val); err != nil {
-				return err
-			}
-		}
-		return nil
+		return db.Apply(tx, b)
 	})
 	opDone(db.batchNs, start)
 	return err
@@ -361,16 +390,7 @@ func (s *Session) Delete(key []byte) error {
 func (s *Session) Write(b *Batch) error {
 	start := opStart(s.db.batchNs)
 	err := s.h.Update(func(tx ptm.Tx) error {
-		for _, op := range b.ops {
-			if op.del {
-				if _, err := s.db.m.Delete(tx, op.key); err != nil {
-					return err
-				}
-			} else if _, err := s.db.m.Put(tx, op.key, op.val); err != nil {
-				return err
-			}
-		}
-		return nil
+		return s.db.Apply(tx, b)
 	})
 	opDone(s.db.batchNs, start)
 	return err

@@ -1,0 +1,116 @@
+// Package obshttp is the shared observability HTTP surface for the repo's
+// long-running binaries (romulus-db -http, romulusd -http): one mux layout
+// for /metrics, /trace and /audit, and a graceful http.Server wrapper that
+// surfaces bind errors synchronously instead of dying silently in a
+// goroutine.
+package obshttp
+
+import (
+	"context"
+	"net"
+	"net/http"
+
+	"repro/internal/audit"
+	"repro/internal/obs"
+)
+
+// Sources names the live objects the mux serves. Registry is required; the
+// other routes register only when their source is non-nil. Function fields
+// are consulted per request, so a binary that swaps registries or auditors
+// between workload points (romulus-db) serves whichever is current.
+type Sources struct {
+	// Registry returns the current metrics registry (required).
+	Registry func() *obs.Registry
+	// Trace, when non-nil, serves the retained per-transaction events as
+	// JSON lines on /trace.
+	Trace *obs.RingSink
+	// Auditor, when non-nil, serves the current durability auditor's
+	// summary on /audit; the route answers 503 while it returns nil.
+	Auditor func() *audit.Auditor
+}
+
+// NewMux builds the shared mux: GET /metrics (text; ?format=json), GET
+// /trace (ndjson), GET /audit (text; ?format=json). Callers add their own
+// routes (e.g. romulusd's /stats) on the returned mux.
+func NewMux(src Sources) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		r := src.Registry()
+		if r == nil {
+			http.Error(w, "no registry", http.StatusServiceUnavailable)
+			return
+		}
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+	if src.Trace != nil {
+		ring := src.Trace
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			ring.WriteJSON(w)
+		})
+	}
+	if src.Auditor != nil {
+		cur := src.Auditor
+		mux.HandleFunc("/audit", func(w http.ResponseWriter, req *http.Request) {
+			a := cur()
+			if a == nil {
+				http.Error(w, "no auditor attached (run with -audit)", http.StatusServiceUnavailable)
+				return
+			}
+			// Summary reads shadow state only — safe against a live store.
+			rep := a.Summary()
+			if req.URL.Query().Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json")
+				rep.WriteJSON(w)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.WriteText(w)
+		})
+	}
+	return mux
+}
+
+// Server is a listening http.Server with graceful shutdown.
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	errc chan error
+}
+
+// Listen binds addr and starts serving h in the background. The bind happens
+// HERE, so an unusable address fails the caller immediately; errors from the
+// serve loop itself arrive on Err.
+func Listen(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: h},
+		ln:   ln,
+		errc: make(chan error, 1),
+	}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.errc <- err
+		}
+		close(s.errc)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Err delivers serve-loop errors; it closes when the server stops.
+func (s *Server) Err() <-chan error { return s.errc }
+
+// Shutdown gracefully drains in-flight requests until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

@@ -1,0 +1,92 @@
+package obshttp
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/obs"
+	"repro/internal/pmem"
+)
+
+// TestMuxRoutes pins the shared endpoint layout both binaries serve: text
+// and JSON metrics, ndjson trace, and the auditor route's 503-until-attached
+// behavior.
+func TestMuxRoutes(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("demo_total").Add(3)
+	ring := obs.NewRingSink(16)
+	var aud *audit.Auditor
+
+	mux := NewMux(Sources{
+		Registry: func() *obs.Registry { return reg },
+		Trace:    ring,
+		Auditor:  func() *audit.Auditor { return aud },
+	})
+	s, err := Listen("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err, ok := <-s.Err(); ok && err != nil {
+			t.Errorf("serve loop: %v", err)
+		}
+	}()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "demo_total 3") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/metrics?format=json"); code != 200 || !strings.Contains(body, `"demo_total"`) {
+		t.Fatalf("/metrics?format=json = %d %q", code, body)
+	}
+	if code, _ := get("/trace"); code != 200 {
+		t.Fatalf("/trace = %d", code)
+	}
+	if code, _ := get("/audit"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/audit without auditor = %d, want 503", code)
+	}
+
+	dev := pmem.New(4096, pmem.ModelDRAM)
+	aud = audit.New(dev, audit.Options{})
+	if code, body := get("/audit"); code != 200 || body == "" {
+		t.Fatalf("/audit with auditor = %d %q", code, body)
+	}
+}
+
+// TestListenBindErrorIsSynchronous pins the reason this wrapper exists: an
+// unusable address fails the caller, not a background goroutine.
+func TestListenBindErrorIsSynchronous(t *testing.T) {
+	s, err := Listen("127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Listen(s.Addr(), http.NewServeMux()); err == nil {
+		t.Fatal("second bind on the same address succeeded")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+}

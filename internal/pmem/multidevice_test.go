@@ -1,0 +1,105 @@
+package pmem
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestMultiDeviceIndependentHookChains pins that two devices carry fully
+// independent hook chains: events on one device never fire the other's
+// hooks, and replacing one device's bundle leaves the other's intact. Shards
+// rely on this — each shard's auditor and scheduler observe only their own
+// device.
+func TestMultiDeviceIndependentHookChains(t *testing.T) {
+	a := New(2*LineSize, ModelDRAM)
+	b := New(2*LineSize, ModelDRAM)
+
+	var aStores, aFences, bStores, bFences atomic.Uint64
+	hookFor := func(st, fe *atomic.Uint64) *Hooks {
+		return ChainHooks(
+			&Hooks{Store: func(uint64) { st.Add(1) }},
+			&Hooks{Fence: func() { fe.Add(1) }},
+		)
+	}
+	a.SetHooks(hookFor(&aStores, &aFences))
+	b.SetHooks(hookFor(&bStores, &bFences))
+
+	a.Store64(0, 1)
+	a.Pwb(0)
+	a.Pfence()
+	b.Store64(0, 2)
+	b.Store64(8, 3)
+
+	if got := aStores.Load(); got != 1 {
+		t.Fatalf("device a saw %d stores, want 1", got)
+	}
+	if got := aFences.Load(); got != 1 {
+		t.Fatalf("device a saw %d fences, want 1", got)
+	}
+	if got := bStores.Load(); got != 2 {
+		t.Fatalf("device b saw %d stores, want 2", got)
+	}
+	if got := bFences.Load(); got != 0 {
+		t.Fatalf("device b saw %d fences, want 0", got)
+	}
+
+	// Replacing a's bundle must not disturb b's chain.
+	a.SetHooks(nil)
+	b.Store64(0, 4)
+	a.Store64(8, 5)
+	if got := bStores.Load(); got != 3 {
+		t.Fatalf("device b saw %d stores after a's SetHooks(nil), want 3", got)
+	}
+	if got := aStores.Load(); got != 1 {
+		t.Fatalf("detached device a still saw stores: %d", got)
+	}
+}
+
+// TestMultiDeviceCrashIsolation pins that Crash on one device leaves another
+// device's in-flight (dirty/queued) state untouched: the live device can
+// still fence its queued lines to durability afterward. Shards must not
+// share crash state — one shard's simulated failure cannot bleed into its
+// neighbors.
+func TestMultiDeviceCrashIsolation(t *testing.T) {
+	crashed := New(2*LineSize, ModelDRAM)
+	live := New(2*LineSize, ModelDRAM)
+
+	// Both devices hold one queued-but-unfenced line and one merely dirty
+	// line.
+	for _, d := range []*Device{crashed, live} {
+		d.Store64(0, 11)
+		d.Pwb(0)
+		d.Store64(64, 22)
+	}
+
+	crashed.Crash(DropAll)
+
+	// The crashed device lost everything unfenced.
+	if v := crashed.Load64(0); v != 0 {
+		t.Fatalf("crashed device retained unfenced queued line: %d", v)
+	}
+	// The live device's volatile view and write-back queue are intact: the
+	// fence drains its queued line to the media.
+	if v := live.Load64(0); v != 11 {
+		t.Fatalf("live device volatile view disturbed: %d", v)
+	}
+	if !live.NeedsFence() {
+		t.Fatal("live device lost its queued write-back to a neighbor's crash")
+	}
+	live.Pfence()
+	if v := load64(live.Persisted(), 0); v != 11 {
+		t.Fatalf("live device failed to persist after neighbor crash: %d", v)
+	}
+	// Its dirty (never flushed) line is still volatile-only, as before.
+	if v := load64(live.Persisted(), 64); v != 0 {
+		t.Fatalf("live device dirty line persisted spuriously: %d", v)
+	}
+	// And the live device can itself crash-recover independently afterward.
+	live.Store64(64, 33)
+	live.Pwb(64)
+	live.Psync()
+	live.Crash(DropAll)
+	if v := live.Load64(64); v != 33 {
+		t.Fatalf("live device lost its own fenced data: %d", v)
+	}
+}

@@ -1,0 +1,185 @@
+package pmem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MultiScheduler extends the Scheduler's crash-point model to a set of
+// Devices that together form one logical store — e.g. one device per shard
+// plus a coordinator log. Persistence events on every member advance ONE
+// shared sequence, and the capture taken when the armed target is reached
+// snapshots a crash image of EVERY member at that same instant: the
+// multi-device media state a whole-process power failure would leave behind.
+//
+// Event numbering follows the Scheduler exactly (every store, pwb and
+// pfence/psync is one event), except that the sequence interleaves members
+// in the order the mutating goroutine touches them. For a deterministic
+// single-threaded workload the numbering is therefore deterministic, which
+// is what the cross-shard crash campaigns replay failures from.
+//
+// The capture runs on the mutating goroutine, inside the member primitive
+// that hit the target. Members other than the triggering device are read at
+// that moment, so the harness must ensure no other goroutine is mid-mutation
+// on them at capture time: drive the workload single-threaded (the
+// cross-shard campaigns do) or quiesce other mutators first.
+//
+// Unlike NewScheduler, NewMultiScheduler does not install its hooks: each
+// member's counting bundle is exposed via Hooks(i) so harnesses can compose
+// it per device (auditor first, then scheduler) with ChainHooks, or call
+// Attach to install the plain bundles everywhere.
+type MultiScheduler struct {
+	devs  []*Device
+	hooks []*Hooks
+
+	events atomic.Uint64
+	armed  atomic.Bool
+
+	mu       sync.Mutex // guards everything below
+	target   uint64
+	policy   CrashPolicy
+	imgs     [][]byte // captured images, nil until a crash fires
+	imgEvent uint64
+	crashes  int
+	budget   int // max captures; 0 means unlimited
+}
+
+// NewMultiScheduler creates a scheduler over the given member devices
+// without installing any hooks. Use Hooks(i) to compose per member, or
+// Attach to install the plain counting bundles.
+func NewMultiScheduler(devs ...*Device) *MultiScheduler {
+	if len(devs) == 0 {
+		panic("pmem: MultiScheduler needs at least one device")
+	}
+	m := &MultiScheduler{devs: devs, hooks: make([]*Hooks, len(devs))}
+	n := func(uint64) { m.tick() }
+	for i := range devs {
+		m.hooks[i] = &Hooks{Store: n, Pwb: n, Fence: func() { m.tick() }}
+	}
+	return m
+}
+
+// Hooks returns member i's counting bundle for composition via ChainHooks.
+// The bundle is immutable after NewMultiScheduler.
+func (m *MultiScheduler) Hooks(i int) *Hooks { return m.hooks[i] }
+
+// Attach installs the plain counting bundle on every member, replacing any
+// hooks previously installed on them.
+func (m *MultiScheduler) Attach() {
+	for i, d := range m.devs {
+		d.SetHooks(m.hooks[i])
+	}
+}
+
+// Detach removes all hooks from every member (including any composition a
+// harness installed around this scheduler's bundles) and disarms.
+func (m *MultiScheduler) Detach() {
+	m.armed.Store(false)
+	for _, d := range m.devs {
+		d.SetHooks(nil)
+	}
+}
+
+// SetBudget bounds the total number of captures (Arm + CaptureNow); 0 means
+// unlimited.
+func (m *MultiScheduler) SetBudget(n int) {
+	m.mu.Lock()
+	m.budget = n
+	m.mu.Unlock()
+}
+
+// Arm schedules an all-member capture at the eventsFromNow-th persistence
+// event from now (1 = the very next event on any member), clearing any
+// previously captured images. It reports false if the crash budget is
+// exhausted.
+func (m *MultiScheduler) Arm(eventsFromNow uint64, policy CrashPolicy) bool {
+	if eventsFromNow == 0 {
+		eventsFromNow = 1
+	}
+	m.mu.Lock()
+	if m.budget > 0 && m.crashes >= m.budget {
+		m.mu.Unlock()
+		return false
+	}
+	m.imgs = nil
+	m.imgEvent = 0
+	m.policy = policy
+	m.target = m.events.Load() + eventsFromNow
+	m.mu.Unlock()
+	m.armed.Store(true)
+	return true
+}
+
+// Disarm cancels a pending crash without detaching hooks; captured images
+// are kept.
+func (m *MultiScheduler) Disarm() { m.armed.Store(false) }
+
+// tick counts one event and captures every member's crash image when the
+// armed target is reached. Runs on the mutating goroutine.
+func (m *MultiScheduler) tick() {
+	n := m.events.Add(1)
+	if !m.armed.Load() {
+		return
+	}
+	m.mu.Lock()
+	if m.armed.Load() && m.imgs == nil && n >= m.target {
+		m.capture()
+		m.imgEvent = n
+		m.armed.Store(false)
+	}
+	m.mu.Unlock()
+}
+
+// capture snapshots every member under the armed policy; caller holds m.mu.
+func (m *MultiScheduler) capture() {
+	imgs := make([][]byte, len(m.devs))
+	for i, d := range m.devs {
+		imgs[i] = d.CrashImage(m.policy)
+	}
+	m.imgs = imgs
+	m.crashes++
+}
+
+// CaptureNow takes an immediate all-member capture under policy (for
+// post-workload quiescent crashes), counting it against the budget. It
+// returns nil if the budget is exhausted. Call only at a quiescent point or
+// from a hook on the mutating goroutine.
+func (m *MultiScheduler) CaptureNow(policy CrashPolicy) [][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.budget > 0 && m.crashes >= m.budget {
+		return nil
+	}
+	m.armed.Store(false)
+	m.policy = policy
+	m.capture()
+	m.imgEvent = m.events.Load()
+	return m.imgs
+}
+
+// Captured reports whether an armed crash has fired since the last Arm.
+func (m *MultiScheduler) Captured() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.imgs != nil
+}
+
+// Images returns the captured per-member crash images (index-aligned with
+// the devices passed to NewMultiScheduler) and the event index they were
+// taken at, or nil and 0 if no crash has fired since the last Arm.
+func (m *MultiScheduler) Images() ([][]byte, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.imgs, m.imgEvent
+}
+
+// Events returns the number of persistence events observed across all
+// members since creation.
+func (m *MultiScheduler) Events() uint64 { return m.events.Load() }
+
+// Crashes returns the number of captures taken so far.
+func (m *MultiScheduler) Crashes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashes
+}

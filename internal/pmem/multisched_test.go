@@ -1,0 +1,106 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMultiSchedulerSharedSequence pins that events on every member advance
+// one shared counter and that the armed capture snapshots ALL members at the
+// same instant, regardless of which member's primitive triggered it.
+func TestMultiSchedulerSharedSequence(t *testing.T) {
+	a := New(4*LineSize, ModelDRAM)
+	b := New(4*LineSize, ModelDRAM)
+	ms := NewMultiScheduler(a, b)
+	ms.Attach()
+	defer ms.Detach()
+
+	// 3 events on a, then arm 2 ahead: the next event on EITHER member
+	// counts, and the second one (a store on b) triggers the capture.
+	a.Store64(0, 1)
+	a.Pwb(0)
+	a.Pfence()
+	if got := ms.Events(); got != 3 {
+		t.Fatalf("events after a's burst = %d, want 3", got)
+	}
+	ms.Arm(2, DropAll)
+	a.Store64(64, 2) // event 4
+	a.Pwb(64)        // event 5 — target reached, capture fires here
+	if !ms.Captured() {
+		t.Fatal("armed capture did not fire")
+	}
+	imgs, ev := ms.Images()
+	if ev != 5 {
+		t.Fatalf("capture event = %d, want 5", ev)
+	}
+	if len(imgs) != 2 {
+		t.Fatalf("captured %d images, want 2", len(imgs))
+	}
+	// Under DropAll, a's fenced line 0 survives in a's image; the unfenced
+	// store at 64 does not. b never fenced anything, so its image is zero.
+	if v := load64(imgs[0], 0); v != 1 {
+		t.Fatalf("member a image lost fenced data: %d", v)
+	}
+	if v := load64(imgs[0], 64); v != 0 {
+		t.Fatalf("member a image kept unfenced store: %d", v)
+	}
+	if !bytes.Equal(imgs[1], make([]byte, b.Size())) {
+		t.Fatal("member b image should be all-zero")
+	}
+}
+
+// TestMultiSchedulerCapturesEveryMember pins that a capture triggered by one
+// member reflects the exact durable state of the others at that moment.
+func TestMultiSchedulerCapturesEveryMember(t *testing.T) {
+	a := New(2*LineSize, ModelDRAM)
+	b := New(2*LineSize, ModelDRAM)
+	ms := NewMultiScheduler(a, b)
+	ms.Attach()
+	defer ms.Detach()
+
+	// Persist 7 on b, then store-without-fence 9 on b, then trigger on a.
+	b.Store64(0, 7)
+	b.Pwb(0)
+	b.Pfence()
+	b.Store64(8, 9)
+	ms.Arm(1, DropAll)
+	a.Store64(0, 1) // trigger
+	imgs, _ := ms.Images()
+	if imgs == nil {
+		t.Fatal("no capture")
+	}
+	if v := load64(imgs[1], 0); v != 7 {
+		t.Fatalf("member b fenced word = %d, want 7", v)
+	}
+	if v := load64(imgs[1], 8); v != 0 {
+		t.Fatalf("member b unfenced word leaked into DropAll image: %d", v)
+	}
+}
+
+// TestMultiSchedulerBudget pins that the capture budget bounds Arm and
+// CaptureNow across the whole member set.
+func TestMultiSchedulerBudget(t *testing.T) {
+	a := New(LineSize, ModelDRAM)
+	b := New(LineSize, ModelDRAM)
+	ms := NewMultiScheduler(a, b)
+	ms.Attach()
+	defer ms.Detach()
+	ms.SetBudget(1)
+	if imgs := ms.CaptureNow(DropAll); imgs == nil {
+		t.Fatal("first capture should be within budget")
+	}
+	if ms.Arm(1, DropAll) {
+		t.Fatal("Arm should fail once the budget is spent")
+	}
+	if imgs := ms.CaptureNow(DropAll); imgs != nil {
+		t.Fatal("CaptureNow should fail once the budget is spent")
+	}
+}
+
+func load64(img []byte, off int) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(img[off+i])
+	}
+	return v
+}

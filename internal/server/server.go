@@ -1,0 +1,310 @@
+// Package server is the network front-end of the sharded store: a
+// line-oriented TCP protocol (romulusd speaks it) over shard.Store, with one
+// goroutine per connection and a graceful drain that lets in-flight commands
+// finish — every acknowledged write is durable before its OK leaves the
+// socket, so a drain (or crash) after the ack can never lose it.
+//
+// # Protocol
+//
+// Requests are single lines (LF or CRLF). Keys are whitespace-free tokens;
+// values are the remainder of the line and may contain spaces but not
+// newlines. Replies are single lines.
+//
+//	PING                 -> PONG
+//	GET <key>            -> VALUE <value> | NOTFOUND
+//	SET <key> <value>    -> OK            (durable before the reply)
+//	DEL <key>            -> OK            (durable before the reply)
+//	MULTI                -> OK            (opens a queued batch)
+//	  SET/DEL ...        -> QUEUED <n>    (inside MULTI)
+//	  EXEC               -> OK <n>        (atomic durable commit, cross-shard safe)
+//	  DISCARD            -> OK
+//	STATS                -> STATS <json>  (shard.Stats snapshot)
+//	QUIT                 -> BYE           (server closes the connection)
+//	anything else        -> ERR <message>
+//
+// A MULTI batch commits with kvstore's last-op-wins semantics per key; when
+// its keys span shards it runs the coordinator's two-phase protocol and is
+// all-or-nothing across crashes.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// MaxLine bounds one protocol line (command + value).
+const MaxLine = 1 << 20
+
+// Options configure a Server.
+type Options struct {
+	// Registry receives net_* counters; nil keeps a private registry.
+	Registry *obs.Registry
+}
+
+// Server serves the protocol over a shard.Store.
+type Server struct {
+	st *shard.Store
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg    sync.WaitGroup
+	drain atomic.Bool
+
+	connsTotal  *obs.Counter
+	connsActive *obs.Gauge
+	cmdGet      *obs.Counter
+	cmdSet      *obs.Counter
+	cmdDel      *obs.Counter
+	cmdExec     *obs.Counter
+	cmdErr      *obs.Counter
+}
+
+// New wraps st in a protocol server.
+func New(st *shard.Store, opts Options) *Server {
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Server{
+		st:          st,
+		conns:       make(map[net.Conn]struct{}),
+		connsTotal:  reg.Counter("net_conn_total"),
+		connsActive: reg.Gauge("net_conn_active"),
+		cmdGet:      reg.Counter("net_cmd_get_total"),
+		cmdSet:      reg.Counter("net_cmd_set_total"),
+		cmdDel:      reg.Counter("net_cmd_del_total"),
+		cmdExec:     reg.Counter("net_cmd_exec_total"),
+		cmdErr:      reg.Counter("net_cmd_err_total"),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// graceful drain, or the accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.drain.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connsTotal.Inc()
+		s.connsActive.Add(1)
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+// Shutdown drains gracefully: the listener closes, blocked readers wake, and
+// every connection finishes its current command (its reply flushed) before
+// closing. Connections still alive when ctx expires are closed forcibly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drain.Store(true)
+	s.mu.Lock()
+	s.draining = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Wake connections parked in Read; mid-command connections are not
+	// blocked and notice the drain flag after replying.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+		s.connsActive.Add(-1)
+		s.wg.Done()
+	}()
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 4096), MaxLine)
+	w := bufio.NewWriter(c)
+
+	var multi *kvstore.Batch
+	for {
+		if s.drain.Load() {
+			return
+		}
+		if !sc.Scan() {
+			// EOF, a drain-induced deadline, or a peer error: nothing more
+			// to reply to either way.
+			return
+		}
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		reply, quit := s.dispatch(line, &multi)
+		w.WriteString(reply)
+		w.WriteByte('\n')
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one command line, returning the reply line and whether
+// the connection should close.
+func (s *Server) dispatch(line string, multi **kvstore.Batch) (string, bool) {
+	verb := line
+	rest := ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		verb, rest = line[:i], line[i+1:]
+	}
+	switch strings.ToUpper(verb) {
+	case "PING":
+		return "PONG", false
+	case "GET":
+		key := strings.TrimSpace(rest)
+		if key == "" || strings.ContainsAny(key, " \t") {
+			return s.errf("GET needs exactly one key"), false
+		}
+		s.cmdGet.Inc()
+		v, err := s.st.Get([]byte(key))
+		if err == shard.ErrNotFound {
+			return "NOTFOUND", false
+		}
+		if err != nil {
+			return s.errf("get: %v", err), false
+		}
+		return "VALUE " + string(v), false
+	case "SET":
+		key, val, ok := splitKeyValue(rest)
+		if !ok {
+			return s.errf("SET needs a key and a value"), false
+		}
+		s.cmdSet.Inc()
+		if *multi != nil {
+			(*multi).Put([]byte(key), []byte(val))
+			return fmt.Sprintf("QUEUED %d", (*multi).Len()), false
+		}
+		if err := s.st.Put([]byte(key), []byte(val)); err != nil {
+			return s.errf("set: %v", err), false
+		}
+		return "OK", false
+	case "DEL":
+		key := strings.TrimSpace(rest)
+		if key == "" || strings.ContainsAny(key, " \t") {
+			return s.errf("DEL needs exactly one key"), false
+		}
+		s.cmdDel.Inc()
+		if *multi != nil {
+			(*multi).Delete([]byte(key))
+			return fmt.Sprintf("QUEUED %d", (*multi).Len()), false
+		}
+		if err := s.st.Delete([]byte(key)); err != nil {
+			return s.errf("del: %v", err), false
+		}
+		return "OK", false
+	case "MULTI":
+		if *multi != nil {
+			return s.errf("MULTI already open"), false
+		}
+		*multi = &kvstore.Batch{}
+		return "OK", false
+	case "EXEC":
+		if *multi == nil {
+			return s.errf("EXEC without MULTI"), false
+		}
+		b := *multi
+		*multi = nil
+		s.cmdExec.Inc()
+		if err := s.st.Write(b); err != nil {
+			return s.errf("exec: %v", err), false
+		}
+		return fmt.Sprintf("OK %d", b.Len()), false
+	case "DISCARD":
+		if *multi == nil {
+			return s.errf("DISCARD without MULTI"), false
+		}
+		*multi = nil
+		return "OK", false
+	case "STATS":
+		js, err := json.Marshal(s.st.Stats())
+		if err != nil {
+			return s.errf("stats: %v", err), false
+		}
+		return "STATS " + string(js), false
+	case "QUIT":
+		return "BYE", true
+	default:
+		return s.errf("unknown command %q", verb), false
+	}
+}
+
+// splitKeyValue parses "key value..." where value is the rest of the line
+// (may be empty, may contain spaces).
+func splitKeyValue(rest string) (key, val string, ok bool) {
+	if rest == "" {
+		return "", "", false
+	}
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		key, val = rest[:i], rest[i+1:]
+	} else {
+		key = rest
+	}
+	if key == "" {
+		return "", "", false
+	}
+	return key, val, true
+}
+
+func (s *Server) errf(format string, args ...any) string {
+	s.cmdErr.Inc()
+	return "ERR " + fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,554 @@
+// Package shard implements a hash-partitioned persistent key-value store:
+// N independent shards, each running its own pmem.Device, Romulus engine
+// (rom/romlog/romlr selectable) with the flat-combining batched commit path,
+// and RomulusDB map, behind one Store API.
+//
+// Single-key operations hash-route to exactly one shard and keep the
+// single-store fast path: they enter that shard's flat combiner and share
+// its batched ≤4-fence durability rounds with concurrent writers of the
+// same shard, while writers of different shards commit fully in parallel.
+//
+// Multi-key batches that span shards commit through a durable two-phase
+// record on a small coordinator log device (see coord.go and
+// docs/SHARDING.md): prepare (the batch's operations become durable on the
+// coordinator) → per-shard applies (each a durable shard transaction that
+// also advances the shard's applied-batch watermark) → done. Crash recovery
+// replays prepared-but-unfinished batches shard by shard (idempotently, via
+// the watermark) and rolls back records whose prepare never became durable,
+// so cross-shard batches are all-or-nothing across any crash.
+//
+// Consistency model: each shard is durably linearizable on its own keys
+// (the Romulus guarantee); a cross-shard batch is atomic with respect to
+// durability and crashes, but is not isolated from concurrent readers —
+// a reader racing the apply phase may observe one shard's slice before
+// another's. Batch operations apply in queue order per key (a key always
+// routes to one shard), so batches inherit kvstore's last-op-wins rule.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/obs"
+	"repro/internal/pmem"
+	"repro/internal/pstruct"
+	"repro/internal/ptm"
+)
+
+// appliedRoot is the root slot holding each shard's applied-batch watermark
+// cell: an 8-byte persistent cell recording the highest cross-shard batch id
+// the shard has durably applied. kvstore owns root 0 (the map); the cell is
+// allocated lazily by the first cross-shard apply. Because the cell is
+// updated in the SAME transaction as the batch's operations, "watermark ≥ id"
+// is exactly "this shard durably holds batch id", which is what makes
+// recovery replay idempotent.
+const appliedRoot = 1
+
+// ErrNotFound aliases kvstore.ErrNotFound for callers of Get.
+var ErrNotFound = kvstore.ErrNotFound
+
+// Options configure Open and Reopen.
+type Options struct {
+	// Shards is the number of partitions (default 4). Fixed at creation; a
+	// store must be reopened with the shard count it was created with.
+	Shards int
+	// RegionSize is the persistent heap size per twin copy per shard
+	// (default 4 MiB).
+	RegionSize int
+	// CoordSize is the coordinator log device size (default 256 KiB). It
+	// bounds the encoded size of one cross-shard batch.
+	CoordSize int
+	// Variant selects the Romulus engine for every shard (default RomLog).
+	Variant core.Variant
+	// Model is the persistence model for freshly created devices.
+	Model pmem.Model
+	// Dir, when non-empty, backs the store with image files (shard-NN.img
+	// plus coord.img): Open loads them if present and Close writes them
+	// back. Empty keeps the store in memory (still crash-consistent within
+	// the process).
+	Dir string
+	// InitialBuckets presizes each shard's hash map (0 = default).
+	InitialBuckets int
+	// Metrics, when non-nil, receives the store's observability surface:
+	// shard_* routing counters, per-shard fence/batch gauges, and xshard_*
+	// two-phase-commit counters (see docs/OBSERVABILITY.md). When nil the
+	// store keeps a private registry so counters still work.
+	Metrics *obs.Registry
+	// Audit, when true, creates and attaches a durability auditor to every
+	// device (each shard and the coordinator); violations are counted and
+	// retrievable via Auditors/ViolationCount.
+	Audit bool
+	// Auditors, when non-nil, supplies externally managed auditors instead
+	// (crash harnesses compose them with schedulers): one per shard plus the
+	// coordinator's LAST, so len(Auditors) == Shards+1. Entries may be nil.
+	// Takes precedence over Audit.
+	Auditors []ptm.Auditor
+}
+
+func (o *Options) applyDefaults() {
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.RegionSize == 0 {
+		o.RegionSize = 4 << 20
+	}
+	if o.CoordSize == 0 {
+		o.CoordSize = 256 << 10
+	}
+}
+
+// shardPart is one partition: a device, its engine, and the RomulusDB map.
+type shardPart struct {
+	eng *core.Engine
+	db  *kvstore.DB
+}
+
+// appliedID reads the shard's applied-batch watermark (0 before the first
+// cross-shard apply).
+func (p *shardPart) appliedID() (uint64, error) {
+	var id uint64
+	err := p.eng.Read(func(tx ptm.Tx) error {
+		if c := tx.Root(appliedRoot); !c.IsNil() {
+			id = tx.Load64(c)
+		}
+		return nil
+	})
+	return id, err
+}
+
+// applyPrepared applies the shard's slice of prepared batch id in ONE
+// durable transaction together with the watermark advance, making the apply
+// atomic and recovery-idempotent: after a crash, "watermark ≥ id" decides
+// replay per shard.
+func (p *shardPart) applyPrepared(id uint64, b *kvstore.Batch) error {
+	return p.eng.Update(func(tx ptm.Tx) error {
+		if err := p.db.Apply(tx, b); err != nil {
+			return err
+		}
+		cell := tx.Root(appliedRoot)
+		if cell.IsNil() {
+			var err error
+			cell, err = tx.Alloc(8)
+			if err != nil {
+				return err
+			}
+			tx.SetRoot(appliedRoot, cell)
+		}
+		tx.Store64(cell, id)
+		return nil
+	})
+}
+
+// Store is a sharded persistent KV store.
+type Store struct {
+	opts   Options
+	shards []*shardPart
+	coord  *coordinator
+	reg    *obs.Registry
+	auds   []*audit.Auditor // non-nil entries only when Options.Audit built them
+
+	routeGet, routePut, routeDel *obs.Counter
+	batchSingle, batchX          *obs.Counter
+}
+
+// Open creates a fresh store, or reloads one from Options.Dir when image
+// files are present.
+func Open(opts Options) (*Store, error) {
+	opts.applyDefaults()
+	if opts.Dir != "" {
+		if _, err := os.Stat(coordPath(opts.Dir)); err == nil {
+			return openDir(opts)
+		}
+	}
+	s := newStore(opts)
+	exts := s.externalAuditors()
+	for i := 0; i < opts.Shards; i++ {
+		eng, err := core.New(opts.RegionSize, core.Config{Variant: opts.Variant, Model: opts.Model})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		p := &shardPart{eng: eng, db: kvstore.Attach(eng)}
+		if err := eng.Update(func(tx ptm.Tx) error {
+			_, err := pstruct.NewByteMap(tx, 0, opts.InitialBuckets)
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("shard %d: initializing map: %w", i, err)
+		}
+		s.shards = append(s.shards, p)
+	}
+	coordDev := pmem.New(opts.CoordSize, opts.Model)
+	// Wire auditing before the coordinator formats so its protocol is
+	// audited from the first store (shard formats above ran unaudited, as
+	// fresh-device formats do throughout the repo's harnesses).
+	s.wireAudit(exts, coordDev)
+	coord, err := openCoordinator(coordDev, s, s.coordAuditor(exts))
+	if err != nil {
+		return nil, err
+	}
+	s.coord = coord
+	s.wireMetrics()
+	return s, nil
+}
+
+// Reopen attaches a store to existing devices — one per shard plus the
+// coordinator device LAST (the Devices order) — running each shard's crash
+// recovery and then the coordinator's in-doubt batch resolution. Crash
+// harnesses drive this with devices built from captured images.
+func Reopen(devs []*pmem.Device, opts Options) (*Store, error) {
+	if len(devs) < 2 {
+		return nil, fmt.Errorf("shard: Reopen needs at least one shard device plus the coordinator, got %d devices", len(devs))
+	}
+	opts.Shards = len(devs) - 1
+	opts.applyDefaults()
+	s := newStore(opts)
+	exts := s.externalAuditors()
+	if exts == nil && opts.Audit {
+		// Internal auditors must attach before recovery runs on any device.
+		s.wireAudit(nil, devs[len(devs)-1])
+		for i, d := range devs[:len(devs)-1] {
+			a := audit.New(d, audit.Options{})
+			a.Attach()
+			s.auds[i] = a
+		}
+		exts = make([]ptm.Auditor, len(devs))
+		for i, a := range s.auds {
+			if a != nil {
+				exts[i] = a
+			}
+		}
+	}
+	for i := 0; i < opts.Shards; i++ {
+		var aud ptm.Auditor
+		if exts != nil && exts[i] != nil {
+			aud = exts[i]
+		}
+		eng, err := core.Open(devs[i], core.Config{Variant: opts.Variant, Audit: aud})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: reopening: %w", i, err)
+		}
+		s.shards = append(s.shards, &shardPart{eng: eng, db: kvstore.Attach(eng)})
+	}
+	coord, err := openCoordinator(devs[len(devs)-1], s, s.coordAuditor(exts))
+	if err != nil {
+		return nil, fmt.Errorf("shard: reopening coordinator: %w", err)
+	}
+	s.coord = coord
+	s.wireMetrics()
+	return s, nil
+}
+
+// openDir reloads a store persisted by Close into Options.Dir.
+func openDir(opts Options) (*Store, error) {
+	devs := make([]*pmem.Device, 0, opts.Shards+1)
+	for i := 0; i < opts.Shards; i++ {
+		d, err := pmem.LoadFile(shardPath(opts.Dir, i), opts.Model)
+		if err != nil {
+			return nil, fmt.Errorf("shard: loading shard %d (store created with a different -shards?): %w", i, err)
+		}
+		devs = append(devs, d)
+	}
+	// A shard image beyond the configured count means the shard count
+	// changed between runs — refuse rather than silently mis-route keys.
+	if _, err := os.Stat(shardPath(opts.Dir, opts.Shards)); err == nil {
+		return nil, fmt.Errorf("shard: %s holds more than %d shard images; reopen with the original shard count", opts.Dir, opts.Shards)
+	}
+	cd, err := pmem.LoadFile(coordPath(opts.Dir), opts.Model)
+	if err != nil {
+		return nil, fmt.Errorf("shard: loading coordinator: %w", err)
+	}
+	devs = append(devs, cd)
+	st, err := Reopen(devs, opts)
+	if err != nil {
+		return nil, err
+	}
+	st.opts.Dir = opts.Dir
+	return st, nil
+}
+
+func newStore(opts Options) *Store {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Store{
+		opts:        opts,
+		reg:         reg,
+		auds:        make([]*audit.Auditor, opts.Shards+1),
+		routeGet:    reg.Counter("shard_route_get_total"),
+		routePut:    reg.Counter("shard_route_put_total"),
+		routeDel:    reg.Counter("shard_route_delete_total"),
+		batchSingle: reg.Counter("shard_batch_single_total"),
+		batchX:      reg.Counter("shard_batch_xshard_total"),
+	}
+}
+
+// externalAuditors validates and returns Options.Auditors (nil when unset).
+func (s *Store) externalAuditors() []ptm.Auditor {
+	if s.opts.Auditors == nil {
+		return nil
+	}
+	if len(s.opts.Auditors) != s.opts.Shards+1 {
+		panic(fmt.Sprintf("shard: %d auditors for %d shards+coordinator", len(s.opts.Auditors), s.opts.Shards))
+	}
+	return s.opts.Auditors
+}
+
+// wireAudit creates internal auditors (Options.Audit without Auditors) for
+// every already-created shard engine and the coordinator device, attaching
+// their hooks and engine-side markers.
+func (s *Store) wireAudit(exts []ptm.Auditor, coordDev *pmem.Device) {
+	if exts != nil || !s.opts.Audit {
+		return
+	}
+	for i, p := range s.shards {
+		a := audit.New(p.eng.Device(), audit.Options{})
+		a.Attach()
+		p.eng.SetAuditor(a)
+		s.auds[i] = a
+	}
+	ca := audit.New(coordDev, audit.Options{})
+	ca.Attach()
+	s.auds[s.opts.Shards] = ca
+}
+
+// coordAuditor resolves the coordinator's ptm.Auditor from external or
+// internal wiring.
+func (s *Store) coordAuditor(exts []ptm.Auditor) ptm.Auditor {
+	if exts != nil {
+		return exts[len(exts)-1]
+	}
+	if a := s.auds[s.opts.Shards]; a != nil {
+		return a
+	}
+	return nil
+}
+
+// wireMetrics registers the lazy per-shard gauges.
+func (s *Store) wireMetrics() {
+	shards, c := s.shards, s.coord
+	s.reg.Collect(func(set obs.Setter) {
+		set("xshard_prepare_total", c.prepares.Load())
+		set("xshard_commit_total", c.commits.Load())
+		set("xshard_abort_total", c.aborts.Load())
+		set("xshard_replay_total", c.replays.Load())
+		set("xshard_rollback_total", c.rollbacks.Load())
+		cds := c.dev.Stats()
+		set("coord_fence_total", cds.Pfences+cds.Psyncs)
+		set("coord_pwb_total", cds.Pwbs)
+		for i, p := range shards {
+			ds := p.eng.Device().Stats()
+			es := p.eng.Stats()
+			pre := fmt.Sprintf("shard_%d_", i)
+			set(pre+"fence_total", ds.Pfences+ds.Psyncs)
+			set(pre+"pwb_total", ds.Pwbs)
+			set(pre+"update_tx_total", es.UpdateTxs)
+			set(pre+"read_tx_total", es.ReadTxs)
+			set(pre+"batch_total", es.Batches)
+			set(pre+"batch_ops_total", es.BatchOps)
+		}
+		set("shard_count", uint64(len(shards)))
+	})
+}
+
+// NumShards returns the partition count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the index of the shard key routes to (FNV-1a of the key,
+// modulo the shard count — stable across restarts for a fixed count).
+func (s *Store) ShardFor(key []byte) int {
+	h := fnv.New64a()
+	h.Write(key)
+	return int(h.Sum64() % uint64(len(s.shards)))
+}
+
+// Registry returns the store's metrics registry (Options.Metrics, or the
+// private one created when none was given).
+func (s *Store) Registry() *obs.Registry { return s.reg }
+
+// Devices returns every device of the store: one per shard, then the
+// coordinator log LAST. The order matches Reopen's expectation, so a crash
+// harness can capture all images and reopen from them.
+func (s *Store) Devices() []*pmem.Device {
+	out := make([]*pmem.Device, 0, len(s.shards)+1)
+	for _, p := range s.shards {
+		out = append(out, p.eng.Device())
+	}
+	return append(out, s.coord.dev)
+}
+
+// Engine exposes shard i's engine (statistics, crash testing).
+func (s *Store) Engine(i int) *core.Engine { return s.shards[i].eng }
+
+// SetAuditors installs externally managed auditors — one per shard plus the
+// coordinator's last, nil entries allowed — on the engines and coordinator.
+// Call only at a quiescent point.
+func (s *Store) SetAuditors(auds []ptm.Auditor) {
+	if len(auds) != len(s.shards)+1 {
+		panic(fmt.Sprintf("shard: SetAuditors got %d auditors for %d shards+coordinator", len(auds), len(s.shards)))
+	}
+	for i, p := range s.shards {
+		p.eng.SetAuditor(auds[i])
+	}
+	s.coord.aud = auds[len(auds)-1]
+}
+
+// Auditors returns the store-created auditors (Options.Audit), one per
+// shard plus the coordinator's last; entries are nil when auditing is off
+// or externally managed.
+func (s *Store) Auditors() []*audit.Auditor { return s.auds }
+
+// ViolationCount sums durability violations across the store-created
+// auditors.
+func (s *Store) ViolationCount() uint64 {
+	var n uint64
+	for _, a := range s.auds {
+		if a != nil {
+			n += a.ViolationCount()
+		}
+	}
+	return n
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	s.routeGet.Inc()
+	return s.shards[s.ShardFor(key)].db.Get(key)
+}
+
+// Put durably stores the pair on key's shard.
+func (s *Store) Put(key, val []byte) error {
+	s.routePut.Inc()
+	return s.shards[s.ShardFor(key)].db.Put(key, val)
+}
+
+// Delete durably removes key from its shard (a no-op if absent).
+func (s *Store) Delete(key []byte) error {
+	s.routeDel.Inc()
+	return s.shards[s.ShardFor(key)].db.Delete(key)
+}
+
+// Len returns the number of live pairs across all shards. Shards are read
+// one at a time (no cross-shard snapshot), so a concurrent cross-shard
+// batch may be half-counted; quiesce writers for an exact count.
+func (s *Store) Len() int {
+	n := 0
+	for _, p := range s.shards {
+		n += p.db.Len()
+	}
+	return n
+}
+
+// Write applies the batch atomically and durably. Batches touching one
+// shard commit on that shard's fast path (one flat-combined durable
+// transaction); batches spanning shards commit through the coordinator's
+// durable two-phase record and are all-or-nothing across any crash.
+func (s *Store) Write(b *kvstore.Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	groups := make([]*kvstore.Batch, len(s.shards))
+	var involved []int
+	b.Each(func(del bool, key, val []byte) {
+		i := s.ShardFor(key)
+		if groups[i] == nil {
+			groups[i] = &kvstore.Batch{}
+			involved = append(involved, i)
+		}
+		if del {
+			groups[i].Delete(key)
+		} else {
+			groups[i].Put(key, val)
+		}
+	})
+	if len(involved) == 1 {
+		s.batchSingle.Inc()
+		return s.shards[involved[0]].db.Write(groups[involved[0]])
+	}
+	s.batchX.Inc()
+	return s.coord.commit(s, groups)
+}
+
+// ShardStats is one shard's row of Stats.
+type ShardStats struct {
+	Pairs     int    `json:"pairs"`
+	UpdateTxs uint64 `json:"update_txs"`
+	ReadTxs   uint64 `json:"read_txs"`
+	Batches   uint64 `json:"batches"`
+	Fences    uint64 `json:"fences"`
+}
+
+// Stats is a store-level snapshot.
+type Stats struct {
+	Shards    int          `json:"shards"`
+	Pairs     int          `json:"pairs"`
+	PerShard  []ShardStats `json:"per_shard"`
+	XPrepares uint64       `json:"xshard_prepares"`
+	XCommits  uint64       `json:"xshard_commits"`
+	XAborts   uint64       `json:"xshard_aborts"`
+	XReplays  uint64       `json:"xshard_replays"`
+	XRollback uint64       `json:"xshard_rollbacks"`
+}
+
+// Stats returns a snapshot of store statistics.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Shards:    len(s.shards),
+		XPrepares: s.coord.prepares.Load(),
+		XCommits:  s.coord.commits.Load(),
+		XAborts:   s.coord.aborts.Load(),
+		XReplays:  s.coord.replays.Load(),
+		XRollback: s.coord.rollbacks.Load(),
+	}
+	for _, p := range s.shards {
+		ds := p.eng.Device().Stats()
+		es := p.eng.Stats()
+		row := ShardStats{
+			Pairs:     p.db.Len(),
+			UpdateTxs: es.UpdateTxs,
+			ReadTxs:   es.ReadTxs,
+			Batches:   es.Batches,
+			Fences:    ds.Pfences + ds.Psyncs,
+		}
+		st.Pairs += row.Pairs
+		st.PerShard = append(st.PerShard, row)
+	}
+	return st
+}
+
+// Close shuts every shard engine and the coordinator down, first writing
+// image files back to Options.Dir when configured. The store must be
+// quiescent.
+func (s *Store) Close() error {
+	if s.opts.Dir != "" {
+		if err := os.MkdirAll(s.opts.Dir, 0o755); err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
+		for i, p := range s.shards {
+			if err := p.eng.Device().SaveFile(shardPath(s.opts.Dir, i)); err != nil {
+				return err
+			}
+		}
+		if err := s.coord.dev.SaveFile(coordPath(s.opts.Dir)); err != nil {
+			return err
+		}
+	}
+	var first error
+	for _, p := range s.shards {
+		if err := p.eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.coord.close()
+	return first
+}
+
+func shardPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%02d.img", i))
+}
+
+func coordPath(dir string) string { return filepath.Join(dir, "coord.img") }
