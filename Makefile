@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-scale tools experiments crashtest crashtest-short crashtest-batch shardtest audit docs-check fuzz clean
+.PHONY: all build test race bench bench-scale tools experiments crashtest crashtest-short crashtest-batch shardtest faulttest audit docs-check fuzz clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: crashtest-short shardtest audit docs-check
+test: crashtest-short shardtest faulttest audit docs-check
 	go test ./...
 
 # Documentation hygiene: vet, formatting, and Markdown link integrity.
@@ -68,6 +68,13 @@ crashtest-short:
 # all-or-nothing under the auditor. Part of `make test`.
 shardtest:
 	go run -race ./cmd/romulus-crashtest -xshard -audit -seed 1 -rounds 120 -chain 2 -shards 3
+
+# Media-fault torture under the race detector: each round chains a torn
+# crash, bit rot and sticky/transient media faults through recovery for
+# every engine, asserting damage is lost-and-reported, never
+# corrupt-and-served (docs/FAULTS.md). Part of `make test`.
+faulttest:
+	go run -race ./cmd/romulus-crashtest -faults -audit -seed 1 -rounds 60
 
 # Crash-chain campaign with the durability auditor chained in front of the
 # crash scheduler: any dirty or unfenced line at a commit marker, any

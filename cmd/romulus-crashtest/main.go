@@ -74,6 +74,62 @@ func runBatchCampaign(cfg crashtest.BatchConfig, jsonOut bool) {
 	fmt.Println("OK")
 }
 
+// runFaultCampaign executes the media-fault campaign and prints its reports
+// (text or JSON), exiting non-zero on a safety failure. Rounds are
+// single-threaded, so the -threads and -chain flags do not apply.
+func runFaultCampaign(cfg crashtest.FaultConfig, jsonOut bool) {
+	if !jsonOut {
+		fmt.Printf("romulus-crashtest -faults: %d rounds/engine, seed %d\n", cfg.Rounds, cfg.Seed)
+	}
+	reports, err := crashtest.RunFaults(cfg)
+	if jsonOut {
+		out := struct {
+			Seed    int64                   `json:"seed"`
+			Reports []crashtest.FaultReport `json:"reports"`
+			Metrics *obs.Snapshot           `json:"metrics,omitempty"`
+			Failure *crashtest.Failure      `json:"failure,omitempty"`
+			Error   string                  `json:"error,omitempty"`
+		}{Seed: cfg.Seed, Reports: reports}
+		if cfg.Metrics != nil {
+			snap := cfg.Metrics.Snapshot()
+			out.Metrics = &snap
+		}
+		if err != nil {
+			var f *crashtest.Failure
+			if errors.As(err, &f) {
+				out.Failure = f
+			} else {
+				out.Error = err.Error()
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range reports {
+		fmt.Printf("%-8s %6d rounds — %d torn crashes, rot: %d detected / %d benign, "+
+			"%d media trips, %d transient retries\n",
+			r.Engine, r.Rounds, r.TornCrashes, r.RotDetected, r.RotBenign,
+			r.MediaTrips, r.TransientRetries)
+		if cfg.Audit {
+			fmt.Printf("         audit: %d violations\n", r.AuditViolations)
+		}
+	}
+	if cfg.Metrics != nil {
+		fmt.Println("# campaign totals")
+		cfg.Metrics.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAILURE: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}
+
 // runXShardCampaign executes the cross-shard campaign and prints its report
 // (text or JSON), exiting non-zero on a safety failure. The per-engine flags
 // (-engines, -threads, -trace) do not apply: the store is always the sharded
@@ -146,6 +202,7 @@ func main() {
 	batch := flag.Bool("batch", false, "run the combined-batch campaign instead: concurrent batched writers ("+
 		strings.Join(crashtest.BatchEngineNames(), ",")+" only), crashes aimed inside combined durability rounds, all-or-nothing batch visibility asserted after recovery")
 	xshard := flag.Bool("xshard", false, "run the cross-shard campaign instead: a sharded store (-shards devices plus a coordinator log), whole-process crash images captured consistently across every device, two-phase cross-shard batches asserted all-or-nothing after recovery")
+	faults := flag.Bool("faults", false, "run the media-fault campaign instead: each round chains a torn-write crash, post-crash bit rot, and sticky/transient media faults through recovery, asserting damage is always reported typed and never served as good data")
 	shards := flag.Int("shards", 3, "shard count for the -xshard campaign")
 	jsonOut := flag.Bool("json", false, "emit reports (and any failure) as JSON")
 	metrics := flag.Bool("metrics", false, "print campaign totals (pmem_* and crash_* counters) after the reports")
@@ -153,6 +210,21 @@ func main() {
 	traceCap := flag.Int("tracecap", 4096, "trailing trace events retained with -trace")
 	flag.Parse()
 
+	if *faults {
+		fcfg := crashtest.FaultConfig{
+			Rounds:     *rounds,
+			Seed:       *seed,
+			Keys:       *keys,
+			TxPerRound: *txs,
+			Engines:    strings.Split(*engines, ","),
+			Audit:      *audit,
+		}
+		if *metrics {
+			fcfg.Metrics = obs.NewRegistry()
+		}
+		runFaultCampaign(fcfg, *jsonOut)
+		return
+	}
 	if *xshard {
 		xcfg := crashtest.XShardConfig{
 			Rounds:      *rounds,

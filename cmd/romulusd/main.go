@@ -1,6 +1,6 @@
 // Command romulusd serves the sharded persistent KV store over TCP: a
-// line-oriented protocol (PING, GET, SET, DEL, MULTI…EXEC, STATS, QUIT; see
-// internal/server) on -addr, one goroutine per connection.
+// line-oriented protocol (PING, GET, SET, DEL, MULTI…EXEC, STATS, SCRUB,
+// QUIT; see internal/server) on -addr, one goroutine per connection.
 //
 // Keys hash-partition across -shards independent Romulus engines (-engine
 // rom|romlog|romlr); multi-key MULTI batches that span shards commit through
@@ -9,6 +9,14 @@
 // written on shutdown). With -http an observability endpoint serves
 // /metrics (shard_*, xshard_*, net_* series), /stats (JSON snapshot) and,
 // with -audit, /audit.
+//
+// With -quarantine (on by default), a shard whose device reports a media
+// fault is fenced instead of served: its commands answer "UNAVAIL shard=N"
+// while the other shards keep working, and "SCRUB <n>" re-formats and
+// readmits it once the operator has dealt with the medium (the shard's data
+// is lost and reported, never served corrupt). -idle-timeout drops
+// connections with no complete command for the given duration; -max-batch
+// bounds the MULTI queue per connection ("ERR batch too large" beyond it).
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight commands
 // finish and flush their replies, then the store closes (saving images).
@@ -46,6 +54,9 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /metrics and /stats on this address (e.g. :8080)")
 	auditFlag := flag.Bool("audit", false, "attach durability auditors to every shard and the coordinator")
 	drainTimeout := flag.Duration("drain", 5*time.Second, "graceful shutdown budget before connections are closed forcibly")
+	quarantine := flag.Bool("quarantine", true, "fence shards whose devices report media faults (UNAVAIL replies) instead of serving them; SCRUB readmits")
+	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle for this long between commands (0: never)")
+	maxBatch := flag.Int("max-batch", 0, "maximum queued ops per MULTI batch (0: default 4096, negative: unbounded)")
 	flag.Parse()
 
 	variant, err := parseVariant(*engine)
@@ -53,16 +64,21 @@ func main() {
 
 	reg := obs.NewRegistry()
 	st, err := shard.Open(shard.Options{
-		Shards:     *shards,
-		RegionSize: *region,
-		Variant:    variant,
-		Dir:        *dir,
-		Metrics:    reg,
-		Audit:      *auditFlag,
+		Shards:           *shards,
+		RegionSize:       *region,
+		Variant:          variant,
+		Dir:              *dir,
+		Metrics:          reg,
+		Audit:            *auditFlag,
+		QuarantineFaults: *quarantine,
 	})
 	exitOn(err)
 
-	srv := server.New(st, server.Options{Registry: reg})
+	srv := server.New(st, server.Options{
+		Registry:    reg,
+		IdleTimeout: *idleTimeout,
+		MaxBatchOps: *maxBatch,
+	})
 
 	if *httpAddr != "" {
 		mux := obshttp.NewMux(obshttp.Sources{

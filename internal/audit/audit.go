@@ -68,6 +68,7 @@ type Totals struct {
 	Batches       uint64 // flat-combined batch commits reported (BatchCommitted)
 	BatchOps      uint64 // operations those batches retired
 	MaxBatch      uint64 // largest single reported batch
+	MediaFaults   uint64 // media-read faults tripped (Fault hook)
 }
 
 // Auditor shadows one Device. All state is guarded by one mutex: the hook
@@ -107,6 +108,9 @@ type Auditor struct {
 	violationsTotal uint64
 	violations      []Violation
 	lastCrash       *Report
+
+	mediaFaultsTotal uint64
+	mediaFaults      []MediaFault // retained records, capped at maxViolations
 }
 
 // New builds an auditor shadowing dev. The caller must still install its
@@ -130,6 +134,7 @@ func New(dev *pmem.Device, opts Options) *Auditor {
 		PwbAt:   a.onPwb,
 		Fence:   a.onFence,
 		Crash:   a.onCrash,
+		Fault:   a.onFault,
 	}
 	return a
 }
@@ -242,6 +247,28 @@ func (a *Auditor) onCrash() {
 	a.queuedOrder = a.queuedOrder[:0]
 	a.lastDurable = 0
 	a.pwbsSinceFence = 0
+	a.mu.Unlock()
+}
+
+// onFault records a media-read fault trip: which line failed, and — from the
+// shadow — which engine and protocol section last wrote it. This is the
+// forensic link between "the device refused a read" and "whose data was on
+// that line", used by fault campaigns to attribute degraded-mode behavior.
+func (a *Auditor) onFault(off int) {
+	a.mu.Lock()
+	a.mediaFaultsTotal++
+	if len(a.mediaFaults) < a.maxViolations {
+		line := off / pmem.LineSize
+		rec := MediaFault{Off: off, Line: line}
+		if line < len(a.lines) {
+			st := &a.lines[line]
+			rec.Seq = st.seq
+			rec.Engine = st.engine
+			rec.TxKind = st.kind
+			rec.Site = resolveSite(st.pcs)
+		}
+		a.mediaFaults = append(a.mediaFaults, rec)
+	}
 	a.mu.Unlock()
 }
 
@@ -428,6 +455,8 @@ func (a *Auditor) buildReport(point string, img []byte) *Report {
 	}
 	rep.Violations = append([]Violation(nil), a.violations...)
 	rep.ViolationsTotal = a.violationsTotal
+	rep.MediaFaults = append([]MediaFault(nil), a.mediaFaults...)
+	rep.MediaFaultsTotal = a.mediaFaultsTotal
 	return rep
 }
 
@@ -448,6 +477,7 @@ func (a *Auditor) Totals() Totals {
 		Batches:       a.batches,
 		BatchOps:      a.batchOps,
 		MaxBatch:      a.maxBatch,
+		MediaFaults:   a.mediaFaultsTotal,
 	}
 }
 
@@ -482,6 +512,7 @@ func (a *Auditor) PublishMetrics(r *obs.Registry) {
 		set("audit_batch_total", t.Batches)
 		set("audit_batch_ops_total", t.BatchOps)
 		set("audit_batch_max", t.MaxBatch)
+		set("audit_media_fault_total", t.MediaFaults)
 	})
 }
 

@@ -31,7 +31,24 @@ type Report struct {
 	// never capped.
 	Violations      []Violation `json:"violations,omitempty"`
 	ViolationsTotal uint64      `json:"violations_total"`
-	Waste           Waste       `json:"waste"`
+	// MediaFaults are the retained media-read fault records (capped); the
+	// total is never capped. A media fault is expected damage under fault
+	// injection, not a protocol violation — the violation would be serving
+	// the corrupted data as if it were good.
+	MediaFaults      []MediaFault `json:"media_faults,omitempty"`
+	MediaFaultsTotal uint64       `json:"media_faults_total"`
+	Waste            Waste        `json:"waste"`
+}
+
+// MediaFault is one tripped media-read fault, attributed (from the shadow)
+// to the engine and protocol section that last wrote the failed line.
+type MediaFault struct {
+	Off    int    `json:"off"`
+	Line   int    `json:"line"`
+	Seq    uint64 `json:"seq"`
+	Engine string `json:"engine,omitempty"`
+	TxKind string `json:"tx_kind,omitempty"`
+	Site   string `json:"site,omitempty"`
 }
 
 // LostLine is one cache line whose contents a crash discarded.
@@ -108,6 +125,17 @@ func (r *Report) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "VIOLATION [%s] at %s: line %d @%#x state=%s seq=%d writer=%s/%s site=%q\n",
 			v.Kind, v.Point, v.Line, v.Off, v.State, v.Seq, v.Engine, v.TxKind, v.Site); err != nil {
 			return err
+		}
+	}
+	if r.MediaFaultsTotal > 0 {
+		if _, err := fmt.Fprintf(w, "media faults: %d total\n", r.MediaFaultsTotal); err != nil {
+			return err
+		}
+		for _, m := range r.MediaFaults {
+			if _, err := fmt.Fprintf(w, "media fault line %d @%#x seq=%d writer=%s/%s site=%q\n",
+				m.Line, m.Off, m.Seq, m.Engine, m.TxKind, m.Site); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -66,6 +66,12 @@ type Config struct {
 	// DisableFlatCombining serializes writers with a plain spin lock
 	// instead of combining announced operations (ablation).
 	DisableFlatCombining bool
+	// DisableOpenVerify skips the quiescent twin-copy comparison at Open
+	// (ablation). The media-fault campaign uses it as its deliberately
+	// unhardened fixture: with the check off, at-rest corruption of one copy
+	// is served silently, proving the campaign detects what the check exists
+	// to catch.
+	DisableOpenVerify bool
 	// Audit, when non-nil, receives the engine's durability-protocol
 	// markers: TxBegin/TxEnd around each update transaction, format and
 	// recovery, and DurablePoint at every commit-marker psync.
@@ -128,6 +134,11 @@ var ErrRegionMismatch = errors.New("core: device layout does not match persisten
 // it across engines.
 var ErrCorruptHeader = ptm.ErrCorruptHeader
 
+// ErrCorruptPayload aliases the typed error returned (wrapped) by Open when
+// the twin copies diverge at a quiescent (IDL) open — at-rest corruption of
+// one copy, which recovery must refuse to serve rather than guess through.
+var ErrCorruptPayload = ptm.ErrCorruptPayload
+
 // headerChecksum covers the static header words, written once at format
 // time. The mutable words (watermark, state) are excluded: the watermark is
 // bounds-checked at recovery and the state machine has a conservative
@@ -177,7 +188,21 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 	e.fset = pmem.NewFlushSet(dev.Size())
 	e.aud = cfg.Audit
 
+	openTrips := dev.FaultsTripped()
 	if dev.Load64(offMagic) != magicValue {
+		// No magic normally means a never-formatted device (or a format that
+		// crashed before its final publish). But a NONZERO wrong magic whose
+		// stored header checksum validates against the true magic constant is
+		// a rotted magic word on a once-complete header — reformatting would
+		// silently discard a full region of data, so refuse instead. Magic
+		// zero stays "unformatted": a crash between the header fence and the
+		// magic publish legitimately leaves a valid checksum with no magic,
+		// and rot flips bits, never zeroing the whole word.
+		if sum := dev.Load64(offHeadSum); dev.Load64(offMagic) != 0 && sum != 0 &&
+			sum == headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize)) {
+			return nil, fmt.Errorf("core: magic %#x but header checksum matches a formatted region: %w",
+				dev.Load64(offMagic), ErrCorruptHeader)
+		}
 		if a := e.aud; a != nil {
 			a.TxBegin(e.Name(), "format")
 		}
@@ -202,6 +227,7 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 		if got := dev.Load64(offRegionSize); got != uint64(regionSize) {
 			return nil, fmt.Errorf("%w: header says %d, device implies %d", ErrRegionMismatch, got, regionSize)
 		}
+		state := dev.Load64(offState)
 		if a := e.aud; a != nil {
 			a.TxBegin(e.Name(), "recovery")
 		}
@@ -210,6 +236,22 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 			a.DurablePoint("recovery")
 			a.TxEnd()
 		}
+		// Twin-copy validation, only meaningful at a quiescent open: under
+		// IDL both copies must already agree byte-for-byte up to the
+		// watermark, so any divergence is at-rest corruption of one copy
+		// (recovery from MUT/CPY just copied one over the other, making the
+		// comparison vacuous there). This is the redundancy dividend of the
+		// twin-copy design: rot anywhere in either copy is detectable with
+		// no extra checksums.
+		if state == stateIDL && !cfg.DisableOpenVerify {
+			if off := e.Verify(); off >= 0 {
+				return nil, fmt.Errorf("core: twin copies diverge at main offset %d at quiescent open: %w",
+					off, ErrCorruptPayload)
+			}
+		}
+	}
+	if dev.FaultsTripped() != openTrips {
+		return nil, fmt.Errorf("core: media fault during open: %w", dev.FaultError())
 	}
 	heap, err := alloc.Open((*heapMem)(e), heapBase)
 	if err != nil {
@@ -427,7 +469,12 @@ func (e *Engine) replicate(t *Tx) {
 		if !eager {
 			e.fset.Flush(d)
 		}
-	} else {
+	} else if t.stores > 0 {
+		// A zero-store batch left main == back, so the full-watermark copy
+		// has nothing to do. Skipping it matters beyond waste: a read-only
+		// update that tripped a media fault must not drag the bulk copy
+		// machinery across the faulted line and smear corruption into the
+		// healthy twin.
 		wm := int(d.Load64(offWatermark))
 		d.CopyWithin(e.backBase, e.mainBase, wm)
 		d.PwbRange(e.backBase, wm)
@@ -487,7 +534,12 @@ func (e *Engine) rollbackTx(t *Tx) {
 		if !eager {
 			e.fset.Flush(d)
 		}
-	} else {
+	} else if t.stores > 0 {
+		// Same zero-store guard as replicate: a transaction that never
+		// touched main (e.g. a load-only probe that hit a media fault and
+		// was refused) has nothing to restore, and running the bulk copy
+		// anyway would read through the faulted line and corrupt the copy
+		// that was still good.
 		wm := int(d.Load64(offWatermark))
 		d.CopyWithin(e.mainBase, e.backBase, wm)
 		d.PwbRange(e.mainBase, wm)
@@ -586,6 +638,12 @@ func (e *Engine) Device() *pmem.Device { return e.dev }
 // RegionSize returns the size of each persistent copy.
 func (e *Engine) RegionSize() int { return e.regionSize }
 
+// DataOffsets returns the device offsets of user heap address 0 for every
+// copy transactions may read — main and back, since RomulusLR readers load
+// from the back instance mid-mutation. Fault-injection harnesses use it to
+// address user data on the raw device.
+func (e *Engine) DataOffsets() []int { return []int{e.mainBase, e.backBase} }
+
 // Watermark returns the persistent high-water mark: the number of bytes of
 // main that replication and recovery must copy.
 func (e *Engine) Watermark() int { return int(e.dev.Load64(offWatermark)) }
@@ -608,9 +666,14 @@ func (e *Engine) ResetPwbHistogram() { e.pwbHist = hist.Histogram{} }
 
 // Verify checks the twin-copy invariant at a quiescent point: outside any
 // transaction both copies must hold identical bytes up to the watermark.
-// Returns the offset of the first divergence, or -1 when consistent.
+// Returns the offset of the first divergence, or -1 when consistent. The
+// watermark is clamped to the region size, like in recovery, so a rotted
+// watermark cannot push the comparison out of bounds.
 func (e *Engine) Verify() int {
 	wm := int(e.dev.Load64(offWatermark))
+	if wm > e.regionSize {
+		wm = e.regionSize
+	}
 	main := e.dev.Bytes(e.mainBase, wm)
 	back := e.dev.Bytes(e.backBase, wm)
 	for i := range main {

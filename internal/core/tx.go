@@ -259,7 +259,22 @@ func (h *Handle) Update(fn func(ptm.Tx) error) error {
 // the DisableFlatCombining ablation, which has no batch commit path.
 func (h *Handle) UpdateBatched(fn func(ptm.Tx) error) (uint64, error) {
 	e := h.e
-	op := func(t *Tx) error { return fn(t) }
+	// A media-fault trip during fn means it computed on corrupted loads; the
+	// returned error rolls the transaction back through the combiner, so no
+	// fault-tainted state commits. (The trip counter is device-global, so a
+	// concurrent reader's trip can fail an innocent update — conservative,
+	// never unsafe.)
+	op := func(t *Tx) error {
+		trips := e.dev.FaultsTripped()
+		err := fn(t)
+		if e.dev.FaultsTripped() != trips {
+			// The fault takes precedence over fn's own error: corrupted loads
+			// can make fn fail with a plausible-but-wrong error (e.g. a key
+			// compare against rotted bytes reporting "not found").
+			return e.dev.FaultError()
+		}
+		return err
+	}
 	var (
 		seq uint64
 		err error
@@ -314,7 +329,14 @@ func (h *Handle) Read(fn func(ptm.Tx) error) error {
 	}
 	e.reads.Add(1)
 	t.loads = 0
+	trips := e.dev.FaultsTripped()
 	err := fn(t)
+	if e.dev.FaultsTripped() != trips {
+		// fn consumed corrupted loads; surface the typed media fault rather
+		// than let the caller trust the data — or trust fn's own error, which
+		// corrupted loads may have fabricated.
+		err = e.dev.FaultError()
+	}
 	if s := e.trace; s != nil {
 		out := obs.OutcomeOK
 		if err != nil {

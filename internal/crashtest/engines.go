@@ -44,6 +44,16 @@ type store interface {
 	update(ops []op) error
 	get(k uint64) (uint64, bool, error)
 	size() (int, error)
+	// probe reads the raw 8-byte word at user heap offset p through a read
+	// transaction; the media-fault campaign uses it to exercise the load
+	// path at a controlled address without following any pointers.
+	probe(p uint64) (uint64, error)
+	// probeUpdate runs an update transaction whose only work is loading p,
+	// exercising the update path's refusal to commit over a media fault.
+	probeUpdate(p uint64) error
+	// dataOffsets returns the device offsets of user heap address 0 for
+	// every copy the engine's transactions may read.
+	dataOffsets() []int
 	// check validates engine invariants after recovery (heap, twin copies).
 	check() error
 	// close shuts the engine down (the final durability claim the auditor
@@ -67,6 +77,14 @@ type target struct {
 	// pending reports whether reopening this image performs real recovery
 	// work (in-flight transaction state, non-empty logs).
 	pending func(img []byte) bool
+	// rotable returns the byte ranges of a quiescent image where at-rest
+	// bit rot is DETECTABLE and the fault campaign may inject it. Nil means
+	// the whole image (the twin-copy engines: header by checksum, payload
+	// by twin comparison). The single-copy log engines confine rot to the
+	// header and log — rot in their lone data payload has no redundancy to
+	// check against and would be served, which is a documented limitation
+	// of those designs, not a harness bug to provoke.
+	rotable func(imgLen int) [][2]int
 }
 
 // EngineNames lists all crash-test subjects in campaign order.
@@ -100,6 +118,11 @@ var targets = []target{
 			return newMapStore(e, nil, false)
 		},
 		pending: undolog.RecoveryPending,
+		rotable: func(imgLen int) [][2]int {
+			// Header (first 256 bytes) plus the undo log at the tail; the
+			// single data copy in between is uncheckable.
+			return [][2]int{{0, 256}, {imgLen - undoLogSize, imgLen}}
+		},
 	},
 	{
 		name:       "redolog",
@@ -120,6 +143,11 @@ var targets = []target{
 		},
 		pending: func(img []byte) bool {
 			return redolog.RecoveryPending(img, redolog.Config{SegmentSize: redoSegSize, Segments: redoSegs})
+		},
+		rotable: func(imgLen int) [][2]int {
+			// Header plus the redo-log segments at the tail; the single
+			// data copy in between is uncheckable.
+			return [][2]int{{0, 256}, {imgLen - redoSegs*redoSegSize, imgLen}}
 		},
 	},
 	{
@@ -180,10 +208,35 @@ type mapEngine interface {
 	Update(func(ptm.Tx) error) error
 	Read(func(ptm.Tx) error) error
 	Device() *pmem.Device
+	DataOffsets() []int
 	CheckHeap() error
 	SetTrace(obs.Sink)
 	SetAuditor(ptm.Auditor)
 	Close() error
+}
+
+// probeLoad and probeStoreFree implement the media-fault probes over any
+// ptm engine: a transaction whose only persistent access is one Load64 at a
+// controlled offset, so a marked line is exercised without the engine
+// following any (corruptible) pointers through it.
+func probeLoad(e interface {
+	Read(func(ptm.Tx) error) error
+}, p uint64) (uint64, error) {
+	var v uint64
+	err := e.Read(func(tx ptm.Tx) error {
+		v = tx.Load64(ptm.Ptr(p))
+		return nil
+	})
+	return v, err
+}
+
+func probeUpdateLoad(e interface {
+	Update(func(ptm.Tx) error) error
+}, p uint64) error {
+	return e.Update(func(tx ptm.Tx) error {
+		_ = tx.Load64(ptm.Ptr(p))
+		return nil
+	})
 }
 
 // mapStore drives a pstruct.HashMap at root 0 on any engine.
@@ -214,6 +267,12 @@ func newMapStore(e mapEngine, verify func() error, create bool) (store, error) {
 }
 
 func (s *mapStore) dev() *pmem.Device { return s.e.Device() }
+
+func (s *mapStore) dataOffsets() []int { return s.e.DataOffsets() }
+
+func (s *mapStore) probe(p uint64) (uint64, error) { return probeLoad(s.e, p) }
+
+func (s *mapStore) probeUpdate(p uint64) error { return probeUpdateLoad(s.e, p) }
 
 func (s *mapStore) setTrace(t obs.Sink) { s.e.SetTrace(t) }
 
@@ -291,6 +350,12 @@ func kvKey(k uint64) []byte {
 }
 
 func (s *kvStore) dev() *pmem.Device { return s.db.Engine().Device() }
+
+func (s *kvStore) dataOffsets() []int { return s.db.Engine().DataOffsets() }
+
+func (s *kvStore) probe(p uint64) (uint64, error) { return probeLoad(s.db.Engine(), p) }
+
+func (s *kvStore) probeUpdate(p uint64) error { return probeUpdateLoad(s.db.Engine(), p) }
 
 func (s *kvStore) setTrace(t obs.Sink) { s.db.SetTrace(t) }
 

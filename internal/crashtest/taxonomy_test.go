@@ -1,0 +1,118 @@
+package crashtest
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ptm"
+)
+
+// TestCorruptionTaxonomy pins the corruption-error taxonomy across every
+// engine: torn header metadata, structurally invalid logs, and rotted
+// payload each map to their typed error family — and never to a silent
+// success. The offsets below lean on the shared layout every engine
+// documents: a 256-byte header with magic at 0 and version at 8, the root
+// array at main offset 64, and the log regions at the device tail.
+func TestCorruptionTaxonomy(t *testing.T) {
+	const headSize = 256
+
+	type corruption struct {
+		name string
+		// damage mutates a clean quiescent image.
+		damage func(img []byte)
+		// want is the typed error family Open must answer with.
+		want error
+	}
+	tornHeader := corruption{
+		name: "torn header",
+		// The version word is covered by the header checksum; flipping a
+		// bit in it while the magic stays intact is exactly what a torn or
+		// rotted header line looks like.
+		damage: func(img []byte) { img[8] ^= 0x10 },
+		want:   ptm.ErrCorruptHeader,
+	}
+	rottedMagic := corruption{
+		name: "rotted magic",
+		// A wrong-but-nonzero magic over a header whose checksum still
+		// validates must NOT be treated as an unformatted device — that
+		// would silently reformat a full region.
+		damage: func(img []byte) { img[0] ^= 0x04 },
+		want:   ptm.ErrCorruptHeader,
+	}
+	rottedPayload := corruption{
+		name: "rotted payload",
+		// Root 0 lives at main offset 64; flipping it in the main copy only
+		// makes the twins diverge at a quiescent open.
+		damage: func(img []byte) { img[headSize+64] ^= 0x01 },
+		want:   ptm.ErrCorruptPayload,
+	}
+
+	cases := map[string][]corruption{
+		"rom":     {tornHeader, rottedMagic, rottedPayload},
+		"romlog":  {tornHeader, rottedMagic, rottedPayload},
+		"romlr":   {tornHeader, rottedMagic, rottedPayload},
+		"kvstore": {tornHeader, rottedMagic, rottedPayload},
+		"undolog": {tornHeader, rottedMagic, {
+			name: "torn log count",
+			// The undo-log count is self-checked (count mixed into the high
+			// word); a raw value that fails the decode is a torn or rotted
+			// count line.
+			damage: func(img []byte) {
+				binary.LittleEndian.PutUint64(img[64:], 5)
+			},
+			want: ptm.ErrCorruptLog,
+		}},
+		"redolog": {tornHeader, rottedMagic, {
+			name: "rotted segment flag",
+			// The committed flag must be 0 or the self-evidencing segDone
+			// constant; anything else means the flag line rotted, and
+			// replaying on its strength would scribble stale log words over
+			// committed data.
+			damage: func(img []byte) {
+				logBase := len(img) - redoSegs*redoSegSize
+				binary.LittleEndian.PutUint64(img[logBase:], 0xBAD)
+			},
+			want: ptm.ErrCorruptLog,
+		}},
+	}
+
+	for _, tgt := range targets {
+		tgt := tgt
+		t.Run(tgt.name, func(t *testing.T) {
+			st, err := tgt.fresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.update([]op{{k: 1, v: 11}, {k: 2, v: 22}}); err != nil {
+				t.Fatal(err)
+			}
+			st.dev().PersistAll()
+			clean := st.dev().Persisted()
+
+			cs, ok := cases[tgt.name]
+			if !ok {
+				t.Fatalf("no taxonomy cases for engine %q", tgt.name)
+			}
+			for _, c := range cs {
+				img := append([]byte(nil), clean...)
+				c.damage(img)
+				_, err := tgt.reopen(pmem.FromImage(img, pmem.ModelDRAM), nil)
+				if err == nil {
+					t.Errorf("%s: open SUCCEEDED on damaged image; corruption served silently", c.name)
+					continue
+				}
+				if !errors.Is(err, c.want) {
+					t.Errorf("%s: err = %v, want %v family", c.name, err, c.want)
+				}
+			}
+
+			// The clean image itself must still open: the taxonomy cases
+			// prove detection, this proves they are not refusing everything.
+			if _, err := tgt.reopen(pmem.FromImage(clean, pmem.ModelDRAM), nil); err != nil {
+				t.Errorf("clean image refused: %v", err)
+			}
+		})
+	}
+}

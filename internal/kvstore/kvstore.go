@@ -177,7 +177,10 @@ func (db *DB) Put(key, val []byte) error {
 	return err
 }
 
-// Get returns the value for key, or ErrNotFound.
+// Get returns the value for key, or ErrNotFound. Media-level failures are
+// never folded into ErrNotFound: a read that tripped a device fault returns
+// an error wrapping pmem.ErrMediaFault so callers can distinguish "absent"
+// from "unreadable".
 func (db *DB) Get(key []byte) ([]byte, error) {
 	start := opStart(db.getNs)
 	var out []byte

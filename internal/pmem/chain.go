@@ -29,7 +29,7 @@ func ChainHooks(hooks ...*Hooks) *Hooks {
 	var stores, pwbs []func(uint64)
 	var fences, crashes []func()
 	var storeAts []func(int, int)
-	var pwbAts []func(int)
+	var pwbAts, faults []func(int)
 	for _, h := range hs {
 		if h.Store != nil {
 			stores = append(stores, h.Store)
@@ -48,6 +48,9 @@ func ChainHooks(hooks ...*Hooks) *Hooks {
 		}
 		if h.Crash != nil {
 			crashes = append(crashes, h.Crash)
+		}
+		if h.Fault != nil {
+			faults = append(faults, h.Fault)
 		}
 	}
 	out := &Hooks{}
@@ -90,6 +93,13 @@ func ChainHooks(hooks ...*Hooks) *Hooks {
 		out.Crash = func() {
 			for _, f := range crashes {
 				f()
+			}
+		}
+	}
+	if len(faults) > 0 {
+		out.Fault = func(off int) {
+			for _, f := range faults {
+				f(off)
 			}
 		}
 	}

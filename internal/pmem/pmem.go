@@ -99,6 +99,10 @@ type Hooks struct {
 	// persisted image but before the volatile image is discarded, so an
 	// observer can diff the two views at the exact failure point.
 	Crash func()
+	// Fault is called when a load trips a media-fault line (MarkBad), with
+	// the offset of the faulting access. Auditors use it to keep forensics
+	// of every detected media error.
+	Fault func(off int)
 }
 
 // Device is a simulated persistent-memory region. The zero value is not
@@ -116,6 +120,11 @@ type Device struct {
 	// hooks is an atomic pointer so that installation (from a harness
 	// goroutine) never races with invocation (from the mutating goroutine).
 	hooks atomic.Pointer[Hooks]
+	// faults holds the installed media-fault line set (see fault.go); nil —
+	// the overwhelmingly common case — costs one atomic load per read.
+	faults     atomic.Pointer[faultSet]
+	faultTrips atomic.Uint64
+	faultLast  atomic.Pointer[MediaFaultError]
 }
 
 // New creates a Device of the given size (rounded up to a whole number of
@@ -258,48 +267,85 @@ func (d *Device) Memset(off int, v byte, n int) {
 }
 
 // Load8 reads one byte at off.
-func (d *Device) Load8(off int) byte { return d.mem[off] }
+func (d *Device) Load8(off int) byte {
+	if d.faultCheck(off, 1) {
+		return d.mem[off] ^ corruptXor
+	}
+	return d.mem[off]
+}
 
 // Load16 reads a little-endian 16-bit value at off.
 func (d *Device) Load16(off int) uint16 {
-	return uint16(d.mem[off]) | uint16(d.mem[off+1])<<8
+	v := uint16(d.mem[off]) | uint16(d.mem[off+1])<<8
+	if d.faultCheck(off, 2) {
+		v ^= corruptXor | corruptXor<<8
+	}
+	return v
 }
 
 // Load32 reads a little-endian 32-bit value at off.
 func (d *Device) Load32(off int) uint32 {
 	_ = d.mem[off+3]
-	return uint32(d.mem[off]) | uint32(d.mem[off+1])<<8 |
+	v := uint32(d.mem[off]) | uint32(d.mem[off+1])<<8 |
 		uint32(d.mem[off+2])<<16 | uint32(d.mem[off+3])<<24
+	if d.faultCheck(off, 4) {
+		v ^= 0x01010101 * corruptXor
+	}
+	return v
 }
 
 // Load64 reads a little-endian 64-bit value at off.
 func (d *Device) Load64(off int) uint64 {
 	_ = d.mem[off+7]
-	return uint64(d.mem[off]) | uint64(d.mem[off+1])<<8 |
+	v := uint64(d.mem[off]) | uint64(d.mem[off+1])<<8 |
 		uint64(d.mem[off+2])<<16 | uint64(d.mem[off+3])<<24 |
 		uint64(d.mem[off+4])<<32 | uint64(d.mem[off+5])<<40 |
 		uint64(d.mem[off+6])<<48 | uint64(d.mem[off+7])<<56
+	if d.faultCheck(off, 8) {
+		v ^= 0x0101010101010101 * corruptXor
+	}
+	return v
 }
 
 // LoadBytes copies len(dst) bytes starting at off into dst.
 func (d *Device) LoadBytes(off int, dst []byte) {
 	copy(dst, d.mem[off:off+len(dst)])
+	if len(dst) > 0 && d.faultCheck(off, len(dst)) {
+		for i := range dst {
+			dst[i] ^= corruptXor
+		}
+	}
 }
 
 // Bytes returns the volatile image slice for [off, off+n). The caller must
 // respect the same synchronization rules as Load/Store. Intended for bulk
-// operations such as the main-to-back copy.
-func (d *Device) Bytes(off, n int) []byte { return d.mem[off : off+n] }
+// operations such as the main-to-back copy. A faulted line in the range
+// trips the fault machinery, but the slice aliases the image and so cannot
+// carry corrupted bytes; callers relying on Bytes must check FaultsTripped.
+func (d *Device) Bytes(off, n int) []byte {
+	if n > 0 {
+		d.faultCheck(off, n)
+	}
+	return d.mem[off : off+n]
+}
 
 // CopyWithin copies n bytes from src to dst inside the region through the
 // volatile image, marking destination lines dirty. It is the raw memcpy used
 // for the twin-copy replication; callers must still issue Pwb for the
-// destination range.
+// destination range. A faulted source line corrupts the copied bytes (the
+// fault propagates into the destination), so recovery code that ignores the
+// trip replicates garbage — and hardened recovery detects the trip instead.
 func (d *Device) CopyWithin(dst, src, n int) {
 	if n == 0 {
 		return
 	}
 	copy(d.mem[dst:dst+n], d.mem[src:src+n])
+	if d.faultCheck(src, n) {
+		s := d.mem[dst : dst+n]
+		for i := range s {
+			s[i] ^= corruptXor
+		}
+	}
 	d.markStored(dst, n)
 }
 
@@ -426,6 +472,11 @@ type CrashPolicy struct {
 	// 8-byte word instead of per cache line, modelling word-granularity
 	// persistence with torn lines.
 	TearWords bool
+	// TearPrefix, when true, persists only an 8-byte-aligned prefix of each
+	// line selected for persistence — the first k words, 0 <= k <= 8, chosen
+	// by Rand — modelling a write-back torn mid-line at the exact failure
+	// point. Takes precedence over TearWords.
+	TearPrefix bool
 	// Rand supplies randomness; nil means a fixed-seed source (deterministic).
 	Rand *rand.Rand
 }
@@ -456,15 +507,21 @@ func (d *Device) applyCrash(img []byte, p CrashPolicy) {
 	}
 	persistPartial := func(line int, prob float64) {
 		off := line << lineShift
-		if !p.TearWords {
+		switch {
+		case p.TearPrefix:
+			if decide(prob) {
+				k := rng.Intn(LineSize/8+1) * 8
+				copy(img[off:off+k], d.mem[off:off+k])
+			}
+		case p.TearWords:
+			for w := 0; w < LineSize; w += 8 {
+				if decide(prob) {
+					copy(img[off+w:off+w+8], d.mem[off+w:off+w+8])
+				}
+			}
+		default:
 			if decide(prob) {
 				copy(img[off:off+LineSize], d.mem[off:off+LineSize])
-			}
-			return
-		}
-		for w := 0; w < LineSize; w += 8 {
-			if decide(prob) {
-				copy(img[off+w:off+w+8], d.mem[off+w:off+w+8])
 			}
 		}
 	}

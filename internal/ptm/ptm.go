@@ -45,6 +45,15 @@ var ErrCorruptHeader = errors.New("ptm: persistent header failed checksum")
 // recovery refuses instead.
 var ErrCorruptLog = errors.New("ptm: persistent log is structurally invalid")
 
+// ErrCorruptPayload is returned (wrapped) by an engine's Open when the data
+// payload itself fails validation even though the header and logs parse —
+// for the Romulus twin-copy engines, a byte divergence between main and back
+// at a quiescent (IDL) open. A crash cannot produce that state (IDL is only
+// published after both copies agree durably), so it is the signature of
+// at-rest corruption: bit rot, a torn non-atomic medium, or tooling damage.
+// Engines refuse to serve rather than guess which copy is right.
+var ErrCorruptPayload = errors.New("ptm: persistent payload failed validation")
+
 // HeaderChecksum mixes header words into the checksum engines store in
 // their persistent header line and verify at Open, so torn head metadata is
 // detected (ErrCorruptHeader) instead of silently trusted. The mixing

@@ -76,14 +76,17 @@ func TestOpenCorruptLog(t *testing.T) {
 		mutate func(img []byte)
 	}{
 		{"count exceeds segment capacity", func(img []byte) {
-			put64(img, seg0+segCommitted, 1)
+			put64(img, seg0+segCommitted, segDone)
 			put64(img, seg0+segCount, uint64(cfg.SegmentSize)) // >> (segSize-16)/64
 		}},
 		{"entry addresses outside region", func(img []byte) {
-			put64(img, seg0+segCommitted, 1)
+			put64(img, seg0+segCommitted, segDone)
 			put64(img, seg0+segCount, 1)
 			put64(img, seg0+segEntries, uint64(regionSize)) // addr at region end
 			put64(img, seg0+segEntries+8, 7)                // val
+		}},
+		{"rotted committed flag", func(img []byte) {
+			put64(img, seg0+segCommitted, segDone^0x10) // neither 0 nor segDone
 		}},
 	}
 	for _, tc := range cases {

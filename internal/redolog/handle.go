@@ -85,7 +85,15 @@ func (h *Handle) tryUpdate(fn func(ptm.Tx) error, seg int) (err error, aborted b
 	}()
 	t := &h.tx
 	t.reset(false)
-	if err := fn(t); err != nil {
+	trips := h.e.dev.FaultsTripped()
+	err = fn(t)
+	if h.e.dev.FaultsTripped() != trips {
+		// fn computed its write set from corrupted loads; refuse to commit
+		// it (the fault outranks fn's own error, which corrupted loads may
+		// have fabricated). Lazy versioning: nothing touched the region.
+		return h.e.dev.FaultError(), false
+	}
+	if err != nil {
 		return err, false // lazy versioning: nothing to undo
 	}
 	// Serialize committers sharing this log segment.
@@ -135,7 +143,12 @@ func (h *Handle) tryRead(fn func(ptm.Tx) error) (err error, aborted bool) {
 	}()
 	t := &h.tx
 	t.reset(true)
-	return fn(t), false
+	trips := h.e.dev.FaultsTripped()
+	err = fn(t)
+	if h.e.dev.FaultsTripped() != trips {
+		err = h.e.dev.FaultError()
+	}
+	return err, false
 }
 
 // Update implements ptm.PTM using a pooled handle.

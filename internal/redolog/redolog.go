@@ -60,6 +60,15 @@ const (
 const (
 	magicValue    = 0x4D4E454D4F53594E // "MNEMOSYN"
 	layoutVersion = 1
+
+	// segDone marks a segment whose committed flag has a distinguished
+	// constant rather than a bare 1: recovery replays exactly the segments
+	// flagged committed, so the flag word must be self-evidencing. 0 is
+	// empty, segDone is committed, and anything else is rot — replaying a
+	// segment on the strength of a rotted flag would scribble stale log
+	// words over committed data, so recovery refuses instead. The flag is
+	// written with atomic 8-byte stores and never torn.
+	segDone = 0x5245444F4C4F4731 // "REDOLOG1"
 )
 
 // Main-region layout matches the other engines so data structures are
@@ -188,7 +197,18 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 		handles:    make(chan *Handle, hsync.MaxThreads),
 	}
 	e.aud = cfg.Audit
+	openTrips := dev.FaultsTripped()
 	if dev.Load64(offMagic) != magicValue {
+		// A NONZERO wrong magic with a header checksum validating against the
+		// true magic constant is a rotted magic word, not a blank device.
+		// Magic zero stays "unformatted" — a crash mid-format can leave a
+		// durable checksum before the magic publish.
+		if sum := dev.Load64(offHeadSum); dev.Load64(offMagic) != 0 && sum != 0 &&
+			sum == headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize),
+				dev.Load64(offSegSize), dev.Load64(offNumSegs)) {
+			return nil, fmt.Errorf("redolog: magic %#x but header checksum matches a formatted region: %w",
+				dev.Load64(offMagic), ErrCorruptHeader)
+		}
 		if a := e.aud; a != nil {
 			a.TxBegin(e.Name(), "format")
 		}
@@ -230,6 +250,9 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 			a.DurablePoint("recovery")
 			a.TxEnd()
 		}
+	}
+	if dev.FaultsTripped() != openTrips {
+		return nil, fmt.Errorf("redolog: media fault during open: %w", dev.FaultError())
 	}
 	heap, err := alloc.Open(rawMem{e}, heapBase)
 	if err != nil {
@@ -285,8 +308,13 @@ func (e *Engine) recover() error {
 	maxEntries := (e.segSize - segEntries) / entrySize
 	for s := 0; s < e.numSegs; s++ {
 		base := e.segBase(s)
-		if d.Load64(base+segCommitted) == 0 {
+		flag := d.Load64(base + segCommitted)
+		if flag == 0 {
 			continue
+		}
+		if flag != segDone {
+			return fmt.Errorf("redolog: segment %d committed flag %#x is neither empty nor committed (rotted flag): %w",
+				s, flag, ErrCorruptLog)
 		}
 		n := int(d.Load64(base + segCount))
 		if n < 0 || n > maxEntries {
@@ -374,6 +402,11 @@ func (e *Engine) SetTrace(s obs.Sink) { e.trace = s }
 
 // Device exposes the underlying device for statistics and crash testing.
 func (e *Engine) Device() *pmem.Device { return e.dev }
+
+// DataOffsets returns the device offsets of user heap address 0 — a single
+// element, since the redo-log engine keeps one copy of the data. Fault-
+// injection harnesses use it to address user data on the raw device.
+func (e *Engine) DataOffsets() []int { return []int{e.mainBase} }
 
 // CheckHeap validates allocator invariants; used by recovery tests.
 func (e *Engine) CheckHeap() error { return e.heap.CheckInvariants() }

@@ -302,7 +302,7 @@ func TestRecoveryReplaysCommittedLog(t *testing.T) {
 	var img []byte
 	dev.SetHooks(&pmem.Hooks{Fence: func() {
 		base := e.segBase(0)
-		if img == nil && dev.Load64(base+segCommitted) == 1 {
+		if img == nil && dev.Load64(base+segCommitted) == segDone {
 			img = dev.CrashImage(pmem.DropAll)
 		}
 	}})

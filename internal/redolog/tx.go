@@ -368,7 +368,7 @@ func (t *Tx) commit(seg int) error {
 	}
 	d.PwbRange(base, segEntries+len(words)*entrySize)
 	d.Pfence()
-	d.Store64(base+segCommitted, 1)
+	d.Store64(base+segCommitted, segDone)
 	d.Pwb(base + segCommitted)
 	d.Pfence()
 	// Phase 4: write back in place (fences 3 and 4).

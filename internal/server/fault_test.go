@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/shard"
+)
+
+// startServerOpts is startServer with explicit Options.
+func startServerOpts(t *testing.T, st *shard.Store, opts Options) (*Server, net.Addr, chan error) {
+	t.Helper()
+	srv := New(st, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return srv, ln.Addr(), done
+}
+
+// TestServerIdleTimeout pins the per-connection idle read deadline: an idle
+// connection is closed after the timeout, while an active one survives many
+// multiples of it.
+func TestServerIdleTimeout(t *testing.T) {
+	st := newTestStore(t)
+	defer st.Close()
+	srv, addr, done := startServerOpts(t, st, Options{IdleTimeout: 100 * time.Millisecond})
+
+	active := dial(t, addr)
+	idle := dial(t, addr)
+	idle.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+
+	// The active client keeps issuing commands across > 10 idle windows.
+	deadline := time.Now().Add(1200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		active.must(t, "PING", "PONG")
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The idle client must have been disconnected (EOF on its next read).
+	if _, err := idle.r.ReadByte(); err == nil {
+		t.Fatal("idle connection still open after > 10 idle windows")
+	}
+	active.must(t, "QUIT", "BYE")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestServerBatchBound pins the MULTI queue bound: the op that would exceed
+// MaxBatchOps answers "ERR batch too large" and discards the batch.
+func TestServerBatchBound(t *testing.T) {
+	st := newTestStore(t)
+	defer st.Close()
+	srv, addr, done := startServerOpts(t, st, Options{MaxBatchOps: 4})
+
+	cl := dial(t, addr)
+	cl.must(t, "MULTI", "OK")
+	for i := 0; i < 4; i++ {
+		cl.must(t, fmt.Sprintf("SET bk-%d v%d", i, i), fmt.Sprintf("QUEUED %d", i+1))
+	}
+	cl.must(t, "SET bk-4 v4", "ERR batch too large")
+	// The batch was discarded with the error: EXEC has no MULTI to commit,
+	// and none of the queued keys were applied.
+	if got, _ := cl.do("EXEC"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("EXEC after overflow: %q, want ERR (batch discarded)", got)
+	}
+	cl.must(t, "GET bk-0", "NOTFOUND")
+	// A fresh MULTI within the bound still commits.
+	cl.must(t, "MULTI", "OK")
+	cl.must(t, "SET ok-key ok-val", "QUEUED 1")
+	cl.must(t, "EXEC", "OK 1")
+	cl.must(t, "GET ok-key", "VALUE ok-val")
+	cl.must(t, "QUIT", "BYE")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	<-done
+}
+
+// TestServerDegradedModeAndScrub is the end-to-end degraded-mode scenario:
+// a shard is quarantined by sticky media faults mid-traffic; romulusd keeps
+// serving every healthy shard, answers the faulted shard's keys with the
+// typed UNAVAIL reply, and SCRUB re-formats and readmits the shard — with
+// no acknowledged write on a healthy shard lost at any point.
+func TestServerDegradedModeAndScrub(t *testing.T) {
+	st, err := shard.Open(shard.Options{
+		Shards:           4,
+		RegionSize:       512 << 10,
+		CoordSize:        64 << 10,
+		Variant:          core.RomLog,
+		Audit:            true,
+		QuarantineFaults: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv, addr, done := startServerOpts(t, st, Options{})
+	cl := dial(t, addr)
+
+	// Find a victim-shard key and populate it with a large value whose
+	// interior lines we can poison, plus healthy-shard keys on every other
+	// shard.
+	const victim = 1
+	var vKey string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("vk-%04d", i)
+		if st.ShardFor([]byte(k)) == victim {
+			vKey = k
+			break
+		}
+	}
+	bigVal := strings.Repeat("z", 4096)
+	cl.must(t, "SET "+vKey+" "+bigVal, "OK")
+	healthy := map[string]string{}
+	for i := 0; len(healthy) < 24; i++ {
+		k := fmt.Sprintf("hk-%04d", i)
+		if st.ShardFor([]byte(k)) == victim {
+			continue
+		}
+		healthy[k] = fmt.Sprintf("hv-%04d", i)
+		cl.must(t, "SET "+k+" "+healthy[k], "OK")
+	}
+
+	// Poison the value's interior lines on the victim shard's device.
+	dev := st.Devices()[victim]
+	img := dev.Persisted()
+	off := bytes.Index(img, []byte(bigVal))
+	if off < 0 {
+		t.Fatal("value not found in victim shard image")
+	}
+	for o := off + pmem.LineSize; o < off+len(bigVal)-pmem.LineSize; o += pmem.LineSize {
+		dev.MarkBad(o, false)
+	}
+
+	// The faulted key answers with the typed UNAVAIL reply and quarantines
+	// the shard; every healthy shard keeps serving its acknowledged writes.
+	reply, err := cl.do("GET " + vKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply, fmt.Sprintf("UNAVAIL shard=%d", victim)) {
+		t.Fatalf("GET on faulted shard: %q, want UNAVAIL shard=%d prefix", reply, victim)
+	}
+	if reply, _ := cl.do("SET " + vKey + " nope"); !strings.HasPrefix(reply, "UNAVAIL shard=") {
+		t.Fatalf("SET on quarantined shard: %q, want UNAVAIL", reply)
+	}
+	for k, v := range healthy {
+		cl.must(t, "GET "+k, "VALUE "+v)
+	}
+	cl.must(t, "SET during-quarantine dq", "OK") // healthy writes keep landing
+	if st.ShardFor([]byte("during-quarantine")) == victim {
+		t.Fatal("test key routed to victim; pick another key")
+	}
+
+	// SCRUB readmits the shard: old victim data is reported lost (NOTFOUND,
+	// never a wrong value), new writes land, healthy data all still present.
+	cl.must(t, fmt.Sprintf("SCRUB %d", victim), "OK")
+	cl.must(t, "GET "+vKey, "NOTFOUND")
+	cl.must(t, "SET "+vKey+" reborn", "OK")
+	cl.must(t, "GET "+vKey, "VALUE reborn")
+	for k, v := range healthy {
+		cl.must(t, "GET "+k, "VALUE "+v)
+	}
+	cl.must(t, "GET during-quarantine", "VALUE dq")
+	if reply, _ := cl.do(fmt.Sprintf("SCRUB %d", victim)); !strings.HasPrefix(reply, "ERR") {
+		t.Fatalf("SCRUB of healthy shard: %q, want ERR", reply)
+	}
+	cl.must(t, "QUIT", "BYE")
+
+	if n := st.ViolationCount(); n != 0 {
+		t.Fatalf("%d durability violations during degraded-mode run", n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	<-done
+}

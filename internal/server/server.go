@@ -19,12 +19,26 @@
 //	  EXEC               -> OK <n>        (atomic durable commit, cross-shard safe)
 //	  DISCARD            -> OK
 //	STATS                -> STATS <json>  (shard.Stats snapshot)
+//	SCRUB <shard>        -> OK            (re-formats and readmits a quarantined shard)
 //	QUIT                 -> BYE           (server closes the connection)
 //	anything else        -> ERR <message>
 //
 // A MULTI batch commits with kvstore's last-op-wins semantics per key; when
 // its keys span shards it runs the coordinator's two-phase protocol and is
-// all-or-nothing across crashes.
+// all-or-nothing across crashes. A MULTI queue is bounded by
+// Options.MaxBatchOps; exceeding it answers "ERR batch too large" and drops
+// the queued batch.
+//
+// # Degraded mode
+//
+// When the store quarantines a shard (media faults — see docs/FAULTS.md),
+// operations routed to it answer with the typed reply
+//
+//	UNAVAIL shard=<n>[: reason]
+//
+// while every other shard keeps serving. SCRUB <n> re-formats the partition
+// and readmits it. UNAVAIL is a distinct first token (not an ERR variant) so
+// clients can retry elsewhere or back off without parsing prose.
 package server
 
 import (
@@ -34,6 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,15 +62,30 @@ import (
 // MaxLine bounds one protocol line (command + value).
 const MaxLine = 1 << 20
 
+// DefaultMaxBatchOps bounds a MULTI queue when Options.MaxBatchOps is 0.
+const DefaultMaxBatchOps = 4096
+
 // Options configure a Server.
 type Options struct {
 	// Registry receives net_* counters; nil keeps a private registry.
 	Registry *obs.Registry
+	// IdleTimeout closes a connection that sends no complete command for the
+	// duration (0 = never). The deadline re-arms before every read, so a
+	// slow-but-active client is not cut off; an idle one stops holding a
+	// goroutine and a socket.
+	IdleTimeout time.Duration
+	// MaxBatchOps bounds the operations queued in one MULTI batch (0 =
+	// DefaultMaxBatchOps; negative = unlimited). The op that would exceed the
+	// bound answers "ERR batch too large" and discards the batch, so an
+	// unbounded MULTI stream cannot grow server memory without limit.
+	MaxBatchOps int
 }
 
 // Server serves the protocol over a shard.Store.
 type Server struct {
-	st *shard.Store
+	st          *shard.Store
+	idleTimeout time.Duration
+	maxBatchOps int
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -72,6 +102,9 @@ type Server struct {
 	cmdDel      *obs.Counter
 	cmdExec     *obs.Counter
 	cmdErr      *obs.Counter
+	cmdUnavail  *obs.Counter
+	cmdScrub    *obs.Counter
+	idleClosed  *obs.Counter
 }
 
 // New wraps st in a protocol server.
@@ -80,8 +113,17 @@ func New(st *shard.Store, opts Options) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	maxOps := opts.MaxBatchOps
+	switch {
+	case maxOps == 0:
+		maxOps = DefaultMaxBatchOps
+	case maxOps < 0:
+		maxOps = 0 // unlimited
+	}
 	return &Server{
 		st:          st,
+		idleTimeout: opts.IdleTimeout,
+		maxBatchOps: maxOps,
 		conns:       make(map[net.Conn]struct{}),
 		connsTotal:  reg.Counter("net_conn_total"),
 		connsActive: reg.Gauge("net_conn_active"),
@@ -90,6 +132,9 @@ func New(st *shard.Store, opts Options) *Server {
 		cmdDel:      reg.Counter("net_cmd_del_total"),
 		cmdExec:     reg.Counter("net_cmd_exec_total"),
 		cmdErr:      reg.Counter("net_cmd_err_total"),
+		cmdUnavail:  reg.Counter("net_cmd_unavail_total"),
+		cmdScrub:    reg.Counter("net_cmd_scrub_total"),
+		idleClosed:  reg.Counter("net_conn_idle_closed_total"),
 	}
 }
 
@@ -180,9 +225,18 @@ func (s *Server) handle(c net.Conn) {
 		if s.drain.Load() {
 			return
 		}
+		if s.idleTimeout > 0 {
+			// Re-arm before every read; a drain overrides with an immediate
+			// deadline and is re-checked above and below either way.
+			c.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		if !sc.Scan() {
-			// EOF, a drain-induced deadline, or a peer error: nothing more
-			// to reply to either way.
+			// EOF, an idle or drain-induced deadline, or a peer error:
+			// nothing more to reply to either way.
+			var ne net.Error
+			if !s.drain.Load() && errors.As(sc.Err(), &ne) && ne.Timeout() {
+				s.idleClosed.Inc()
+			}
 			return
 		}
 		line := strings.TrimRight(sc.Text(), "\r")
@@ -220,7 +274,7 @@ func (s *Server) dispatch(line string, multi **kvstore.Batch) (string, bool) {
 			return "NOTFOUND", false
 		}
 		if err != nil {
-			return s.errf("get: %v", err), false
+			return s.opReply("get", err), false
 		}
 		return "VALUE " + string(v), false
 	case "SET":
@@ -230,11 +284,15 @@ func (s *Server) dispatch(line string, multi **kvstore.Batch) (string, bool) {
 		}
 		s.cmdSet.Inc()
 		if *multi != nil {
+			if s.batchFull(*multi) {
+				*multi = nil
+				return s.errf("batch too large"), false
+			}
 			(*multi).Put([]byte(key), []byte(val))
 			return fmt.Sprintf("QUEUED %d", (*multi).Len()), false
 		}
 		if err := s.st.Put([]byte(key), []byte(val)); err != nil {
-			return s.errf("set: %v", err), false
+			return s.opReply("set", err), false
 		}
 		return "OK", false
 	case "DEL":
@@ -244,11 +302,15 @@ func (s *Server) dispatch(line string, multi **kvstore.Batch) (string, bool) {
 		}
 		s.cmdDel.Inc()
 		if *multi != nil {
+			if s.batchFull(*multi) {
+				*multi = nil
+				return s.errf("batch too large"), false
+			}
 			(*multi).Delete([]byte(key))
 			return fmt.Sprintf("QUEUED %d", (*multi).Len()), false
 		}
 		if err := s.st.Delete([]byte(key)); err != nil {
-			return s.errf("del: %v", err), false
+			return s.opReply("del", err), false
 		}
 		return "OK", false
 	case "MULTI":
@@ -265,7 +327,7 @@ func (s *Server) dispatch(line string, multi **kvstore.Batch) (string, bool) {
 		*multi = nil
 		s.cmdExec.Inc()
 		if err := s.st.Write(b); err != nil {
-			return s.errf("exec: %v", err), false
+			return s.opReply("exec", err), false
 		}
 		return fmt.Sprintf("OK %d", b.Len()), false
 	case "DISCARD":
@@ -280,6 +342,17 @@ func (s *Server) dispatch(line string, multi **kvstore.Batch) (string, bool) {
 			return s.errf("stats: %v", err), false
 		}
 		return "STATS " + string(js), false
+	case "SCRUB":
+		arg := strings.TrimSpace(rest)
+		n, err := strconv.Atoi(arg)
+		if arg == "" || err != nil {
+			return s.errf("SCRUB needs a shard index"), false
+		}
+		s.cmdScrub.Inc()
+		if err := s.st.Scrub(n); err != nil {
+			return s.errf("scrub: %v", err), false
+		}
+		return "OK", false
 	case "QUIT":
 		return "BYE", true
 	default:
@@ -307,4 +380,20 @@ func splitKeyValue(rest string) (key, val string, ok bool) {
 func (s *Server) errf(format string, args ...any) string {
 	s.cmdErr.Inc()
 	return "ERR " + fmt.Sprintf(format, args...)
+}
+
+// batchFull reports whether adding one more op to b would exceed the bound.
+func (s *Server) batchFull(b *kvstore.Batch) bool {
+	return s.maxBatchOps > 0 && b.Len() >= s.maxBatchOps
+}
+
+// opReply renders a store error: a quarantined shard's *UnavailError becomes
+// the typed UNAVAIL wire reply verbatim, everything else an ERR.
+func (s *Server) opReply(op string, err error) string {
+	var ue *shard.UnavailError
+	if errors.As(err, &ue) {
+		s.cmdUnavail.Inc()
+		return ue.Error()
+	}
+	return s.errf("%s: %v", op, err)
 }

@@ -149,7 +149,15 @@ func openCoordinator(dev *pmem.Device, s *Store, aud ptm.Auditor) (*coordinator,
 		}
 	case cTagPrepared:
 		if err := c.replay(s, id); err != nil {
-			return nil, err
+			if errors.Is(err, ErrShardUnavailable) {
+				// The in-doubt batch involves a quarantined shard: the healthy
+				// shards' slices were rolled forward above, the record stays
+				// prepared, and the coordinator wedges until a Scrub readmits
+				// the shard and resolve() can finish the roll-forward.
+				c.wedged = err
+			} else {
+				return nil, err
+			}
 		}
 		c.lastID = max(id, maxApplied)
 	default:
@@ -219,8 +227,16 @@ func (c *coordinator) replay(s *Store, id uint64) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorruptLog, err)
 	}
+	// Healthy shards roll forward first; quarantined involved shards block
+	// the done transition (the record must stay replayable for them), so the
+	// caller wedges instead of retiring the batch.
+	var blocked []int
 	for i, g := range groups {
 		if g == nil {
+			continue
+		}
+		if s.shards[i].faulted.Load() {
+			blocked = append(blocked, i)
 			continue
 		}
 		w, err := s.shards[i].appliedID()
@@ -233,6 +249,10 @@ func (c *coordinator) replay(s *Store, id uint64) error {
 		if err := s.shards[i].applyPrepared(id, g); err != nil {
 			return fmt.Errorf("shard %d: replaying batch %d: %w", i, id, err)
 		}
+	}
+	if len(blocked) > 0 {
+		return fmt.Errorf("shard: batch %d in doubt, involved shard(s) %v quarantined: %w",
+			id, blocked, ErrShardUnavailable)
 	}
 	if a := c.aud; a != nil {
 		a.TxBegin("xshard-coord", "replay-done")
@@ -251,7 +271,15 @@ func (c *coordinator) commit(s *Store, groups []*kvstore.Batch) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.wedged != nil {
-		return fmt.Errorf("shard: coordinator wedged by earlier apply failure (reopen to resolve): %w", c.wedged)
+		return fmt.Errorf("shard: coordinator wedged by earlier apply failure (reopen or scrub to resolve): %w", c.wedged)
+	}
+	// Refuse upfront if any involved shard is quarantined: preparing a batch
+	// that cannot complete would only wedge the coordinator.
+	for i, g := range groups {
+		if g != nil && s.shards[i].faulted.Load() {
+			c.aborts.Add(1)
+			return s.unavail(i)
+		}
 	}
 
 	payload := encodeOps(groups)
@@ -299,8 +327,12 @@ func (c *coordinator) commit(s *Store, groups []*kvstore.Batch) error {
 			continue
 		}
 		if err := s.shards[i].applyPrepared(id, g); err != nil {
+			if s.opts.QuarantineFaults && errors.Is(err, pmem.ErrMediaFault) {
+				s.quarantine(i, err)
+			}
+			c.lastID = id // the id is burned: the prepared record owns it
 			c.wedged = fmt.Errorf("shard %d, batch %d: %w", i, id, err)
-			return fmt.Errorf("shard: cross-shard apply failed, batch %d in doubt until reopen: %w", id, err)
+			return fmt.Errorf("shard: cross-shard apply failed, batch %d in doubt until reopen or scrub: %w", id, err)
 		}
 		if fn := c.testAfterApply; fn != nil {
 			fn(i)
@@ -317,6 +349,29 @@ func (c *coordinator) commit(s *Store, groups []*kvstore.Batch) error {
 	}
 	c.lastID = id
 	c.commits.Add(1)
+	return nil
+}
+
+// resolve finishes an in-doubt prepared batch in-process — the Scrub path's
+// counterpart to openCoordinator's recovery arm. If the state word still
+// says prepared, the record is replayed (idempotently: a freshly scrubbed
+// shard has watermark 0 and reapplies its slice, shards that already hold
+// the batch skip), and on success the wedge is cleared.
+func (c *coordinator) resolve(s *Store) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	word := c.dev.Load64(cOffState)
+	if word&cTagMask != cTagPrepared {
+		c.wedged = nil
+		return nil
+	}
+	id := word & cIDMask
+	if err := c.replay(s, id); err != nil {
+		c.wedged = err
+		return fmt.Errorf("shard: resolving in-doubt batch %d: %w", id, err)
+	}
+	c.wedged = nil
+	c.lastID = max(id, c.lastID)
 	return nil
 }
 

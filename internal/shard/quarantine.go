@@ -1,0 +1,180 @@
+// Shard quarantine: degraded-mode operation under media faults.
+//
+// A shard whose device trips uncorrectable media faults (pmem.ErrMediaFault)
+// — at Reopen, because recovery found torn or rotted state, or mid-operation
+// — is QUARANTINED rather than taking the whole store down: its keys answer
+// with the typed *UnavailError while every other shard keeps serving, and
+// the Scrub admin path re-formats the partition and readmits it. Transient
+// faults get a bounded retry with backoff before quarantine triggers.
+//
+// The invariant the quarantine path preserves is the repo-wide media-fault
+// contract: an acknowledged write is either served correctly or reported
+// lost with a typed error — never silently served wrong. Quarantine reports;
+// scrub admits the loss explicitly (the partition restarts empty, except for
+// any in-doubt cross-shard batch the coordinator log can roll forward).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/pmem"
+	"repro/internal/pstruct"
+	"repro/internal/ptm"
+)
+
+// ErrShardUnavailable is the sentinel every *UnavailError unwraps to.
+var ErrShardUnavailable = errors.New("shard: shard unavailable")
+
+// UnavailError reports an operation refused because its shard is
+// quarantined. The Error string is the wire-level reply romulusd sends
+// ("UNAVAIL shard=N: reason"), so servers can pass it through verbatim.
+type UnavailError struct {
+	Shard  int
+	Reason string
+}
+
+func (e *UnavailError) Error() string {
+	if e.Reason == "" {
+		return fmt.Sprintf("UNAVAIL shard=%d", e.Shard)
+	}
+	return fmt.Sprintf("UNAVAIL shard=%d: %s", e.Shard, e.Reason)
+}
+
+func (e *UnavailError) Unwrap() error { return ErrShardUnavailable }
+
+// unavail builds the typed refusal for shard i with its recorded reason.
+func (s *Store) unavail(i int) *UnavailError {
+	p := s.shards[i]
+	p.mu.RLock()
+	r := p.reason
+	p.mu.RUnlock()
+	return &UnavailError{Shard: i, Reason: r}
+}
+
+// quarantine marks shard i FAULTED (idempotently) with cause as the reason.
+func (s *Store) quarantine(i int, cause error) {
+	p := s.shards[i]
+	p.mu.Lock()
+	if !p.faulted.Load() {
+		p.reason = cause.Error()
+		p.faulted.Store(true)
+		s.quarantineN.Inc()
+	}
+	p.mu.Unlock()
+}
+
+// onShard runs op against shard i under the shard's read lock, translating
+// media faults into quarantine: transient faults are retried up to
+// Options.FaultRetries times (with FaultRetryBackoff doubling per attempt),
+// and a fault that survives the retries quarantines the shard (when
+// Options.QuarantineFaults) and returns the typed *UnavailError.
+func (s *Store) onShard(i int, op func(p *shardPart) error) error {
+	p := s.shards[i]
+	for attempt := 0; ; attempt++ {
+		if p.faulted.Load() {
+			return s.unavail(i)
+		}
+		p.mu.RLock()
+		if p.faulted.Load() || p.eng == nil {
+			p.mu.RUnlock()
+			return s.unavail(i)
+		}
+		err := op(p)
+		p.mu.RUnlock()
+		if err == nil || !errors.Is(err, pmem.ErrMediaFault) {
+			return err
+		}
+		s.faultMedia.Inc()
+		if attempt < s.opts.FaultRetries {
+			s.faultRetry.Inc()
+			if d := s.opts.FaultRetryBackoff; d > 0 {
+				time.Sleep(d << attempt)
+			}
+			continue
+		}
+		if s.opts.QuarantineFaults {
+			s.quarantine(i, err)
+			return s.unavail(i)
+		}
+		return err
+	}
+}
+
+// quarantinedOnOpen reports whether a shard-open failure is media damage a
+// degraded reopen should quarantine (vs a config error that must fail open).
+func quarantinedOnOpen(err error) bool {
+	return errors.Is(err, pmem.ErrMediaFault) ||
+		errors.Is(err, ptm.ErrCorruptHeader) ||
+		errors.Is(err, ptm.ErrCorruptLog) ||
+		errors.Is(err, ptm.ErrCorruptPayload)
+}
+
+// Quarantined returns the indices of currently quarantined shards.
+func (s *Store) Quarantined() []int {
+	var out []int
+	for i, p := range s.shards {
+		if p.faulted.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// QuarantineReason returns the recorded cause for a quarantined shard, or
+// "" when the shard is healthy.
+func (s *Store) QuarantineReason(i int) string {
+	p := s.shards[i]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.reason
+}
+
+// Scrub re-formats a quarantined shard on a fresh device and readmits it:
+// the partition restarts empty (the media loss is admitted, not hidden), and
+// any in-doubt cross-shard batch still prepared on the coordinator log is
+// rolled forward onto the fresh shard — so a cross-shard batch that was
+// acknowledged before the fault is restored rather than lost. Returns an
+// error if the shard is not quarantined, if the rebuild fails, or if the
+// coordinator resolution fails (the shard is readmitted either way).
+func (s *Store) Scrub(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("shard: scrub: no shard %d", i)
+	}
+	p := s.shards[i]
+	if !p.faulted.Load() {
+		return fmt.Errorf("shard: scrub: shard %d is not quarantined", i)
+	}
+	eng, err := core.New(s.opts.RegionSize, core.Config{Variant: s.opts.Variant, Model: s.opts.Model})
+	if err != nil {
+		return fmt.Errorf("shard: scrub %d: %w", i, err)
+	}
+	if err := eng.Update(func(tx ptm.Tx) error {
+		_, err := pstruct.NewByteMap(tx, 0, s.opts.InitialBuckets)
+		return err
+	}); err != nil {
+		return fmt.Errorf("shard: scrub %d: initializing map: %w", i, err)
+	}
+	var aud *audit.Auditor
+	if s.auds[i] != nil {
+		aud = audit.New(eng.Device(), audit.Options{})
+		aud.Attach()
+		eng.SetAuditor(aud)
+	}
+	p.mu.Lock()
+	p.eng, p.db, p.dev = eng, kvstore.Attach(eng), eng.Device()
+	p.reason = ""
+	p.faulted.Store(false)
+	p.mu.Unlock()
+	// The old engine (if any) is abandoned, not Closed: Close would report
+	// auditor state for a partition whose loss was just admitted.
+	if aud != nil {
+		s.auds[i] = aud
+	}
+	s.faultScrub.Inc()
+	return s.coord.resolve(s)
+}

@@ -30,6 +30,9 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/core"
@@ -88,6 +91,20 @@ type Options struct {
 	// coordinator's LAST, so len(Auditors) == Shards+1. Entries may be nil.
 	// Takes precedence over Audit.
 	Auditors []ptm.Auditor
+	// QuarantineFaults enables degraded-mode operation: a shard whose device
+	// trips an uncorrectable media fault (pmem.ErrMediaFault) at Reopen or
+	// mid-operation is quarantined — its keys answer with the typed
+	// *UnavailError while healthy shards keep serving — instead of failing
+	// the whole store. Scrub re-formats and readmits a quarantined shard.
+	QuarantineFaults bool
+	// FaultRetries bounds per-operation retries on a media fault before the
+	// fault is treated as permanent (default 1 — enough for the device's
+	// transient faults, which self-clear after one trip). Negative disables
+	// retries.
+	FaultRetries int
+	// FaultRetryBackoff is the sleep before the first retry, doubling per
+	// attempt (default 0: retry immediately).
+	FaultRetryBackoff time.Duration
 }
 
 func (o *Options) applyDefaults() {
@@ -100,17 +117,37 @@ func (o *Options) applyDefaults() {
 	if o.CoordSize == 0 {
 		o.CoordSize = 256 << 10
 	}
+	if o.FaultRetries == 0 {
+		o.FaultRetries = 1
+	} else if o.FaultRetries < 0 {
+		o.FaultRetries = 0
+	}
 }
 
 // shardPart is one partition: a device, its engine, and the RomulusDB map.
+// A quarantined shard has faulted set; after a Reopen that quarantined the
+// shard (recovery refused its image), eng and db are additionally nil while
+// dev still holds the damaged device for forensics. mu guards the eng/db/dev
+// triple against the Scrub swap: operations hold it for read, Scrub for
+// write. reason is guarded by mu.
 type shardPart struct {
 	eng *core.Engine
 	db  *kvstore.DB
+	dev *pmem.Device
+
+	mu      sync.RWMutex
+	faulted atomic.Bool
+	reason  string
 }
 
 // appliedID reads the shard's applied-batch watermark (0 before the first
-// cross-shard apply).
+// cross-shard apply, and 0 for a quarantined shard with no engine).
 func (p *shardPart) appliedID() (uint64, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.eng == nil {
+		return 0, nil
+	}
 	var id uint64
 	err := p.eng.Read(func(tx ptm.Tx) error {
 		if c := tx.Root(appliedRoot); !c.IsNil() {
@@ -126,6 +163,11 @@ func (p *shardPart) appliedID() (uint64, error) {
 // atomic and recovery-idempotent: after a crash, "watermark ≥ id" decides
 // replay per shard.
 func (p *shardPart) applyPrepared(id uint64, b *kvstore.Batch) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.eng == nil {
+		return fmt.Errorf("shard quarantined: %w", ErrShardUnavailable)
+	}
 	return p.eng.Update(func(tx ptm.Tx) error {
 		if err := p.db.Apply(tx, b); err != nil {
 			return err
@@ -154,6 +196,8 @@ type Store struct {
 
 	routeGet, routePut, routeDel *obs.Counter
 	batchSingle, batchX          *obs.Counter
+
+	faultMedia, faultRetry, faultScrub, quarantineN *obs.Counter
 }
 
 // Open creates a fresh store, or reloads one from Options.Dir when image
@@ -172,7 +216,7 @@ func Open(opts Options) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		p := &shardPart{eng: eng, db: kvstore.Attach(eng)}
+		p := &shardPart{eng: eng, db: kvstore.Attach(eng), dev: eng.Device()}
 		if err := eng.Update(func(tx ptm.Tx) error {
 			_, err := pstruct.NewByteMap(tx, 0, opts.InitialBuckets)
 			return err
@@ -229,9 +273,20 @@ func Reopen(devs []*pmem.Device, opts Options) (*Store, error) {
 		}
 		eng, err := core.Open(devs[i], core.Config{Variant: opts.Variant, Audit: aud})
 		if err != nil {
+			if opts.QuarantineFaults && quarantinedOnOpen(err) {
+				// Degraded reopen: this shard's image is torn, rotted, or
+				// unreadable. Quarantine it (keys answer UNAVAIL, Scrub can
+				// readmit) instead of refusing to serve the healthy shards.
+				p := &shardPart{dev: devs[i]}
+				p.reason = fmt.Sprintf("recovery failed: %v", err)
+				p.faulted.Store(true)
+				s.shards = append(s.shards, p)
+				s.quarantineN.Inc()
+				continue
+			}
 			return nil, fmt.Errorf("shard %d: reopening: %w", i, err)
 		}
-		s.shards = append(s.shards, &shardPart{eng: eng, db: kvstore.Attach(eng)})
+		s.shards = append(s.shards, &shardPart{eng: eng, db: kvstore.Attach(eng), dev: devs[i]})
 	}
 	coord, err := openCoordinator(devs[len(devs)-1], s, s.coordAuditor(exts))
 	if err != nil {
@@ -284,6 +339,10 @@ func newStore(opts Options) *Store {
 		routeDel:    reg.Counter("shard_route_delete_total"),
 		batchSingle: reg.Counter("shard_batch_single_total"),
 		batchX:      reg.Counter("shard_batch_xshard_total"),
+		faultMedia:  reg.Counter("fault_media_total"),
+		faultRetry:  reg.Counter("fault_retry_total"),
+		faultScrub:  reg.Counter("fault_scrub_total"),
+		quarantineN: reg.Counter("shard_quarantine_total"),
 	}
 }
 
@@ -340,17 +399,30 @@ func (s *Store) wireMetrics() {
 		cds := c.dev.Stats()
 		set("coord_fence_total", cds.Pfences+cds.Psyncs)
 		set("coord_pwb_total", cds.Pwbs)
+		quarantined := uint64(0)
 		for i, p := range shards {
-			ds := p.eng.Device().Stats()
-			es := p.eng.Stats()
 			pre := fmt.Sprintf("shard_%d_", i)
+			faulted := uint64(0)
+			if p.faulted.Load() {
+				faulted, quarantined = 1, quarantined+1
+			}
+			set(pre+"faulted", faulted)
+			p.mu.RLock()
+			eng, dev := p.eng, p.dev
+			p.mu.RUnlock()
+			ds := dev.Stats()
 			set(pre+"fence_total", ds.Pfences+ds.Psyncs)
 			set(pre+"pwb_total", ds.Pwbs)
+			if eng == nil {
+				continue
+			}
+			es := eng.Stats()
 			set(pre+"update_tx_total", es.UpdateTxs)
 			set(pre+"read_tx_total", es.ReadTxs)
 			set(pre+"batch_total", es.Batches)
 			set(pre+"batch_ops_total", es.BatchOps)
 		}
+		set("shard_quarantined", quarantined)
 		set("shard_count", uint64(len(shards)))
 	})
 }
@@ -376,7 +448,9 @@ func (s *Store) Registry() *obs.Registry { return s.reg }
 func (s *Store) Devices() []*pmem.Device {
 	out := make([]*pmem.Device, 0, len(s.shards)+1)
 	for _, p := range s.shards {
-		out = append(out, p.eng.Device())
+		p.mu.RLock()
+		out = append(out, p.dev)
+		p.mu.RUnlock()
 	}
 	return append(out, s.coord.dev)
 }
@@ -392,7 +466,9 @@ func (s *Store) SetAuditors(auds []ptm.Auditor) {
 		panic(fmt.Sprintf("shard: SetAuditors got %d auditors for %d shards+coordinator", len(auds), len(s.shards)))
 	}
 	for i, p := range s.shards {
-		p.eng.SetAuditor(auds[i])
+		if p.eng != nil {
+			p.eng.SetAuditor(auds[i])
+		}
 	}
 	s.coord.aud = auds[len(auds)-1]
 }
@@ -414,31 +490,47 @@ func (s *Store) ViolationCount() uint64 {
 	return n
 }
 
-// Get returns the value for key, or ErrNotFound.
+// Get returns the value for key, ErrNotFound, or — for a quarantined shard
+// — the typed *UnavailError.
 func (s *Store) Get(key []byte) ([]byte, error) {
 	s.routeGet.Inc()
-	return s.shards[s.ShardFor(key)].db.Get(key)
+	var out []byte
+	err := s.onShard(s.ShardFor(key), func(p *shardPart) error {
+		v, err := p.db.Get(key)
+		out = v
+		return err
+	})
+	return out, err
 }
 
 // Put durably stores the pair on key's shard.
 func (s *Store) Put(key, val []byte) error {
 	s.routePut.Inc()
-	return s.shards[s.ShardFor(key)].db.Put(key, val)
+	return s.onShard(s.ShardFor(key), func(p *shardPart) error {
+		return p.db.Put(key, val)
+	})
 }
 
 // Delete durably removes key from its shard (a no-op if absent).
 func (s *Store) Delete(key []byte) error {
 	s.routeDel.Inc()
-	return s.shards[s.ShardFor(key)].db.Delete(key)
+	return s.onShard(s.ShardFor(key), func(p *shardPart) error {
+		return p.db.Delete(key)
+	})
 }
 
-// Len returns the number of live pairs across all shards. Shards are read
+// Len returns the number of live pairs across the healthy shards (a
+// quarantined shard's pairs are unreadable and excluded). Shards are read
 // one at a time (no cross-shard snapshot), so a concurrent cross-shard
 // batch may be half-counted; quiesce writers for an exact count.
 func (s *Store) Len() int {
 	n := 0
 	for _, p := range s.shards {
-		n += p.db.Len()
+		p.mu.RLock()
+		if p.eng != nil && !p.faulted.Load() {
+			n += p.db.Len()
+		}
+		p.mu.RUnlock()
 	}
 	return n
 }
@@ -467,7 +559,9 @@ func (s *Store) Write(b *kvstore.Batch) error {
 	})
 	if len(involved) == 1 {
 		s.batchSingle.Inc()
-		return s.shards[involved[0]].db.Write(groups[involved[0]])
+		return s.onShard(involved[0], func(p *shardPart) error {
+			return p.db.Write(groups[involved[0]])
+		})
 	}
 	s.batchX.Inc()
 	return s.coord.commit(s, groups)
@@ -480,6 +574,9 @@ type ShardStats struct {
 	ReadTxs   uint64 `json:"read_txs"`
 	Batches   uint64 `json:"batches"`
 	Fences    uint64 `json:"fences"`
+	// Faulted marks a quarantined shard; Reason carries its recorded cause.
+	Faulted bool   `json:"faulted,omitempty"`
+	Reason  string `json:"reason,omitempty"`
 }
 
 // Stats is a store-level snapshot.
@@ -505,15 +602,20 @@ func (s *Store) Stats() Stats {
 		XRollback: s.coord.rollbacks.Load(),
 	}
 	for _, p := range s.shards {
-		ds := p.eng.Device().Stats()
-		es := p.eng.Stats()
+		p.mu.RLock()
 		row := ShardStats{
-			Pairs:     p.db.Len(),
-			UpdateTxs: es.UpdateTxs,
-			ReadTxs:   es.ReadTxs,
-			Batches:   es.Batches,
-			Fences:    ds.Pfences + ds.Psyncs,
+			Faulted: p.faulted.Load(),
+			Reason:  p.reason,
+			Fences:  p.dev.Stats().Pfences + p.dev.Stats().Psyncs,
 		}
+		if p.eng != nil && !row.Faulted {
+			es := p.eng.Stats()
+			row.Pairs = p.db.Len()
+			row.UpdateTxs = es.UpdateTxs
+			row.ReadTxs = es.ReadTxs
+			row.Batches = es.Batches
+		}
+		p.mu.RUnlock()
 		st.Pairs += row.Pairs
 		st.PerShard = append(st.PerShard, row)
 	}
@@ -529,7 +631,7 @@ func (s *Store) Close() error {
 			return fmt.Errorf("shard: %w", err)
 		}
 		for i, p := range s.shards {
-			if err := p.eng.Device().SaveFile(shardPath(s.opts.Dir, i)); err != nil {
+			if err := p.dev.SaveFile(shardPath(s.opts.Dir, i)); err != nil {
 				return err
 			}
 		}
@@ -539,6 +641,9 @@ func (s *Store) Close() error {
 	}
 	var first error
 	for _, p := range s.shards {
+		if p.eng == nil {
+			continue
+		}
 		if err := p.eng.Close(); err != nil && first == nil {
 			first = err
 		}

@@ -77,17 +77,20 @@ func TestOpenCorruptLog(t *testing.T) {
 		mutate func(img []byte)
 	}{
 		{"count exceeds capacity", func(img []byte) {
-			put64(img, offLogCount, uint64(cfg.LogSize)) // far beyond logSize/16 entries
+			put64(img, offLogCount, encodeCount(uint64(cfg.LogSize))) // far beyond logSize/16 entries
 		}},
 		{"entry length runs off log", func(img []byte) {
-			put64(img, offLogCount, 1)
+			put64(img, offLogCount, encodeCount(1))
 			put64(img, logBase, 0)                       // addr
 			put64(img, logBase+8, uint64(cfg.LogSize)*2) // n
 		}},
 		{"entry addresses outside region", func(img []byte) {
-			put64(img, offLogCount, 1)
+			put64(img, offLogCount, encodeCount(1))
 			put64(img, logBase, uint64(regionSize)) // addr at region end
 			put64(img, logBase+8, 8)                // n
+		}},
+		{"rotted count word", func(img []byte) {
+			put64(img, offLogCount, 1) // count without its self-check hash
 		}},
 	}
 	for _, tc := range cases {

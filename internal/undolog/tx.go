@@ -67,8 +67,15 @@ func (t *Tx) logRange(p ptm.Ptr, n int) bool {
 	d.CopyWithin(o+16, t.e.mainBase+int(p), n)
 	d.PwbRange(o, entry)
 	d.Pfence()
-	count := d.Load64(offLogCount)
-	d.Store64(offLogCount, count+1)
+	cnt, ok := decodeCount(d.Load64(offLogCount))
+	if !ok {
+		// The count word failed its self-check mid-run: a media fault
+		// corrupted the loaded value. Poison the transaction so it rolls
+		// back rather than publishing a count derived from garbage.
+		t.failed = fmt.Errorf("undolog: log count word fails its self-check: %w", ErrCorruptLog)
+		return false
+	}
+	d.Store64(offLogCount, encodeCount(cnt+1))
 	d.Pwb(offLogCount)
 	d.Pfence()
 	t.logTail += entry

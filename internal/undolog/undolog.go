@@ -36,7 +36,7 @@ const (
 	offRegionSize = 16
 	offLogSize    = 24
 	offHeadSum    = 32 // checksum of the static header words
-	offLogCount   = 64 // number of valid undo entries, own cache line
+	offLogCount   = 64 // self-checked count of valid undo entries (encodeCount), own cache line
 	headSize      = 256
 )
 
@@ -80,6 +80,40 @@ var ErrCorruptLog = ptm.ErrCorruptLog
 // headerChecksum covers the static header words written once at format.
 func headerChecksum(version, regionSize, logSize uint64) uint64 {
 	return ptm.HeaderChecksum(magicValue, version, regionSize, logSize)
+}
+
+// The log-count word is the engine's single linchpin: recovery replays
+// exactly count entries, so a rotted count silently replays stale log bytes
+// over committed data. The word is therefore self-checking: the count lives
+// in the low 32 bits and a hash of it in the high 32. encodeCount(0) == 0,
+// so a freshly formatted (all-zero) word and the commit-time truncation both
+// stay plain zeroes — and RecoveryPending's nonzero test keeps working. The
+// word is written with atomic 8-byte stores (never torn, per the paper's
+// word-atomicity assumption), so only at-rest rot can break the pairing.
+
+func countMix(n uint64) uint64 {
+	x := (n + 1) * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	return x >> 32
+}
+
+func encodeCount(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return n&0xFFFFFFFF | countMix(n&0xFFFFFFFF)<<32
+}
+
+func decodeCount(w uint64) (uint64, bool) {
+	if w == 0 {
+		return 0, true
+	}
+	n := w & 0xFFFFFFFF
+	if w>>32 != countMix(n) {
+		return 0, false
+	}
+	return n, true
 }
 
 const defaultLogSize = 1 << 20
@@ -150,7 +184,18 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 	}
 	e.wtx = Tx{e: e, logged: make(map[uint64]bool)}
 	e.aud = cfg.Audit
+	openTrips := dev.FaultsTripped()
 	if dev.Load64(offMagic) != magicValue {
+		// A NONZERO wrong magic with a header checksum that validates against
+		// the true magic constant is a rotted magic word, not a blank device;
+		// reformatting would silently discard the region. Magic zero stays
+		// "unformatted" — a crash mid-format can leave a durable checksum
+		// before the magic publish, and rot never zeroes the whole word.
+		if sum := dev.Load64(offHeadSum); dev.Load64(offMagic) != 0 && sum != 0 &&
+			sum == headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize), dev.Load64(offLogSize)) {
+			return nil, fmt.Errorf("undolog: magic %#x but header checksum matches a formatted region: %w",
+				dev.Load64(offMagic), ErrCorruptHeader)
+		}
 		if a := e.aud; a != nil {
 			a.TxBegin(e.Name(), "format")
 		}
@@ -188,6 +233,9 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 			a.DurablePoint("recovery")
 			a.TxEnd()
 		}
+	}
+	if dev.FaultsTripped() != openTrips {
+		return nil, fmt.Errorf("undolog: media fault during open: %w", dev.FaultError())
 	}
 	heap, err := alloc.Open((*heapMem)(e), heapBase)
 	if err != nil {
@@ -233,7 +281,12 @@ func (e *Engine) rawHeapTop() uint64 {
 // ErrCorruptLog instead.
 func (e *Engine) recover() error {
 	d := e.dev
-	count := int(d.Load64(offLogCount))
+	raw, ok := decodeCount(d.Load64(offLogCount))
+	if !ok {
+		return fmt.Errorf("undolog: log count word %#x fails its self-check (rotted count): %w",
+			d.Load64(offLogCount), ErrCorruptLog)
+	}
+	count := int(raw)
 	if count == 0 {
 		return nil
 	}
@@ -358,6 +411,11 @@ func (e *Engine) Stats() ptm.TxStats {
 // Device exposes the underlying device for statistics and crash testing.
 func (e *Engine) Device() *pmem.Device { return e.dev }
 
+// DataOffsets returns the device offsets of user heap address 0 — a single
+// element, since the undo-log engine keeps one copy of the data. Fault-
+// injection harnesses use it to address user data on the raw device.
+func (e *Engine) DataOffsets() []int { return []int{e.mainBase} }
+
 // CheckHeap validates allocator invariants; used by recovery tests.
 func (e *Engine) CheckHeap() error { return e.heap.CheckInvariants() }
 
@@ -393,7 +451,15 @@ func (e *Engine) Update(fn func(ptm.Tx) error) error {
 			e.emitUpdate(t, obs.OutcomeRollback, startPwb, startFence)
 		}
 	}()
-	if err := fn(t); err != nil {
+	trips := e.dev.FaultsTripped()
+	err := fn(t)
+	if e.dev.FaultsTripped() != trips {
+		// fn computed on corrupted loads; roll back (deferred) instead of
+		// committing fault-tainted state. The fault takes precedence over
+		// fn's own error, which corrupted loads may have fabricated.
+		return e.dev.FaultError()
+	}
+	if err != nil {
 		return err
 	}
 	if t.failed != nil {
@@ -433,7 +499,11 @@ func (e *Engine) Read(fn func(ptm.Tx) error) error {
 	defer e.rw.readerUnlock()
 	e.reads.Add(1)
 	t := Tx{e: e, readOnly: true}
+	trips := e.dev.FaultsTripped()
 	err := fn(&t)
+	if e.dev.FaultsTripped() != trips {
+		err = e.dev.FaultError()
+	}
 	if s := e.trace; s != nil {
 		out := obs.OutcomeOK
 		if err != nil {
