@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-scale tools experiments crashtest crashtest-short crashtest-batch shardtest faulttest audit docs-check fuzz clean
+.PHONY: all build test race bench bench-scale bench-server tools experiments crashtest crashtest-short crashtest-batch shardtest grouptest faulttest audit docs-check fuzz clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: crashtest-short shardtest faulttest audit docs-check
+test: crashtest-short shardtest grouptest faulttest audit docs-check
 	go test ./...
 
 # Documentation hygiene: vet, formatting, and Markdown link integrity.
@@ -49,7 +49,16 @@ experiments: tools
 	./bin/romulus-bench -workload swaps -ops 2000 -threads 1,2,4,8 -audit -json results/BENCH_swaps.json -append | tee results/workload_swaps.txt
 	./bin/romulus-bench -workload map -ops 2000 -threads 1,2,4,8 -audit -json results/BENCH_map.json -append    | tee results/workload_map.txt
 	./bin/romulus-bench -shards 1,2,4 -threads 4 -ops 2000 -audit -json results/BENCH_shard.json -append       | tee results/workload_shard.txt
-	./bin/benchcheck results/BENCH_swaps.json results/BENCH_map.json results/BENCH_shard.json
+	./bin/romulus-bench -server 1,2,8,32 -ops 2000 -audit -json results/BENCH_server.json -append              | tee results/workload_server.txt
+	./bin/benchcheck results/BENCH_swaps.json results/BENCH_map.json results/BENCH_shard.json results/BENCH_server.json
+
+# Network group-commit sweep alone: pipelined connections against the
+# loopback server; fences per acknowledged write must fall below one once
+# 8+ connections share durability rounds (docs/PROTOCOL.md).
+bench-server: tools
+	mkdir -p results
+	./bin/romulus-bench -server 1,2,8,32 -ops 2000 -audit -json results/BENCH_server.json -append | tee results/workload_server.txt
+	./bin/benchcheck results/BENCH_server.json
 
 crashtest: tools
 	./bin/romulus-crashtest -rounds 2000 -chain 3 -engines all -threads 4
@@ -68,6 +77,14 @@ crashtest-short:
 # all-or-nothing under the auditor. Part of `make test`.
 shardtest:
 	go run -race ./cmd/romulus-crashtest -xshard -audit -seed 1 -rounds 120 -chain 2 -shards 3
+
+# Network group-commit crash campaign under the race detector: concurrent
+# pipelined connections share durability rounds through the server's group
+# committer; crashes inside those rounds must lose no acknowledged write and
+# never split a batch (docs/PROTOCOL.md durability contract). Part of
+# `make test`.
+grouptest:
+	go run -race ./cmd/romulus-crashtest -group -audit -seed 1 -rounds 150 -chain 2 -threads 6
 
 # Media-fault torture under the race detector: each round chains a torn
 # crash, bit rot and sticky/transient media faults through recovery for

@@ -1,11 +1,15 @@
 // Command benchcheck guards benchmark trajectories: it reads one or more
 // JSON-lines files accumulated with `romulus-bench -workload ... -json FILE
 // -append` and exits non-zero if the newest row of any (workload, engine,
-// model, threads, shards) group regressed fences_per_tx above the group's
-// historical best by more than the tolerance. Wire it after the experiment
-// run (see `make experiments`) so a change that silently breaks fence
-// amortization — batches collapsing to one op, elision lost — fails the
-// build instead of shipping as a slower artifact.
+// model, threads, shards, conns) group regressed fences_per_tx above the
+// group's historical best by more than the tolerance. Network-server rows
+// (conns > 0, from `romulus-bench -server`) are additionally gated on
+// ops_per_sec falling below the group's best by more than the tolerance, so
+// both halves of the group-commit claim — fence amortization per
+// acknowledged write AND throughput scaling with connections — are held.
+// Wire it after the experiment run (see `make experiments`) so a change that
+// silently breaks fence amortization — batches collapsing to one op, elision
+// lost — fails the build instead of shipping as a slower artifact.
 //
 // Usage:
 //
@@ -22,7 +26,7 @@ import (
 
 func main() {
 	tol := flag.Float64("tol", bench.DefaultTrajectoryTol,
-		"relative headroom over a group's best historical fences_per_tx")
+		"relative headroom against a group's historical best (fences_per_tx above, ops_per_sec below)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no trajectory files given")

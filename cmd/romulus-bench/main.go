@@ -22,6 +22,14 @@
 // independent engines, reported in the same JSON-lines schema:
 //
 //	romulus-bench -shards 1,2,4 [-engines romlog] [-threads 4] [-json FILE]
+//
+// Server mode sweeps pipelined client connections against the network
+// front-end (internal/server): each data point boots a loopback romulusd
+// store and measures throughput, ack-latency quantiles and — the group-commit
+// evidence — device fence events per acknowledged write, reported with the
+// conns field set:
+//
+//	romulus-bench -server 1,2,8,32 [-engines romlog] [-ops 2000] [-json FILE]
 package main
 
 import (
@@ -45,6 +53,8 @@ func main() {
 	model := flag.String("model", "dram", "persistence model: dram, clwb, clflushopt, clflush, stt, pcm")
 	workload := flag.String("workload", "", "run a deterministic workload (swaps, map) instead of a figure")
 	shardCounts := flag.String("shards", "", "sweep the sharded store across these shard counts (e.g. 1,2,4) instead of a figure; -engines selects Romulus variants, the first -threads value sets client goroutines")
+	serverConns := flag.String("server", "", "sweep the network server across these pipelined connection counts (e.g. 1,2,8,32) instead of a figure; -engines selects Romulus variants")
+	pipeline := flag.Int("pipeline", 32, "per-connection pipelining window in -server mode")
 	ops := flag.Int("ops", 1000, "update transactions per engine in -workload mode")
 	seed := flag.Int64("seed", 1, "workload operation seed")
 	metrics := flag.Bool("metrics", false, "print the per-engine metrics registry after a -workload run")
@@ -61,6 +71,42 @@ func main() {
 	m, ok := pmem.ModelByName(*model)
 	if !ok {
 		exitOn(fmt.Errorf("unknown model %q", *model))
+	}
+	if *serverConns != "" {
+		counts, err := bench.ParseInts(*serverConns)
+		exitOn(err)
+		vopts := bench.ServerWorkloadOptions{
+			Conns:    counts,
+			Ops:      *ops,
+			Pipeline: *pipeline,
+			Seed:     *seed,
+			Model:    m,
+			Metrics:  *metrics,
+			Audit:    *audit,
+		}
+		// -engines all means every engine with a server composition, which
+		// is exactly the Romulus variants.
+		if *engines != "all" {
+			vopts.Engines = kinds
+		}
+		if *jsonOut != "" {
+			if *jsonOut == "-" {
+				vopts.JSONOut = os.Stdout
+			} else {
+				mode := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+				if *appendJSON {
+					mode = os.O_WRONLY | os.O_CREATE | os.O_APPEND
+				}
+				f, err := os.OpenFile(*jsonOut, mode, 0o644)
+				exitOn(err)
+				defer f.Close()
+				vopts.JSONOut = f
+			}
+		}
+		out, err := bench.RunServerWorkload(vopts)
+		exitOn(err)
+		fmt.Print(out)
+		return
 	}
 	if *shardCounts != "" {
 		counts, err := bench.ParseInts(*shardCounts)

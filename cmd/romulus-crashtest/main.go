@@ -130,6 +130,64 @@ func runFaultCampaign(cfg crashtest.FaultConfig, jsonOut bool) {
 	fmt.Println("OK")
 }
 
+// runGroupCampaign executes the network group-commit campaign and prints its
+// reports (text or JSON), exiting non-zero on a safety failure. -threads
+// maps to simulated connections; the map workload flags (-keys, -trace) do
+// not apply.
+func runGroupCampaign(cfg crashtest.GroupConfig, jsonOut bool) {
+	if !jsonOut {
+		fmt.Printf("romulus-crashtest -group: %d rounds/variant, seed %d, %d connections, chain depth %d\n",
+			cfg.Rounds, cfg.Seed, cfg.Conns, cfg.ChainDepth)
+	}
+	reports, err := crashtest.RunGroup(cfg)
+	if jsonOut {
+		out := struct {
+			Seed    int64                   `json:"seed"`
+			Reports []crashtest.GroupReport `json:"reports"`
+			Metrics *obs.Snapshot           `json:"metrics,omitempty"`
+			Failure *crashtest.Failure      `json:"failure,omitempty"`
+			Error   string                  `json:"error,omitempty"`
+		}{Seed: cfg.Seed, Reports: reports}
+		if cfg.Metrics != nil {
+			snap := cfg.Metrics.Snapshot()
+			out.Metrics = &snap
+		}
+		if err != nil {
+			var f *crashtest.Failure
+			if errors.As(err, &f) {
+				out.Failure = f
+			} else {
+				out.Error = err.Error()
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range reports {
+		fmt.Printf("%-8s %6d rounds, %d conns — %d mid-round crashes, %d batches (%d multi-conn), "+
+			"%d chain crashes (%d inside recovery), acks: %d survived / %d lost\n",
+			r.Engine, r.Rounds, r.Conns, r.MidRoundCrashes, r.Batches, r.MultiConnBatches,
+			r.ChainCrashes, r.RecoveryCrashes, r.AcksSurvived, r.AcksLost)
+		if cfg.Audit {
+			fmt.Printf("         audit: %d violations\n", r.AuditViolations)
+		}
+	}
+	if cfg.Metrics != nil {
+		fmt.Println("# campaign totals")
+		cfg.Metrics.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAILURE: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}
+
 // runXShardCampaign executes the cross-shard campaign and prints its report
 // (text or JSON), exiting non-zero on a safety failure. The per-engine flags
 // (-engines, -threads, -trace) do not apply: the store is always the sharded
@@ -203,6 +261,8 @@ func main() {
 		strings.Join(crashtest.BatchEngineNames(), ",")+" only), crashes aimed inside combined durability rounds, all-or-nothing batch visibility asserted after recovery")
 	xshard := flag.Bool("xshard", false, "run the cross-shard campaign instead: a sharded store (-shards devices plus a coordinator log), whole-process crash images captured consistently across every device, two-phase cross-shard batches asserted all-or-nothing after recovery")
 	faults := flag.Bool("faults", false, "run the media-fault campaign instead: each round chains a torn-write crash, post-crash bit rot, and sticky/transient media faults through recovery, asserting damage is always reported typed and never served as good data")
+	group := flag.Bool("group", false, "run the network group-commit campaign instead: concurrent pipelined connections funneling writes through the server's per-shard group committer ("+
+		strings.Join(crashtest.GroupEngineNames(), ",")+" only), crashes aimed inside shared durability rounds, every acknowledged write asserted durable and every batch all-or-nothing after recovery")
 	shards := flag.Int("shards", 3, "shard count for the -xshard campaign")
 	jsonOut := flag.Bool("json", false, "emit reports (and any failure) as JSON")
 	metrics := flag.Bool("metrics", false, "print campaign totals (pmem_* and crash_* counters) after the reports")
@@ -223,6 +283,22 @@ func main() {
 			fcfg.Metrics = obs.NewRegistry()
 		}
 		runFaultCampaign(fcfg, *jsonOut)
+		return
+	}
+	if *group {
+		gcfg := crashtest.GroupConfig{
+			Rounds:     *rounds,
+			Seed:       *seed,
+			Conns:      *threads,
+			OpsPerConn: *txs,
+			ChainDepth: *chain,
+			Engines:    strings.Split(*engines, ","),
+			Audit:      *audit,
+		}
+		if *metrics {
+			gcfg.Metrics = obs.NewRegistry()
+		}
+		runGroupCampaign(gcfg, *jsonOut)
 		return
 	}
 	if *xshard {

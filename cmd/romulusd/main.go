@@ -1,6 +1,15 @@
 // Command romulusd serves the sharded persistent KV store over TCP: a
-// line-oriented protocol (PING, GET, SET, DEL, MULTI…EXEC, STATS, SCRUB,
-// QUIT; see internal/server) on -addr, one goroutine per connection.
+// line-oriented, pipelined protocol (PING, GET, SET, DEL, INCR/DECR,
+// EXPIRE/TTL, MULTI…EXEC, STATS, SCRUB, QUIT; the wire contract is
+// docs/PROTOCOL.md) on -addr. Clients may stream many commands before
+// reading replies; replies come back strictly in order.
+//
+// Writes from all connections group-commit: each shard has a commit loop
+// merging queued operations into one durable transaction, so N concurrent
+// writers share a durability round instead of paying N psyncs.
+// -group-max-batch bounds operations per batch; -group-linger lets a batch
+// wait for more operations (0, the default, never waits — batches still
+// form under load with no idle latency).
 //
 // Keys hash-partition across -shards independent Romulus engines (-engine
 // rom|romlog|romlr); multi-key MULTI batches that span shards commit through
@@ -57,6 +66,8 @@ func main() {
 	quarantine := flag.Bool("quarantine", true, "fence shards whose devices report media faults (UNAVAIL replies) instead of serving them; SCRUB readmits")
 	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle for this long between commands (0: never)")
 	maxBatch := flag.Int("max-batch", 0, "maximum queued ops per MULTI batch (0: default 4096, negative: unbounded)")
+	groupMax := flag.Int("group-max-batch", 0, "maximum ops per group-commit batch transaction (0: default 256)")
+	groupLinger := flag.Duration("group-linger", 0, "how long a group-commit batch waits for more ops after its first (0: commit immediately)")
 	flag.Parse()
 
 	variant, err := parseVariant(*engine)
@@ -75,9 +86,11 @@ func main() {
 	exitOn(err)
 
 	srv := server.New(st, server.Options{
-		Registry:    reg,
-		IdleTimeout: *idleTimeout,
-		MaxBatchOps: *maxBatch,
+		Registry:      reg,
+		IdleTimeout:   *idleTimeout,
+		MaxBatchOps:   *maxBatch,
+		GroupMaxBatch: *groupMax,
+		GroupLinger:   *groupLinger,
 	})
 
 	if *httpAddr != "" {

@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pmem"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// ServerWorkloadOptions configure RunServerWorkload, the network front-end
+// sweep behind `romulus-bench -server`. Each data point boots a fresh
+// single-shard store plus romulusd-style server on a loopback listener and
+// drives M pipelined client connections against it, so the sweep measures
+// what the group committer buys: as connections contend, their writes merge
+// into shared durability rounds and the fence cost per acknowledged write
+// falls below the solo-transaction floor.
+type ServerWorkloadOptions struct {
+	// Conns lists the concurrent-connection counts to sweep
+	// (default {1, 2, 8, 32}).
+	Conns []int
+	// Engines lists the Romulus variants to run (default all three; mne and
+	// pmdk have no sharded composition behind the server).
+	Engines []string
+	// Ops is the total number of acknowledged SET operations per data point
+	// (default 2000), split across connections.
+	Ops int
+	// Pipeline is the per-connection pipelining window: how many requests a
+	// client streams before reading that burst's replies (default 32).
+	Pipeline int
+	// Seed fixes the per-connection key streams (default 1).
+	Seed int64
+	// Model is the persistence model for every device.
+	Model pmem.Model
+	// Metrics appends each data point's registry snapshot (net_group_* and
+	// net_ack_latency_ns included) to the output.
+	Metrics bool
+	// Audit chains a durability auditor onto every device; any violation
+	// fails the run.
+	Audit bool
+	// JSONOut, when non-nil, receives one WorkloadResult row per data point
+	// (workload "server", the conns field set), newline-delimited, in the
+	// same romulus-bench/workload/v1 schema the trajectory checker consumes.
+	JSONOut io.Writer
+}
+
+// RunServerWorkload sweeps pipelined SET load across connection counts,
+// returning a throughput-and-latency table followed (with Metrics) by one
+// metrics block per data point. The fences/ack column is the group-commit
+// evidence: at one connection every acknowledged write pays a full solo
+// durability round, while at 8+ connections cross-connection batching must
+// push device fence events per ack below one.
+func RunServerWorkload(opts ServerWorkloadOptions) (string, error) {
+	if len(opts.Conns) == 0 {
+		opts.Conns = []int{1, 2, 8, 32}
+	}
+	if len(opts.Engines) == 0 {
+		opts.Engines = []string{"rom", "romlog", "romlr"}
+	}
+	if opts.Ops == 0 {
+		opts.Ops = 2000
+	}
+	if opts.Pipeline == 0 {
+		opts.Pipeline = 32
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	for _, n := range opts.Conns {
+		if n < 1 {
+			return "", fmt.Errorf("bench: invalid connection count %d", n)
+		}
+	}
+	var out strings.Builder
+	tbl := NewTable("engine", "conns", "acks", "ops/sec", "fences/ack", "pwbs/ack", "p50 µs", "p99 µs")
+	type block struct {
+		name string
+		reg  *obs.Registry
+	}
+	var blocks []block
+	jenc := json.NewEncoder(io.Discard)
+	if opts.JSONOut != nil {
+		jenc = json.NewEncoder(opts.JSONOut)
+	}
+	for _, kind := range opts.Engines {
+		variant, ok := shardVariants[kind]
+		if !ok {
+			return "", fmt.Errorf("bench: engine %q has no server composition (use %s)",
+				kind, strings.Join([]string{"rom", "romlog", "romlr"}, ", "))
+		}
+		for _, conns := range opts.Conns {
+			reg := obs.NewRegistry()
+			res, err := runServerPoint(kind, variant, conns, reg, opts, jenc)
+			if err != nil {
+				return "", fmt.Errorf("bench: server on %s/%d conns: %w", kind, conns, err)
+			}
+			tbl.Row(kind, conns, res.Updates, res.OpsPerSec,
+				res.FencesPerTx, res.PwbsPerTx,
+				float64(res.AckP50Ns)/1e3, float64(res.AckP99Ns)/1e3)
+			blocks = append(blocks, block{fmt.Sprintf("%s conns=%d", kind, conns), reg})
+		}
+	}
+	out.WriteString(tbl.String())
+	if opts.Metrics {
+		for _, b := range blocks {
+			fmt.Fprintf(&out, "\n# server %s\n", b.name)
+			if err := b.reg.WriteText(&out); err != nil {
+				return "", err
+			}
+		}
+	}
+	return out.String(), nil
+}
+
+// runServerPoint drives one (engine, conns) data point: a fresh single-shard
+// store behind a loopback server, Ops pipelined SETs split across conns
+// connections, each streaming Pipeline requests per burst before reading the
+// replies back. Setup (store formatting, connection dial, warmup) is excluded
+// from the measured device totals.
+func runServerPoint(kind string, variant core.Variant, conns int, reg *obs.Registry, opts ServerWorkloadOptions, jenc *json.Encoder) (WorkloadResult, error) {
+	st, err := shard.Open(shard.Options{
+		Shards:     1,
+		RegionSize: 1 << 21,
+		CoordSize:  64 << 10,
+		Variant:    variant,
+		Model:      opts.Model,
+		Metrics:    reg,
+		Audit:      opts.Audit,
+	})
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	defer st.Close()
+
+	srv := server.New(st, server.Options{Registry: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveErr
+	}()
+	addr := ln.Addr().String()
+
+	type conn struct {
+		c net.Conn
+		r *bufio.Reader
+	}
+	clients := make([]conn, conns)
+	for i := range clients {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return WorkloadResult{}, err
+		}
+		defer c.Close()
+		clients[i] = conn{c, bufio.NewReader(c)}
+		// Warmup: prove the connection end to end before measuring.
+		if _, err := c.Write([]byte("PING\n")); err != nil {
+			return WorkloadResult{}, err
+		}
+		line, err := clients[i].r.ReadString('\n')
+		if err != nil {
+			return WorkloadResult{}, err
+		}
+		if strings.TrimRight(line, "\r\n") != "PONG" {
+			return WorkloadResult{}, fmt.Errorf("warmup reply %q", line)
+		}
+	}
+
+	for _, d := range st.Devices() {
+		d.ResetStats()
+	}
+	ackBase := reg.Histogram("net_ack_latency_ns").Count()
+
+	start := time.Now()
+	err = runWorkers(conns, opts.Ops, func(w, ops int) error {
+		cl := clients[w]
+		rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+		var burst strings.Builder
+		for n := 0; n < ops; {
+			window := opts.Pipeline
+			if left := ops - n; window > left {
+				window = left
+			}
+			burst.Reset()
+			for i := 0; i < window; i++ {
+				fmt.Fprintf(&burst, "SET c%dk%d v%d\n", w, rng.Intn(4*opts.Ops), n+i)
+			}
+			if _, err := cl.c.Write([]byte(burst.String())); err != nil {
+				return err
+			}
+			for i := 0; i < window; i++ {
+				line, err := cl.r.ReadString('\n')
+				if err != nil {
+					return err
+				}
+				if reply := strings.TrimRight(line, "\r\n"); reply != "OK" {
+					return fmt.Errorf("SET reply %q", reply)
+				}
+			}
+			n += window
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	if opts.Audit {
+		if n := st.ViolationCount(); n > 0 {
+			return WorkloadResult{}, fmt.Errorf("auditor found %d durability violation(s)", n)
+		}
+	}
+
+	ackHist := reg.Histogram("net_ack_latency_ns")
+	acks := ackHist.Count() - ackBase
+	if acks == 0 {
+		return WorkloadResult{}, fmt.Errorf("no acknowledged writes recorded")
+	}
+	var pwbs, fences uint64
+	for _, d := range st.Devices() {
+		ds := d.Stats()
+		pwbs += ds.Pwbs
+		fences += ds.Pfences + ds.Psyncs
+	}
+	res := WorkloadResult{
+		Schema:     WorkloadSchema,
+		Workload:   "server",
+		Engine:     kind,
+		Model:      opts.Model.Name,
+		Threads:    1,
+		Shards:     1,
+		Conns:      conns,
+		Ops:        opts.Ops,
+		Seed:       opts.Seed,
+		ElapsedSec: elapsed.Seconds(),
+		OpsPerSec:  float64(acks) / elapsed.Seconds(),
+		Updates:    acks,
+		// FencesPerTx for server rows is fences per acknowledged write: the
+		// quantity group commit amortizes across connections.
+		FencesPerTx: float64(fences) / float64(acks),
+		PwbsPerTx:   float64(pwbs) / float64(acks),
+		AckP50Ns:    ackHist.Quantile(0.5),
+		AckP99Ns:    ackHist.Quantile(0.99),
+	}
+	if opts.Audit {
+		var t audit.Totals
+		for _, a := range st.Auditors() {
+			if a == nil {
+				continue
+			}
+			at := a.Totals()
+			t.PwbClean += at.PwbClean
+			t.PwbRequeued += at.PwbRequeued
+			t.StoreQueued += at.StoreQueued
+			t.FenceNoop += at.FenceNoop
+			t.Violations += at.Violations
+		}
+		res.AuditViolations = t.Violations
+		res.AuditWaste = &audit.Waste{
+			PwbClean:    t.PwbClean,
+			PwbRequeued: t.PwbRequeued,
+			StoreQueued: t.StoreQueued,
+			FenceNoop:   t.FenceNoop,
+		}
+	}
+	if err := jenc.Encode(res); err != nil {
+		return WorkloadResult{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRunServerWorkload drives the network sweep end to end: one variant,
+// 1 and 4 connections on the loopback listener, audited, JSON rows captured
+// — pinning the conns row shape trajectory tooling depends on.
+func TestRunServerWorkload(t *testing.T) {
+	var js strings.Builder
+	out, err := RunServerWorkload(ServerWorkloadOptions{
+		Conns:    []int{1, 4},
+		Engines:  []string{"romlog"},
+		Ops:      400,
+		Pipeline: 16,
+		Audit:    true,
+		Metrics:  true,
+		JSONOut:  &js,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "conns") || !strings.Contains(out, "fences/ack") {
+		t.Fatalf("table missing columns:\n%s", out)
+	}
+	if !strings.Contains(out, "net_group_batch_total") {
+		t.Fatalf("metrics block missing group-commit counters:\n%s", out)
+	}
+	var rows []WorkloadResult
+	sc := bufio.NewScanner(strings.NewReader(js.String()))
+	for sc.Scan() {
+		var row WorkloadResult
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad JSON row %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d JSON rows, want 2", len(rows))
+	}
+	for i, row := range rows {
+		if row.Schema != WorkloadSchema || row.Workload != "server" || row.Engine != "romlog" {
+			t.Fatalf("row %d malformed: %+v", i, row)
+		}
+		if want := []int{1, 4}[i]; row.Conns != want {
+			t.Fatalf("row %d conns = %d, want %d", i, row.Conns, want)
+		}
+		if row.Updates == 0 || row.FencesPerTx <= 0 || row.OpsPerSec <= 0 {
+			t.Fatalf("row %d has empty measurements: %+v", i, row)
+		}
+		if row.AckP50Ns == 0 || row.AckP99Ns < row.AckP50Ns {
+			t.Fatalf("row %d ack latency quantiles wrong: %+v", i, row)
+		}
+		if row.AuditViolations != 0 || row.AuditWaste == nil {
+			t.Fatalf("row %d audit fields wrong: %+v", i, row)
+		}
+	}
+	// The sweep's reason to exist: concurrent pipelined connections share
+	// durability rounds, so fences per ack must drop from 1 conn to 4.
+	if rows[1].FencesPerTx >= rows[0].FencesPerTx {
+		t.Errorf("fences/ack did not fall with connections: conns=1 %.3f, conns=4 %.3f",
+			rows[0].FencesPerTx, rows[1].FencesPerTx)
+	}
+}
+
+// TestRunServerWorkloadRejectsForeignEngine pins that engines without a
+// server composition are an error, not a silent skip.
+func TestRunServerWorkloadRejectsForeignEngine(t *testing.T) {
+	_, err := RunServerWorkload(ServerWorkloadOptions{Engines: []string{"mne"}, Ops: 10})
+	if err == nil || !strings.Contains(err.Error(), "server composition") {
+		t.Fatalf("mne accepted: %v", err)
+	}
+}
+
+// TestCheckTrajectoryConnsDimension pins the network-server gates: conns
+// separates groups, fences_per_tx (per acked write) regressions flag within
+// a conns group, and an ops_per_sec collapse flags even when fence costs
+// hold steady — while in-process rows (conns 0) are never throughput-gated.
+func TestCheckTrajectoryConnsDimension(t *testing.T) {
+	serverRow := func(conns int, fences, opsSec float64) string {
+		return fmt.Sprintf(`{"schema":"romulus-bench/workload/v1","workload":"server",`+
+			`"engine":"romlog","model":"dram","threads":1,"shards":1,"conns":%d,"ops":1000,`+
+			`"seed":1,"elapsed_sec":0.1,"ops_per_sec":%g,"updates":1000,"reads":0,`+
+			`"fences_per_tx":%g,"pwbs_per_tx":6,"ack_p50_ns":1000,"ack_p99_ns":5000}`,
+			conns, opsSec, fences)
+	}
+
+	// conns=8 fence regression is not masked by a good conns=1 history.
+	in := strings.Join([]string{
+		serverRow(1, 4, 10000), serverRow(8, 0.5, 50000),
+		serverRow(1, 4, 10000), serverRow(8, 4, 50000),
+	}, "\n")
+	regs, err := CheckTrajectory(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if r := regs[0]; r.Conns != 8 || r.Metric != "fences_per_tx" || r.Newest != 4 {
+		t.Fatalf("wrong group flagged: %+v", r)
+	}
+	if !strings.Contains(regs[0].String(), "conns=8") {
+		t.Errorf("regression string %q lacks conns dimension", regs[0].String())
+	}
+
+	// Throughput collapse flags on its own, with fences holding steady.
+	in = strings.Join([]string{
+		serverRow(8, 0.5, 50000),
+		serverRow(8, 0.5, 20000),
+	}, "\n")
+	regs, err = CheckTrajectory(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "ops_per_sec" {
+		t.Fatalf("ops/sec collapse not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "falls below") {
+		t.Errorf("regression string %q does not read as a floor", regs[0].String())
+	}
+
+	// In-process rows are never throughput-gated: the same collapse with
+	// conns absent passes (timed throughput is advisory there).
+	plain := strings.ReplaceAll(serverRow(0, 4, 50000), `"conns":0,`, "")
+	in = plain + "\n" + strings.ReplaceAll(serverRow(0, 4, 20000), `"conns":0,`, "")
+	regs, err = CheckTrajectory(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("conns-less rows throughput-gated: %v", regs)
+	}
+}

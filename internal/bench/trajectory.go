@@ -35,10 +35,15 @@ type Regression struct {
 	// Shards is the partition count of the regressed group (zero for
 	// single-engine rows).
 	Shards int
-	// Metric is the regressed quantity ("fences_per_tx").
+	// Conns is the client-connection count of the regressed group (zero for
+	// in-process rows).
+	Conns int
+	// Metric is the regressed quantity ("fences_per_tx" — fences per
+	// acknowledged write for server rows — or "ops_per_sec").
 	Metric string
-	// Newest is the metric of the latest appended row; Best the minimum over
-	// all earlier rows of the group; Limit the threshold Newest exceeded.
+	// Newest is the metric of the latest appended row; Best the historical
+	// best over all earlier rows of the group (minimum for cost metrics,
+	// maximum for throughput); Limit the threshold Newest crossed.
 	Newest, Best, Limit float64
 }
 
@@ -48,17 +53,28 @@ func (r Regression) String() string {
 	if r.Shards > 0 {
 		dims += fmt.Sprintf(" shards=%d", r.Shards)
 	}
-	return fmt.Sprintf("%s/%s %s: %s %.3f exceeds %.3f (best earlier row %.3f)",
-		r.Workload, r.Engine, dims, r.Metric, r.Newest, r.Limit, r.Best)
+	if r.Conns > 0 {
+		dims += fmt.Sprintf(" conns=%d", r.Conns)
+	}
+	rel := "exceeds"
+	if r.Metric == "ops_per_sec" {
+		rel = "falls below"
+	}
+	return fmt.Sprintf("%s/%s %s: %s %.3f %s %.3f (best earlier row %.3f)",
+		r.Workload, r.Engine, dims, r.Metric, r.Newest, rel, r.Limit, r.Best)
 }
 
 // CheckTrajectory reads a trajectory file — WorkloadSchema JSON lines
 // accumulated across runs with romulus-bench -json -append — and reports
-// every (workload, engine, model, threads, shards) group whose newest row regresses
-// fences_per_tx above the group's historical best by more than tol
-// (relative, plus a small absolute slack). Groups with a single row have no
-// baseline and pass. Blank lines are skipped; rows of a different schema
-// are an error, as mixing formats in one trajectory file hides history.
+// every (workload, engine, model, threads, shards, conns) group whose newest
+// row regresses fences_per_tx above the group's historical best by more than
+// tol (relative, plus a small absolute slack). Network-server rows (conns >
+// 0) are additionally gated on ops_per_sec: throughput collapsing below the
+// group's historical best by more than tol flags, since scaling with
+// connection count is what those rows exist to evidence. Groups with a
+// single row have no baseline and pass. Blank lines are skipped; rows of a
+// different schema are an error, as mixing formats in one trajectory file
+// hides history.
 func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
 	if tol <= 0 {
 		tol = DefaultTrajectoryTol
@@ -84,7 +100,8 @@ func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
 		if row.Schema != WorkloadSchema {
 			return nil, fmt.Errorf("bench: trajectory line %d: schema %q, want %q", line, row.Schema, WorkloadSchema)
 		}
-		key := fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d", row.Workload, row.Engine, row.Model, row.Threads, row.Shards)
+		key := fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d\x00%d",
+			row.Workload, row.Engine, row.Model, row.Threads, row.Shards, row.Conns)
 		g := groups[key]
 		if g == nil {
 			g = &group{}
@@ -104,25 +121,48 @@ func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
 			continue
 		}
 		newest := rows[len(rows)-1]
-		best := rows[0].FencesPerTx
+		base := Regression{
+			Workload: newest.Workload,
+			Engine:   newest.Engine,
+			Model:    newest.Model,
+			Threads:  newest.Threads,
+			Shards:   newest.Shards,
+			Conns:    newest.Conns,
+		}
+		bestFences := rows[0].FencesPerTx
 		for _, row := range rows[1 : len(rows)-1] {
-			if row.FencesPerTx < best {
-				best = row.FencesPerTx
+			if row.FencesPerTx < bestFences {
+				bestFences = row.FencesPerTx
 			}
 		}
-		limit := best*(1+tol) + trajectoryEps
+		limit := bestFences*(1+tol) + trajectoryEps
 		if newest.FencesPerTx > limit {
-			regs = append(regs, Regression{
-				Workload: newest.Workload,
-				Engine:   newest.Engine,
-				Model:    newest.Model,
-				Threads:  newest.Threads,
-				Shards:   newest.Shards,
-				Metric:   "fences_per_tx",
-				Newest:   newest.FencesPerTx,
-				Best:     best,
-				Limit:    limit,
-			})
+			r := base
+			r.Metric = "fences_per_tx"
+			r.Newest = newest.FencesPerTx
+			r.Best = bestFences
+			r.Limit = limit
+			regs = append(regs, r)
+		}
+		// Throughput gate for network-server rows: higher is better, so the
+		// floor is the historical best shrunk by the tolerance. Timing-based,
+		// hence only applied where throughput scaling is the row's claim.
+		if newest.Conns > 0 {
+			bestOps := rows[0].OpsPerSec
+			for _, row := range rows[1 : len(rows)-1] {
+				if row.OpsPerSec > bestOps {
+					bestOps = row.OpsPerSec
+				}
+			}
+			floor := bestOps * (1 - tol)
+			if newest.OpsPerSec < floor {
+				r := base
+				r.Metric = "ops_per_sec"
+				r.Newest = newest.OpsPerSec
+				r.Best = bestOps
+				r.Limit = floor
+				regs = append(regs, r)
+			}
 		}
 	}
 	return regs, nil

@@ -75,7 +75,13 @@ type WorkloadResult struct {
 	Threads  int    `json:"threads"`
 	// Shards is the partition count for sharded-store rows (workload
 	// "shardkv", emitted by RunShardWorkload); zero for single-engine rows.
-	Shards     int     `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Conns is the concurrent-client-connection count for network-server
+	// rows (workload "server", emitted by RunServerWorkload); zero for
+	// in-process rows. For conns rows OpsPerSec is additionally gated by the
+	// trajectory checker, since throughput scaling with connections is the
+	// point of the sweep.
+	Conns      int     `json:"conns,omitempty"`
 	Ops        int     `json:"ops"`
 	Seed       int64   `json:"seed"`
 	ElapsedSec float64 `json:"elapsed_sec"`
@@ -92,6 +98,10 @@ type WorkloadResult struct {
 	// the measured run (absent for engines without a batch commit path).
 	Batches     uint64  `json:"batches,omitempty"`
 	OpsPerBatch float64 `json:"ops_per_batch,omitempty"`
+	// AckP50Ns and AckP99Ns are acknowledgement-latency quantiles (submit to
+	// durable ack, nanoseconds) for network-server rows; absent elsewhere.
+	AckP50Ns uint64 `json:"ack_p50_ns,omitempty"`
+	AckP99Ns uint64 `json:"ack_p99_ns,omitempty"`
 	// Audit fields are present only for -audit runs.
 	AuditViolations uint64       `json:"audit_violations,omitempty"`
 	AuditWaste      *audit.Waste `json:"audit_waste,omitempty"`

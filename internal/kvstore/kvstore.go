@@ -322,6 +322,32 @@ func (db *DB) Apply(tx ptm.Tx, b *Batch) error {
 	return nil
 }
 
+// GetTx reads key inside an existing transaction (read-only or update),
+// returning ErrNotFound when absent. Together with PutTx and DeleteTx it is
+// the building block for callers that compose several key operations — and
+// their own bookkeeping — into ONE durable transaction, such as the network
+// layer's group-committed batches and its read-modify-write commands.
+func (db *DB) GetTx(tx ptm.Tx, key []byte) ([]byte, error) {
+	v, err := db.m.Get(tx, key, nil)
+	if errors.Is(err, pstruct.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+// PutTx stores the pair inside an existing update transaction.
+func (db *DB) PutTx(tx ptm.Tx, key, val []byte) error {
+	_, err := db.m.Put(tx, key, val)
+	return err
+}
+
+// DeleteTx removes key inside an existing update transaction (a no-op if
+// absent).
+func (db *DB) DeleteTx(tx ptm.Tx, key []byte) error {
+	_, err := db.m.Delete(tx, key)
+	return err
+}
+
 // Write applies the batch atomically in one durable transaction.
 func (db *DB) Write(b *Batch) error {
 	start := opStart(db.batchNs)

@@ -1,0 +1,300 @@
+// Group commit: the scheduler that funnels writes from ALL connections into
+// shared per-shard batches.
+//
+// The engines already amortize durability inside one shard: concurrent
+// update transactions entering a shard's flat combiner share a single
+// ≤4-fence durability round (PR 4's combined commit). What they cannot do is
+// merge operations that never overlap in the combiner — a request/response
+// server admits one write per connection round-trip, so batches stay thin
+// and every client pays a full psync. The Committer closes that gap at the
+// network layer: each shard has one commit loop that drains every queued
+// operation (from any connection, pipelined arbitrarily deep), executes them
+// all inside ONE durable shard transaction, and only then releases every
+// operation's reply. N writers share one durability round instead of paying
+// N; fences per acknowledged write drop below one as soon as batches carry
+// more than a handful of operations.
+//
+// Scheduling: a batch closes when MaxBatch operations have been drained or
+// when Linger has elapsed since the first operation of the batch arrived,
+// whichever is first — so MaxBatch bounds transaction size and Linger bounds
+// the tail latency a lone write can be held hostage for. Linger 0 (the
+// default) never waits: a batch is whatever is queued at the moment the
+// loop gets to it, which still merges bursts under load and adds no idle
+// latency.
+//
+// Failure isolation: operations report protocol-level failures ("ERR value
+// is not an integer") as replies, not transaction errors, so they cannot
+// abort batch-mates. A real transaction error (media fault, heap
+// exhaustion) rolls the whole batch back; the committer then re-runs every
+// operation solo so the poisoned operation fails alone — mirroring the flat
+// combiner's own solo re-run rule one level up.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/obs"
+	"repro/internal/ptm"
+	"repro/internal/shard"
+)
+
+// DefaultGroupMaxBatch bounds one group-commit batch when
+// Options.GroupMaxBatch is 0.
+const DefaultGroupMaxBatch = 256
+
+// OpFunc is one operation inside a group-commit transaction. It returns the
+// wire reply for the operation; a non-nil error aborts the WHOLE batch
+// transaction (the committer then isolates it by re-running every operation
+// solo), so operation-level failures that should not disturb batch-mates
+// must be encoded as "ERR ..." replies with a nil error. fn may run more
+// than once (batch attempt, then solo) and must be deterministic
+// read-modify-write over the transaction it is handed.
+type OpFunc func(tx ptm.Tx, db *kvstore.DB) (string, error)
+
+// Pending is one submitted operation's future. The reply becomes readable
+// exactly when the psync of the durability round that committed the
+// operation has completed — waiting on it IS the durable-before-reply
+// guarantee.
+type Pending struct {
+	fn   OpFunc
+	op   string // label for error rendering ("set", "incr", ...)
+	conn uint64
+	tag  any
+	enq  time.Time
+	seq  uint64
+	text string
+	done chan struct{}
+}
+
+// Wait blocks until the operation's durability round completed and returns
+// its reply line.
+func (p *Pending) Wait() string {
+	<-p.done
+	return p.text
+}
+
+// Done returns a channel closed when the operation is durable and its reply
+// final.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Seq returns the per-shard batch sequence number that committed the
+// operation. Valid only after Done; crash harnesses use it to assert batch
+// atomicity.
+func (p *Pending) Seq() uint64 { return p.seq }
+
+// Tag returns the opaque value given to Submit.
+func (p *Pending) Tag() any { return p.tag }
+
+// GroupOptions configure a Committer.
+type GroupOptions struct {
+	// MaxBatch bounds operations per batch transaction (0 =
+	// DefaultGroupMaxBatch).
+	MaxBatch int
+	// Linger is how long a batch may wait for more operations after its
+	// first arrives (0 = commit immediately with whatever is queued).
+	Linger time.Duration
+	// Registry receives net_group_* metrics; nil keeps a private registry.
+	Registry *obs.Registry
+	// OnBatch, when non-nil, is called with a batch's membership BEFORE its
+	// transaction starts — crash harnesses record it so a crash inside the
+	// round can be checked all-or-nothing against known membership.
+	OnBatch func(shard int, seq uint64, ops []*Pending)
+}
+
+// Committer is the group-commit scheduler: one commit loop per shard of the
+// store, each merging queued operations into shared durable transactions.
+type Committer struct {
+	st       *shard.Store
+	maxBatch int
+	linger   time.Duration
+	onBatch  func(int, uint64, []*Pending)
+
+	queues []chan *Pending
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	batches    *obs.Counter
+	batchOps   *obs.Counter
+	soloRuns   *obs.Counter
+	batchConns *obs.Histogram
+	ackNs      *obs.Histogram
+}
+
+// NewCommitter starts one commit loop per shard of st. Close stops them.
+func NewCommitter(st *shard.Store, opts GroupOptions) *Committer {
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultGroupMaxBatch
+	}
+	c := &Committer{
+		st:         st,
+		maxBatch:   maxBatch,
+		linger:     opts.Linger,
+		onBatch:    opts.OnBatch,
+		queues:     make([]chan *Pending, st.NumShards()),
+		batches:    reg.Counter("net_group_batch_total"),
+		batchOps:   reg.Counter("net_group_batch_ops_total"),
+		soloRuns:   reg.Counter("net_group_solo_total"),
+		batchConns: reg.Histogram("net_group_batch_conns"),
+		ackNs:      reg.Histogram("net_ack_latency_ns"),
+	}
+	for i := range c.queues {
+		c.queues[i] = make(chan *Pending, 4*maxBatch)
+		c.wg.Add(1)
+		go c.loop(i)
+	}
+	return c
+}
+
+// Submit enqueues fn for key's shard sh and returns its future. conn
+// identifies the submitting connection (for the batch-fan-in histogram), op
+// labels error replies, tag rides along for harnesses. Operations of one
+// shard commit in submission order (the queue is FIFO and the loop drains it
+// in order), so a connection that submits its writes in request order gets
+// per-key ordering for free. Submit must not be called after Close.
+func (c *Committer) Submit(sh int, conn uint64, op string, tag any, fn OpFunc) *Pending {
+	p := &Pending{fn: fn, op: op, conn: conn, tag: tag, enq: time.Now(), done: make(chan struct{})}
+	c.queues[sh] <- p
+	return p
+}
+
+// Close drains every queue — all submitted operations still commit and
+// resolve — and stops the commit loops. Callers must stop Submitting first.
+func (c *Committer) Close() {
+	c.once.Do(func() {
+		for _, q := range c.queues {
+			close(q)
+		}
+	})
+	c.wg.Wait()
+}
+
+// loop is shard sh's commit loop.
+func (c *Committer) loop(sh int) {
+	defer c.wg.Done()
+	q := c.queues[sh]
+	var seq uint64
+	batch := make([]*Pending, 0, c.maxBatch)
+	for first := range q {
+		batch = append(batch[:0], first)
+		batch = c.drainInto(q, batch)
+		if c.linger > 0 && len(batch) < c.maxBatch {
+			t := time.NewTimer(c.linger)
+		linger:
+			for len(batch) < c.maxBatch {
+				select {
+				case p, ok := <-q:
+					if !ok {
+						break linger
+					}
+					batch = append(batch, p)
+					batch = c.drainInto(q, batch)
+				case <-t.C:
+					break linger
+				}
+			}
+			t.Stop()
+		}
+		seq++
+		c.commit(sh, seq, batch)
+	}
+}
+
+// drainInto appends queued operations without waiting, up to the batch
+// bound.
+func (c *Committer) drainInto(q chan *Pending, batch []*Pending) []*Pending {
+	for len(batch) < c.maxBatch {
+		select {
+		case p, ok := <-q:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, p)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// commit runs one batch as a single durable shard transaction and releases
+// every member's reply after its psync. On a transaction-level error the
+// batch rolls back untouched and each operation re-runs solo.
+func (c *Committer) commit(sh int, seq uint64, ops []*Pending) {
+	if c.onBatch != nil {
+		c.onBatch(sh, seq, ops)
+	}
+	err := c.st.Update(sh, func(tx ptm.Tx, db *kvstore.DB) error {
+		for _, p := range ops {
+			text, err := p.fn(tx, db)
+			if err != nil {
+				return err
+			}
+			p.text = text
+		}
+		return nil
+	})
+	if err != nil {
+		for _, p := range ops {
+			c.soloRuns.Inc()
+			serr := c.st.Update(sh, func(tx ptm.Tx, db *kvstore.DB) error {
+				text, err := p.fn(tx, db)
+				if err != nil {
+					return err
+				}
+				p.text = text
+				return nil
+			})
+			if serr != nil {
+				p.text = renderOpError(p.op, serr)
+			}
+			c.finish(p, seq)
+		}
+		return
+	}
+	c.batches.Inc()
+	c.batchOps.Add(uint64(len(ops)))
+	c.batchConns.Observe(uint64(distinctConns(ops)))
+	for _, p := range ops {
+		c.finish(p, seq)
+	}
+}
+
+// finish stamps the committing round and publishes the reply.
+func (c *Committer) finish(p *Pending, seq uint64) {
+	p.seq = seq
+	c.ackNs.Observe(uint64(time.Since(p.enq)))
+	close(p.done)
+}
+
+// distinctConns counts how many different connections a batch merged — the
+// cross-connection fan-in the group-commit design exists for.
+func distinctConns(ops []*Pending) int {
+	if len(ops) < 2 {
+		return len(ops)
+	}
+	seen := make(map[uint64]struct{}, len(ops))
+	for _, p := range ops {
+		seen[p.conn] = struct{}{}
+	}
+	return len(seen)
+}
+
+// renderOpError turns a store error into its wire reply: a quarantined
+// shard's *UnavailError passes through verbatim as the typed UNAVAIL reply,
+// anything else becomes "ERR <op>: <err>".
+func renderOpError(op string, err error) string {
+	var ue *shard.UnavailError
+	if errors.As(err, &ue) {
+		return ue.Error()
+	}
+	return fmt.Sprintf("ERR %s: %v", op, err)
+}

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// readLines reads n reply lines from the client.
+func readLines(t *testing.T, r *bufio.Reader, n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reply %d/%d: %v (got %q so far)", i+1, n, err, out)
+		}
+		out = append(out, strings.TrimRight(line, "\r\n"))
+	}
+	return out
+}
+
+// TestPipelinedBurstInOrderReplies is the pipelining conformance test: one
+// connection streams a burst of interleaved SET/GET/INCR/DECR/DEL without
+// reading a single reply, then reads the whole burst back — replies must be
+// byte-exact and strictly in request order, and reads must observe the
+// connection's own earlier (pipelined) writes.
+func TestPipelinedBurstInOrderReplies(t *testing.T) {
+	st := newTestStore(t)
+	defer st.Close()
+	srv, addr, done := startServer(t, st)
+
+	cl := dial(t, addr)
+	cmds := []string{
+		"SET a 1",
+		"INCR ctr",
+		"GET a",
+		"SET b two words",
+		"DECR ctr 5",
+		"GET b",
+		"INCR ctr 10",
+		"GET ctr",
+		"DEL a",
+		"GET a",
+		"PING",
+	}
+	want := []string{
+		"OK",
+		"INT 1",
+		"VALUE 1",
+		"OK",
+		"INT -4",
+		"VALUE two words",
+		"INT 6",
+		"VALUE 6",
+		"OK",
+		"NOTFOUND",
+		"PONG",
+	}
+	if _, err := cl.c.Write([]byte(strings.Join(cmds, "\n") + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	got := readLines(t, cl.r, len(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reply %d to %q: got %q, want %q (all: %q)", i, cmds[i], got[i], want[i], got)
+		}
+	}
+
+	cl.c.Close()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedFlushCoalescing pins that the writer does NOT flush once per
+// reply: a burst whose writes all commit in one lingered group batch comes
+// back in far fewer flushes than replies.
+func TestPipelinedFlushCoalescing(t *testing.T) {
+	st := newTestStore(t)
+	defer st.Close()
+	reg := obs.NewRegistry()
+	srv, addr, done := startServerOpts(t, st, Options{Registry: reg, GroupLinger: 100 * time.Millisecond})
+
+	cl := dial(t, addr)
+	const n = 16
+	var burst strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&burst, "SET flushk%d v%d\n", i, i)
+	}
+	if _, err := cl.c.Write([]byte(burst.String())); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range readLines(t, cl.r, n) {
+		if line != "OK" {
+			t.Fatalf("reply %d: got %q, want OK", i, line)
+		}
+	}
+	if flushes := reg.Counter("net_reply_flush_total").Load(); flushes >= n {
+		t.Fatalf("writer flushed %d times for %d replies; want coalesced (< %d)", flushes, n, n)
+	}
+
+	cl.c.Close()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// TestGroupCommitSharesDurabilityRounds proves the point of group commit: K
+// connections' concurrent SETs to one shard complete in fewer durability
+// rounds (device fence events) than K solo SETs would pay.
+func TestGroupCommitSharesDurabilityRounds(t *testing.T) {
+	st, err := shard.Open(shard.Options{
+		Shards:     1,
+		RegionSize: 512 << 10,
+		CoordSize:  64 << 10,
+		Variant:    core.RomLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reg := obs.NewRegistry()
+	srv, addr, done := startServerOpts(t, st, Options{Registry: reg, GroupLinger: 100 * time.Millisecond})
+
+	dev := st.Devices()[0] // single shard; the coordinator is last
+	fenceEvents := func() uint64 {
+		s := dev.Stats()
+		return s.Pfences + s.Psyncs
+	}
+
+	// Baseline: one solo SET's durability round.
+	warm := dial(t, addr)
+	warm.must(t, "SET warmup v", "OK")
+	dev.ResetStats()
+	warm.must(t, "SET solo v", "OK")
+	base := fenceEvents()
+	if base == 0 {
+		t.Fatal("solo SET recorded no fence events; cannot measure sharing")
+	}
+
+	// K concurrent SETs from K connections, released together. With a
+	// 100ms linger they must land in one or two shared batches, paying far
+	// fewer than K durability rounds.
+	const K = 8
+	clients := make([]*client, K)
+	for i := range clients {
+		clients[i] = dial(t, addr)
+		clients[i].must(t, "PING", "PONG")
+	}
+	dev.ResetStats()
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *client) {
+			defer wg.Done()
+			<-start
+			reply, err := cl.do(fmt.Sprintf("SET grp%d v%d", i, i))
+			if err == nil && reply != "OK" {
+				err = fmt.Errorf("reply %q", reply)
+			}
+			errs[i] = err
+		}(i, cl)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("conn %d SET: %v", i, err)
+		}
+	}
+	grouped := fenceEvents()
+	if grouped >= base*K {
+		t.Fatalf("%d concurrent SETs paid %d fence events (solo baseline %d): no durability rounds were shared", K, grouped, base)
+	}
+	t.Logf("solo SET: %d fence events; %d concurrent SETs: %d total (%.2fx solo, %.2f per ack)",
+		base, K, grouped, float64(grouped)/float64(base), float64(grouped)/float64(K))
+	if max := reg.Histogram("net_group_batch_conns").Max(); max < 2 {
+		t.Fatalf("no batch merged ops from more than one connection (max fan-in %d)", max)
+	}
+
+	for _, cl := range clients {
+		cl.c.Close()
+	}
+	warm.c.Close()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// TestMultiQueuedErrorReplyOrdering pins the reply-ordering contract under
+// MULTI…EXEC in a pipelined burst: a failed queued command's error is
+// reported in its request position — after earlier QUEUED replies, before
+// later ones, and never after (or instead of) EXEC's summary.
+func TestMultiQueuedErrorReplyOrdering(t *testing.T) {
+	st := newTestStore(t)
+	defer st.Close()
+	srv, addr, done := startServer(t, st)
+
+	cl := dial(t, addr)
+	cmds := []string{
+		"MULTI",
+		"SET ord1 a",
+		"BOGUS nope",
+		"SET", // malformed: missing key and value
+		"SET ord2 b",
+		"EXEC",
+		"GET ord1",
+		"GET ord2",
+	}
+	want := []string{
+		"OK",
+		"QUEUED 1",
+		`ERR unknown command "BOGUS"`,
+		"ERR SET needs a key and a value",
+		"QUEUED 2",
+		"OK 2",
+		"VALUE a",
+		"VALUE b",
+	}
+	if _, err := cl.c.Write([]byte(strings.Join(cmds, "\n") + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	got := readLines(t, cl.r, len(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reply %d to %q: got %q, want %q (all: %q)", i, cmds[i], got[i], want[i], got)
+		}
+	}
+
+	cl.c.Close()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// TestExpireTTLIncrSemantics drives the EXPIRE/TTL/INCR surface across an
+// injected clock: lazy expiry on read, sweep on write, counters restarting
+// after expiry, and the protocol-level failure replies.
+func TestExpireTTLIncrSemantics(t *testing.T) {
+	st := newTestStore(t)
+	defer st.Close()
+	var nowNs atomic.Int64
+	nowNs.Store(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+	advance := func(d time.Duration) { nowNs.Add(int64(d)) }
+	srv, addr, done := startServerOpts(t, st, Options{
+		Now: func() time.Time { return time.Unix(0, nowNs.Load()) },
+	})
+
+	cl := dial(t, addr)
+
+	// Deadline set, visible via TTL, enforced lazily on read.
+	cl.must(t, "SET k v", "OK")
+	cl.must(t, "TTL k", "TTL -1")
+	cl.must(t, "EXPIRE k 5", "OK")
+	cl.must(t, "TTL k", "TTL 5")
+	cl.must(t, "GET k", "VALUE v")
+	advance(6 * time.Second)
+	cl.must(t, "GET k", "NOTFOUND")
+	cl.must(t, "TTL k", "NOTFOUND")
+	cl.must(t, "EXPIRE k 5", "NOTFOUND")
+
+	// A write to the key sweeps the stale deadline.
+	cl.must(t, "SET k v2", "OK")
+	cl.must(t, "TTL k", "TTL -1")
+	cl.must(t, "GET k", "VALUE v2")
+
+	// EXPIRE <= 0 enforces immediately; EXPIRE on a missing key reports it.
+	cl.must(t, "SET gone x", "OK")
+	cl.must(t, "EXPIRE gone 0", "OK")
+	cl.must(t, "GET gone", "NOTFOUND")
+	cl.must(t, "EXPIRE never-was 5", "NOTFOUND")
+
+	// Counters: INCR over an expired value restarts from zero.
+	cl.must(t, "SET c 41", "OK")
+	cl.must(t, "INCR c", "INT 42")
+	cl.must(t, "EXPIRE c 1", "OK")
+	advance(2 * time.Second)
+	cl.must(t, "INCR c", "INT 1")
+	cl.must(t, "TTL c", "TTL -1")
+
+	// Protocol-level failures are replies, not aborts: the connection (and
+	// any batch-mates) keep working.
+	cl.must(t, "SET s not-a-number", "OK")
+	cl.must(t, "INCR s", "ERR value is not an integer")
+	cl.must(t, "SET o 9223372036854775807", "OK")
+	cl.must(t, "INCR o", "ERR increment overflows a 64-bit integer")
+	cl.must(t, "DECR o", "INT 9223372036854775806")
+	cl.must(t, "GET s", "VALUE not-a-number")
+
+	// Keys must not contain NUL: it is the expiry sidecar's marker byte.
+	cl.must(t, "SET bad\x00key v", "ERR key must not contain NUL")
+	cl.must(t, "GET bad\x00key", "ERR key must not contain NUL")
+	cl.must(t, "INCR bad\x00key", "ERR key must not contain NUL")
+
+	cl.c.Close()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// docCommandRow matches one row of docs/PROTOCOL.md's command-reference
+// table: a leading cell holding exactly one backticked upper-case verb.
+var docCommandRow = regexp.MustCompile("^\\| `([A-Z]+)` \\|")
+
+// TestProtocolDocCoversEveryCommand diffs the command table of
+// docs/PROTOCOL.md against the server's dispatch set (Commands), both ways:
+// a verb the server dispatches but the doc omits fails, and so does a verb
+// the doc promises but the server no longer serves. This is what keeps the
+// wire reference from silently falling behind the dispatch switch.
+func TestProtocolDocCoversEveryCommand(t *testing.T) {
+	data, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("reading protocol reference: %v", err)
+	}
+	// Scan only the "## Command reference" section: later tables (the error
+	// taxonomy) reuse the cell format for reply tokens, not commands.
+	documented := map[string]bool{}
+	inSection := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.HasPrefix(line, "## Command reference")
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := docCommandRow.FindStringSubmatch(line); m != nil {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no command rows found in docs/PROTOCOL.md; did the table format change?")
+	}
+
+	served := Commands()
+	for _, verb := range served {
+		if !documented[verb] {
+			t.Errorf("command %s is dispatched by the server but missing from docs/PROTOCOL.md's command table", verb)
+		}
+	}
+	var extra []string
+	servedSet := map[string]bool{}
+	for _, verb := range served {
+		servedSet[verb] = true
+	}
+	for verb := range documented {
+		if !servedSet[verb] {
+			extra = append(extra, verb)
+		}
+	}
+	sort.Strings(extra)
+	for _, verb := range extra {
+		t.Errorf("docs/PROTOCOL.md documents %s, which the server does not dispatch", verb)
+	}
+}
+
+// TestCommandsMatchesDispatch drives every verb Commands claims through a
+// live server, asserting none answers "ERR unknown command" — so the list
+// the doc test trusts is itself honest about the dispatch switch.
+func TestCommandsMatchesDispatch(t *testing.T) {
+	st := newTestStore(t)
+	defer st.Close()
+	srv, addr, done := startServer(t, st)
+	defer func() {
+		srv.Shutdown(context.Background())
+		<-done
+	}()
+
+	for _, verb := range Commands() {
+		if verb == "QUIT" {
+			continue // closes the connection; dispatch is pinned by other tests
+		}
+		cl := dial(t, addr)
+		reply, err := cl.do(verb)
+		cl.c.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", verb, err)
+		}
+		if strings.HasPrefix(reply, "ERR unknown command") {
+			t.Errorf("Commands() lists %s but the server does not dispatch it: %q", verb, reply)
+		}
+	}
+}

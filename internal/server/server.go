@@ -1,33 +1,51 @@
 // Package server is the network front-end of the sharded store: a
-// line-oriented TCP protocol (romulusd speaks it) over shard.Store, with one
-// goroutine per connection and a graceful drain that lets in-flight commands
-// finish — every acknowledged write is durable before its OK leaves the
-// socket, so a drain (or crash) after the ack can never lose it.
+// line-oriented, pipelined TCP protocol (romulusd speaks it) over
+// shard.Store, with group-committed writes — every acknowledged write is
+// durable before its reply leaves the socket, and writes from all
+// connections share durability rounds via the per-shard Committer (see
+// group.go), so N concurrent writers pay far fewer than N psyncs.
 //
-// # Protocol
+// The complete wire contract — request grammar, every command's reply
+// forms, the error taxonomy, pipelining semantics, and the per-command
+// durability guarantee — is docs/PROTOCOL.md. Summary:
 //
-// Requests are single lines (LF or CRLF). Keys are whitespace-free tokens;
-// values are the remainder of the line and may contain spaces but not
-// newlines. Replies are single lines.
+//	PING                  -> PONG
+//	GET <key>             -> VALUE <value> | NOTFOUND
+//	SET <key> <value>     -> OK             (durable before the reply)
+//	DEL <key>             -> OK             (durable before the reply)
+//	INCR <key> [delta]    -> INT <n>        (durable counter, default delta 1)
+//	DECR <key> [delta]    -> INT <n>        (durable counter, default delta 1)
+//	EXPIRE <key> <secs>   -> OK | NOTFOUND  (durable expiry deadline)
+//	TTL <key>             -> TTL <secs> | TTL -1 | NOTFOUND
+//	MULTI                 -> OK             (opens a queued batch)
+//	  SET/DEL ...         -> QUEUED <n>     (inside MULTI)
+//	  EXEC                -> OK <n>         (atomic durable commit, cross-shard safe)
+//	  DISCARD             -> OK
+//	STATS                 -> STATS <json>   (shard.Stats snapshot)
+//	SCRUB <shard>         -> OK             (re-formats and readmits a quarantined shard)
+//	QUIT                  -> BYE            (server closes the connection)
+//	anything else         -> ERR <message>
 //
-//	PING                 -> PONG
-//	GET <key>            -> VALUE <value> | NOTFOUND
-//	SET <key> <value>    -> OK            (durable before the reply)
-//	DEL <key>            -> OK            (durable before the reply)
-//	MULTI                -> OK            (opens a queued batch)
-//	  SET/DEL ...        -> QUEUED <n>    (inside MULTI)
-//	  EXEC               -> OK <n>        (atomic durable commit, cross-shard safe)
-//	  DISCARD            -> OK
-//	STATS                -> STATS <json>  (shard.Stats snapshot)
-//	SCRUB <shard>        -> OK            (re-formats and readmits a quarantined shard)
-//	QUIT                 -> BYE           (server closes the connection)
-//	anything else        -> ERR <message>
+// # Pipelining
 //
-// A MULTI batch commits with kvstore's last-op-wins semantics per key; when
-// its keys span shards it runs the coordinator's two-phase protocol and is
-// all-or-nothing across crashes. A MULTI queue is bounded by
-// Options.MaxBatchOps; exceeding it answers "ERR batch too large" and drops
-// the queued batch.
+// Each connection has a reader goroutine and a writer goroutine. The reader
+// parses and dispatches as many complete request lines as the client has
+// sent without waiting for replies; the writer emits replies strictly in
+// request order, coalescing bufio flushes (it flushes when its queue goes
+// empty or before blocking on an unfinished write, not per reply). A client
+// may therefore stream a burst of commands and then read the burst of
+// replies. Replies never interleave or reorder; reads observe the
+// connection's own earlier writes (the reader waits for this connection's
+// outstanding writes before serving GET/TTL/STATS-free reads).
+//
+// # Group commit
+//
+// SET/DEL/INCR/DECR/EXPIRE and single-shard EXEC are executed by the
+// shard's Committer loop: operations from all connections merge into one
+// durable transaction per batch, and each reply is released only after the
+// psync of the batch containing its write. Cross-shard EXEC runs the
+// coordinator's two-phase protocol synchronously (still durable before the
+// reply).
 //
 // # Degraded mode
 //
@@ -56,6 +74,7 @@ import (
 
 	"repro/internal/kvstore"
 	"repro/internal/obs"
+	"repro/internal/ptm"
 	"repro/internal/shard"
 )
 
@@ -64,6 +83,11 @@ const MaxLine = 1 << 20
 
 // DefaultMaxBatchOps bounds a MULTI queue when Options.MaxBatchOps is 0.
 const DefaultMaxBatchOps = 4096
+
+// pipelineDepth bounds the replies a connection may have in flight; a reader
+// that gets this far ahead of the writer blocks until replies drain, which
+// also bounds per-connection memory.
+const pipelineDepth = 256
 
 // Options configure a Server.
 type Options struct {
@@ -79,35 +103,53 @@ type Options struct {
 	// bound answers "ERR batch too large" and discards the batch, so an
 	// unbounded MULTI stream cannot grow server memory without limit.
 	MaxBatchOps int
+	// GroupMaxBatch bounds one group-commit batch transaction (0 =
+	// DefaultGroupMaxBatch).
+	GroupMaxBatch int
+	// GroupLinger is how long a group-commit batch may wait for more
+	// operations after its first arrives (0 = commit immediately with
+	// whatever is queued — no added latency, batches still form under load).
+	GroupLinger time.Duration
+	// Now substitutes the clock used for EXPIRE/TTL deadlines (nil =
+	// time.Now). Tests inject it to cross expiry boundaries deterministically.
+	Now func() time.Time
 }
 
 // Server serves the protocol over a shard.Store.
 type Server struct {
 	st          *shard.Store
+	committer   *Committer
 	idleTimeout time.Duration
 	maxBatchOps int
+	now         func() time.Time
 
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	draining bool
 
-	wg    sync.WaitGroup
-	drain atomic.Bool
+	wg      sync.WaitGroup
+	drain   atomic.Bool
+	connSeq atomic.Uint64
 
 	connsTotal  *obs.Counter
 	connsActive *obs.Gauge
 	cmdGet      *obs.Counter
 	cmdSet      *obs.Counter
 	cmdDel      *obs.Counter
+	cmdIncr     *obs.Counter
+	cmdExpire   *obs.Counter
+	cmdTTL      *obs.Counter
 	cmdExec     *obs.Counter
 	cmdErr      *obs.Counter
 	cmdUnavail  *obs.Counter
 	cmdScrub    *obs.Counter
 	idleClosed  *obs.Counter
+	flushes     *obs.Counter
 }
 
-// New wraps st in a protocol server.
+// New wraps st in a protocol server and starts its group-commit loops
+// (stopped by Shutdown).
 func New(st *shard.Store, opts Options) *Server {
 	reg := opts.Registry
 	if reg == nil {
@@ -120,21 +162,50 @@ func New(st *shard.Store, opts Options) *Server {
 	case maxOps < 0:
 		maxOps = 0 // unlimited
 	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
 	return &Server{
-		st:          st,
+		st: st,
+		committer: NewCommitter(st, GroupOptions{
+			MaxBatch: opts.GroupMaxBatch,
+			Linger:   opts.GroupLinger,
+			Registry: reg,
+		}),
 		idleTimeout: opts.IdleTimeout,
 		maxBatchOps: maxOps,
+		now:         now,
 		conns:       make(map[net.Conn]struct{}),
 		connsTotal:  reg.Counter("net_conn_total"),
 		connsActive: reg.Gauge("net_conn_active"),
 		cmdGet:      reg.Counter("net_cmd_get_total"),
 		cmdSet:      reg.Counter("net_cmd_set_total"),
 		cmdDel:      reg.Counter("net_cmd_del_total"),
+		cmdIncr:     reg.Counter("net_cmd_incr_total"),
+		cmdExpire:   reg.Counter("net_cmd_expire_total"),
+		cmdTTL:      reg.Counter("net_cmd_ttl_total"),
 		cmdExec:     reg.Counter("net_cmd_exec_total"),
 		cmdErr:      reg.Counter("net_cmd_err_total"),
 		cmdUnavail:  reg.Counter("net_cmd_unavail_total"),
 		cmdScrub:    reg.Counter("net_cmd_scrub_total"),
 		idleClosed:  reg.Counter("net_conn_idle_closed_total"),
+		flushes:     reg.Counter("net_reply_flush_total"),
+	}
+}
+
+// Committer exposes the server's group-commit scheduler (benchmarks and
+// crash harnesses submit through it directly).
+func (s *Server) GroupCommitter() *Committer { return s.committer }
+
+// Commands returns every verb the server dispatches, sorted. The
+// documentation conformance test diffs this set against docs/PROTOCOL.md's
+// command table, so the wire reference cannot silently fall behind the
+// dispatch switch.
+func Commands() []string {
+	return []string{
+		"DECR", "DEL", "DISCARD", "EXEC", "EXPIRE", "GET", "INCR",
+		"MULTI", "PING", "QUIT", "SCRUB", "SET", "STATS", "TTL",
 	}
 }
 
@@ -172,8 +243,11 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Shutdown drains gracefully: the listener closes, blocked readers wake, and
-// every connection finishes its current command (its reply flushed) before
-// closing. Connections still alive when ctx expires are closed forcibly.
+// every connection finishes the commands it has already parsed (their
+// replies flushed, writes durable) before closing. Connections still alive
+// when ctx expires are closed forcibly. Either way the group-commit loops
+// stop only after every connection is done, so no submitted write is
+// stranded.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.drain.Store(true)
 	s.mu.Lock()
@@ -195,6 +269,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.committer.Close()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -203,10 +278,58 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.committer.Close()
 		return ctx.Err()
 	}
 }
 
+// token is one in-order reply slot: either an immediate reply text or a
+// group-committed operation's future.
+type token struct {
+	text string
+	p    *Pending
+}
+
+func imm(text string) token { return token{text: text} }
+
+// connState is the reader goroutine's per-connection state.
+type connState struct {
+	id    uint64
+	multi *kvstore.Batch
+	// outstanding holds this connection's not-yet-committed writes; reads
+	// barrier on them so a connection always observes its own writes.
+	outstanding []*Pending
+}
+
+// track records a submitted write for the read barrier, pruning completed
+// entries once the list grows (a deep pipeline of writes on one connection).
+func (st *connState) track(p *Pending) {
+	if len(st.outstanding) >= 32 {
+		live := st.outstanding[:0]
+		for _, q := range st.outstanding {
+			select {
+			case <-q.done:
+			default:
+				live = append(live, q)
+			}
+		}
+		st.outstanding = live
+	}
+	st.outstanding = append(st.outstanding, p)
+}
+
+// barrier waits until every tracked write of this connection is durable —
+// the read-your-writes fence for GET/TTL and for cross-shard EXEC (which
+// bypasses the per-shard queues).
+func (st *connState) barrier() {
+	for _, p := range st.outstanding {
+		<-p.done
+	}
+	st.outstanding = st.outstanding[:0]
+}
+
+// handle runs a connection's reader loop; replies flow through the writer
+// goroutine so the reader can keep parsing ahead (pipelining).
 func (s *Server) handle(c net.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -216,14 +339,16 @@ func (s *Server) handle(c net.Conn) {
 		s.connsActive.Add(-1)
 		s.wg.Done()
 	}()
+	tokens := make(chan token, pipelineDepth)
+	wdone := make(chan struct{})
+	go s.writeReplies(c, tokens, wdone)
+
 	sc := bufio.NewScanner(c)
 	sc.Buffer(make([]byte, 4096), MaxLine)
-	w := bufio.NewWriter(c)
-
-	var multi *kvstore.Batch
+	st := &connState{id: s.connSeq.Add(1)}
 	for {
 		if s.drain.Load() {
-			return
+			break
 		}
 		if s.idleTimeout > 0 {
 			// Re-arm before every read; a drain overrides with an immediate
@@ -232,29 +357,81 @@ func (s *Server) handle(c net.Conn) {
 		}
 		if !sc.Scan() {
 			// EOF, an idle or drain-induced deadline, or a peer error:
-			// nothing more to reply to either way.
+			// nothing more to parse either way.
 			var ne net.Error
 			if !s.drain.Load() && errors.As(sc.Err(), &ne) && ne.Timeout() {
 				s.idleClosed.Inc()
 			}
-			return
+			break
 		}
 		line := strings.TrimRight(sc.Text(), "\r")
 		if line == "" {
 			continue
 		}
-		reply, quit := s.dispatch(line, &multi)
-		w.WriteString(reply)
-		w.WriteByte('\n')
-		if err := w.Flush(); err != nil || quit {
-			return
+		tok, quit := s.dispatch(line, st)
+		tokens <- tok
+		if quit {
+			break
 		}
 	}
+	// No more tokens; let the writer drain and flush what was parsed, then
+	// close the socket (the deferred Close runs after wdone).
+	close(tokens)
+	<-wdone
 }
 
-// dispatch executes one command line, returning the reply line and whether
-// the connection should close.
-func (s *Server) dispatch(line string, multi **kvstore.Batch) (string, bool) {
+// writeReplies is a connection's writer goroutine: it resolves reply tokens
+// strictly in request order and coalesces flushes — one flush per drained
+// burst (when its queue goes empty) and one before blocking on a write that
+// has not committed yet, never one per reply.
+func (s *Server) writeReplies(c net.Conn, tokens <-chan token, wdone chan<- struct{}) {
+	defer close(wdone)
+	w := bufio.NewWriter(c)
+	dead := false  // the socket failed; keep draining tokens without writing
+	dirty := false // unflushed replies are buffered
+	flush := func() {
+		if dirty && !dead {
+			s.flushes.Inc()
+			if w.Flush() != nil {
+				dead = true
+				c.Close() // wake the reader; the connection is useless now
+			}
+		}
+		dirty = false
+	}
+	for tok := range tokens {
+		text := tok.text
+		if tok.p != nil {
+			select {
+			case <-tok.p.done:
+			default:
+				// About to block on a durability round: don't sit on replies
+				// the client could already be reading.
+				flush()
+				<-tok.p.done
+			}
+			text = tok.p.text
+		}
+		if !dead {
+			w.WriteString(text)
+			if err := w.WriteByte('\n'); err != nil {
+				dead = true
+				c.Close()
+			}
+			dirty = true
+		}
+		if len(tokens) == 0 {
+			flush()
+		}
+	}
+	flush()
+}
+
+// dispatch executes one command line, returning its reply token and whether
+// the connection should close. Immediate commands (reads, protocol errors,
+// MULTI queueing) resolve here; writes return futures resolved by the
+// group-commit loops.
+func (s *Server) dispatch(line string, st *connState) (token, bool) {
 	verb := line
 	rest := ""
 	if i := strings.IndexByte(line, ' '); i >= 0 {
@@ -262,102 +439,421 @@ func (s *Server) dispatch(line string, multi **kvstore.Batch) (string, bool) {
 	}
 	switch strings.ToUpper(verb) {
 	case "PING":
-		return "PONG", false
+		return imm("PONG"), false
 	case "GET":
-		key := strings.TrimSpace(rest)
-		if key == "" || strings.ContainsAny(key, " \t") {
-			return s.errf("GET needs exactly one key"), false
+		key, errRep, ok := s.oneKey("GET", rest)
+		if !ok {
+			return imm(errRep), false
 		}
 		s.cmdGet.Inc()
-		v, err := s.st.Get([]byte(key))
-		if err == shard.ErrNotFound {
-			return "NOTFOUND", false
-		}
-		if err != nil {
-			return s.opReply("get", err), false
-		}
-		return "VALUE " + string(v), false
+		st.barrier()
+		return imm(s.readKey(key)), false
 	case "SET":
 		key, val, ok := splitKeyValue(rest)
 		if !ok {
-			return s.errf("SET needs a key and a value"), false
+			return imm(s.errf("SET needs a key and a value")), false
+		}
+		if errRep, ok := s.checkKey(key); !ok {
+			return imm(errRep), false
 		}
 		s.cmdSet.Inc()
-		if *multi != nil {
-			if s.batchFull(*multi) {
-				*multi = nil
-				return s.errf("batch too large"), false
-			}
-			(*multi).Put([]byte(key), []byte(val))
-			return fmt.Sprintf("QUEUED %d", (*multi).Len()), false
+		if st.multi != nil {
+			return s.queueMulti(st, false, key, val)
 		}
-		if err := s.st.Put([]byte(key), []byte(val)); err != nil {
-			return s.opReply("set", err), false
-		}
-		return "OK", false
+		kb := []byte(key)
+		p := s.submitWrite(st, kb, "set", setOp(kb, []byte(val)))
+		return token{p: p}, false
 	case "DEL":
-		key := strings.TrimSpace(rest)
-		if key == "" || strings.ContainsAny(key, " \t") {
-			return s.errf("DEL needs exactly one key"), false
+		key, errRep, ok := s.oneKey("DEL", rest)
+		if !ok {
+			return imm(errRep), false
 		}
 		s.cmdDel.Inc()
-		if *multi != nil {
-			if s.batchFull(*multi) {
-				*multi = nil
-				return s.errf("batch too large"), false
+		if st.multi != nil {
+			return s.queueMulti(st, true, key, "")
+		}
+		kb := []byte(key)
+		p := s.submitWrite(st, kb, "del", delOp(kb))
+		return token{p: p}, false
+	case "INCR", "DECR":
+		op := strings.ToLower(verb)
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return imm(s.errf("%s needs a key and an optional integer delta", strings.ToUpper(verb))), false
+		}
+		key := fields[0]
+		if errRep, ok := s.checkKey(key); !ok {
+			return imm(errRep), false
+		}
+		delta := int64(1)
+		if len(fields) == 2 {
+			n, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return imm(s.errf("%s delta is not an integer", strings.ToUpper(verb))), false
 			}
-			(*multi).Delete([]byte(key))
-			return fmt.Sprintf("QUEUED %d", (*multi).Len()), false
+			delta = n
 		}
-		if err := s.st.Delete([]byte(key)); err != nil {
-			return s.opReply("del", err), false
+		if op == "decr" {
+			delta = -delta
 		}
-		return "OK", false
+		if st.multi != nil {
+			return imm(s.errf("%s cannot be queued in MULTI", strings.ToUpper(verb))), false
+		}
+		s.cmdIncr.Inc()
+		kb := []byte(key)
+		p := s.submitWrite(st, kb, op, s.incrOp(kb, delta))
+		return token{p: p}, false
+	case "EXPIRE":
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return imm(s.errf("EXPIRE needs a key and a seconds count")), false
+		}
+		key := fields[0]
+		if errRep, ok := s.checkKey(key); !ok {
+			return imm(errRep), false
+		}
+		secs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return imm(s.errf("EXPIRE seconds is not an integer")), false
+		}
+		if st.multi != nil {
+			return imm(s.errf("EXPIRE cannot be queued in MULTI")), false
+		}
+		s.cmdExpire.Inc()
+		kb := []byte(key)
+		p := s.submitWrite(st, kb, "expire", s.expireOp(kb, secs))
+		return token{p: p}, false
+	case "TTL":
+		key, errRep, ok := s.oneKey("TTL", rest)
+		if !ok {
+			return imm(errRep), false
+		}
+		s.cmdTTL.Inc()
+		st.barrier()
+		return imm(s.ttlReply(key)), false
 	case "MULTI":
-		if *multi != nil {
-			return s.errf("MULTI already open"), false
+		if st.multi != nil {
+			return imm(s.errf("MULTI already open")), false
 		}
-		*multi = &kvstore.Batch{}
-		return "OK", false
+		st.multi = &kvstore.Batch{}
+		return imm("OK"), false
 	case "EXEC":
-		if *multi == nil {
-			return s.errf("EXEC without MULTI"), false
+		if st.multi == nil {
+			return imm(s.errf("EXEC without MULTI")), false
 		}
-		b := *multi
-		*multi = nil
+		b := st.multi
+		st.multi = nil
 		s.cmdExec.Inc()
-		if err := s.st.Write(b); err != nil {
-			return s.opReply("exec", err), false
-		}
-		return fmt.Sprintf("OK %d", b.Len()), false
+		return s.execMulti(st, b), false
 	case "DISCARD":
-		if *multi == nil {
-			return s.errf("DISCARD without MULTI"), false
+		if st.multi == nil {
+			return imm(s.errf("DISCARD without MULTI")), false
 		}
-		*multi = nil
-		return "OK", false
+		st.multi = nil
+		return imm("OK"), false
 	case "STATS":
 		js, err := json.Marshal(s.st.Stats())
 		if err != nil {
-			return s.errf("stats: %v", err), false
+			return imm(s.errf("stats: %v", err)), false
 		}
-		return "STATS " + string(js), false
+		return imm("STATS " + string(js)), false
 	case "SCRUB":
 		arg := strings.TrimSpace(rest)
 		n, err := strconv.Atoi(arg)
 		if arg == "" || err != nil {
-			return s.errf("SCRUB needs a shard index"), false
+			return imm(s.errf("SCRUB needs a shard index")), false
 		}
 		s.cmdScrub.Inc()
 		if err := s.st.Scrub(n); err != nil {
-			return s.errf("scrub: %v", err), false
+			return imm(s.errf("scrub: %v", err)), false
 		}
-		return "OK", false
+		return imm("OK"), false
 	case "QUIT":
-		return "BYE", true
+		return imm("BYE"), true
 	default:
-		return s.errf("unknown command %q", verb), false
+		return imm(s.errf("unknown command %q", verb)), false
 	}
+}
+
+// submitWrite routes one write to its shard's group-commit loop and tracks
+// the future for the connection's read barrier.
+func (s *Server) submitWrite(st *connState, key []byte, op string, fn OpFunc) *Pending {
+	p := s.committer.Submit(s.st.ShardFor(key), st.id, op, nil, fn)
+	st.track(p)
+	return p
+}
+
+// queueMulti appends one SET/DEL to the open MULTI batch, enforcing the
+// queue bound.
+func (s *Server) queueMulti(st *connState, del bool, key, val string) (token, bool) {
+	if s.maxBatchOps > 0 && st.multi.Len() >= s.maxBatchOps {
+		st.multi = nil
+		return imm(s.errf("batch too large")), false
+	}
+	if del {
+		st.multi.Delete([]byte(key))
+	} else {
+		st.multi.Put([]byte(key), []byte(val))
+	}
+	return imm(fmt.Sprintf("QUEUED %d", st.multi.Len())), false
+}
+
+// execMulti commits a MULTI batch: single-shard batches ride the shard's
+// group-commit loop (sharing a durability round with other connections);
+// cross-shard batches run the coordinator's two-phase protocol
+// synchronously, after a barrier so they order after this connection's
+// queued writes.
+func (s *Server) execMulti(st *connState, b *kvstore.Batch) token {
+	n := b.Len()
+	if n == 0 {
+		return imm("OK 0")
+	}
+	// Expand with expiry-sidecar sweeps (a SET/DEL clears any deadline on
+	// the key, exactly like the non-MULTI commands) and collect the shards
+	// touched. Sidecars route with their base key, so they never widen the
+	// shard set.
+	ex := &kvstore.Batch{}
+	only := -1
+	single := true
+	b.Each(func(del bool, key, val []byte) {
+		if del {
+			ex.Delete(key)
+		} else {
+			ex.Put(key, val)
+		}
+		ex.Delete(expiryKey(key))
+		if sh := s.st.ShardFor(key); only == -1 {
+			only = sh
+		} else if sh != only {
+			single = false
+		}
+	})
+	if single {
+		reply := fmt.Sprintf("OK %d", n)
+		p := s.committer.Submit(only, st.id, "exec", nil, func(tx ptm.Tx, db *kvstore.DB) (string, error) {
+			if err := db.Apply(tx, ex); err != nil {
+				return "", err
+			}
+			return reply, nil
+		})
+		st.track(p)
+		return token{p: p}
+	}
+	st.barrier()
+	if err := s.st.Write(ex); err != nil {
+		return imm(s.opReply("exec", err))
+	}
+	return imm(fmt.Sprintf("OK %d", n))
+}
+
+// expiryKey is the shard-colocated sidecar key holding a key's expiry
+// deadline (absolute UnixNano, decimal).
+func expiryKey(key []byte) []byte { return shard.SidecarKey("exp", key) }
+
+// expiredAt reports whether key's expiry sidecar says it is dead at now.
+// Absent or malformed sidecars mean "live".
+func expiredAt(tx ptm.Tx, db *kvstore.DB, key []byte, now time.Time) bool {
+	e, err := db.GetTx(tx, expiryKey(key))
+	if err != nil {
+		return false
+	}
+	ns, perr := strconv.ParseInt(string(e), 10, 64)
+	if perr != nil {
+		return false
+	}
+	return now.UnixNano() >= ns
+}
+
+// setOp is SET's group-committed body: store the pair and clear any expiry.
+func setOp(key, val []byte) OpFunc {
+	return func(tx ptm.Tx, db *kvstore.DB) (string, error) {
+		if err := db.PutTx(tx, key, val); err != nil {
+			return "", err
+		}
+		if err := db.DeleteTx(tx, expiryKey(key)); err != nil {
+			return "", err
+		}
+		return "OK", nil
+	}
+}
+
+// delOp is DEL's group-committed body: remove the pair and its expiry.
+func delOp(key []byte) OpFunc {
+	return func(tx ptm.Tx, db *kvstore.DB) (string, error) {
+		if err := db.DeleteTx(tx, key); err != nil {
+			return "", err
+		}
+		if err := db.DeleteTx(tx, expiryKey(key)); err != nil {
+			return "", err
+		}
+		return "OK", nil
+	}
+}
+
+// incrOp is INCR/DECR's group-committed body: read-modify-write the decimal
+// counter in the batch transaction. An expired value counts as absent
+// (counter restarts at 0+delta); non-integer values and overflow are
+// protocol-level failures — replies, not batch aborts.
+func (s *Server) incrOp(key []byte, delta int64) OpFunc {
+	return func(tx ptm.Tx, db *kvstore.DB) (string, error) {
+		var cur int64
+		v, err := db.GetTx(tx, key)
+		switch {
+		case errors.Is(err, kvstore.ErrNotFound):
+		case err != nil:
+			return "", err
+		default:
+			if !expiredAt(tx, db, key, s.now()) {
+				n, perr := strconv.ParseInt(string(v), 10, 64)
+				if perr != nil {
+					return "ERR value is not an integer", nil
+				}
+				cur = n
+			}
+		}
+		n := cur + delta
+		if (delta > 0 && n < cur) || (delta < 0 && n > cur) {
+			return "ERR increment overflows a 64-bit integer", nil
+		}
+		if err := db.PutTx(tx, key, strconv.AppendInt(nil, n, 10)); err != nil {
+			return "", err
+		}
+		if err := db.DeleteTx(tx, expiryKey(key)); err != nil {
+			return "", err
+		}
+		return "INT " + strconv.FormatInt(n, 10), nil
+	}
+}
+
+// expireOp is EXPIRE's group-committed body: set (or, for secs <= 0,
+// immediately enforce) a key's expiry deadline. Missing and already-expired
+// keys answer NOTFOUND; an expired key is swept while we are here.
+func (s *Server) expireOp(key []byte, secs int64) OpFunc {
+	return func(tx ptm.Tx, db *kvstore.DB) (string, error) {
+		now := s.now()
+		_, err := db.GetTx(tx, key)
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return "NOTFOUND", nil
+		}
+		if err != nil {
+			return "", err
+		}
+		if expiredAt(tx, db, key, now) {
+			if err := db.DeleteTx(tx, key); err != nil {
+				return "", err
+			}
+			if err := db.DeleteTx(tx, expiryKey(key)); err != nil {
+				return "", err
+			}
+			return "NOTFOUND", nil
+		}
+		if secs <= 0 {
+			if err := db.DeleteTx(tx, key); err != nil {
+				return "", err
+			}
+			if err := db.DeleteTx(tx, expiryKey(key)); err != nil {
+				return "", err
+			}
+			return "OK", nil
+		}
+		deadline := now.Add(time.Duration(secs) * time.Second).UnixNano()
+		if err := db.PutTx(tx, expiryKey(key), strconv.AppendInt(nil, deadline, 10)); err != nil {
+			return "", err
+		}
+		return "OK", nil
+	}
+}
+
+// readKey serves GET: one read transaction on the key's shard, honoring lazy
+// expiry (an expired pair reads as NOTFOUND; it is swept by the next write
+// to the key, keeping reads wait-free).
+func (s *Server) readKey(key string) string {
+	kb := []byte(key)
+	var reply string
+	err := s.st.View(s.st.ShardFor(kb), func(tx ptm.Tx, db *kvstore.DB) error {
+		v, err := db.GetTx(tx, kb)
+		if errors.Is(err, kvstore.ErrNotFound) {
+			reply = "NOTFOUND"
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if expiredAt(tx, db, kb, s.now()) {
+			reply = "NOTFOUND"
+			return nil
+		}
+		reply = "VALUE " + string(v)
+		return nil
+	})
+	if err != nil {
+		return s.opReply("get", err)
+	}
+	return reply
+}
+
+// ttlReply serves TTL: remaining whole seconds (rounded up), TTL -1 for keys
+// without a deadline, NOTFOUND for absent or expired keys.
+func (s *Server) ttlReply(key string) string {
+	kb := []byte(key)
+	now := s.now()
+	var reply string
+	err := s.st.View(s.st.ShardFor(kb), func(tx ptm.Tx, db *kvstore.DB) error {
+		_, err := db.GetTx(tx, kb)
+		if errors.Is(err, kvstore.ErrNotFound) {
+			reply = "NOTFOUND"
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		e, err := db.GetTx(tx, expiryKey(kb))
+		if errors.Is(err, kvstore.ErrNotFound) {
+			reply = "TTL -1"
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		ns, perr := strconv.ParseInt(string(e), 10, 64)
+		if perr != nil {
+			reply = "TTL -1"
+			return nil
+		}
+		rem := ns - now.UnixNano()
+		if rem <= 0 {
+			reply = "NOTFOUND"
+			return nil
+		}
+		secs := (rem + int64(time.Second) - 1) / int64(time.Second)
+		reply = "TTL " + strconv.FormatInt(secs, 10)
+		return nil
+	})
+	if err != nil {
+		return s.opReply("ttl", err)
+	}
+	return reply
+}
+
+// oneKey parses and validates a single-key argument.
+func (s *Server) oneKey(verb, rest string) (key, errReply string, ok bool) {
+	key = strings.TrimSpace(rest)
+	if key == "" || strings.ContainsAny(key, " \t") {
+		return "", s.errf("%s needs exactly one key", verb), false
+	}
+	if errRep, ok := s.checkKey(key); !ok {
+		return "", errRep, false
+	}
+	return key, "", true
+}
+
+// checkKey rejects keys the store cannot route faithfully: NUL is the
+// sidecar marker (see shard.SidecarKey), so client keys must not contain it.
+func (s *Server) checkKey(key string) (errReply string, ok bool) {
+	if strings.IndexByte(key, 0) >= 0 {
+		return s.errf("key must not contain NUL"), false
+	}
+	return "", true
 }
 
 // splitKeyValue parses "key value..." where value is the rest of the line
@@ -380,11 +876,6 @@ func splitKeyValue(rest string) (key, val string, ok bool) {
 func (s *Server) errf(format string, args ...any) string {
 	s.cmdErr.Inc()
 	return "ERR " + fmt.Sprintf(format, args...)
-}
-
-// batchFull reports whether adding one more op to b would exceed the bound.
-func (s *Server) batchFull(b *kvstore.Batch) bool {
-	return s.maxBatchOps > 0 && b.Len() >= s.maxBatchOps
 }
 
 // opReply renders a store error: a quarantined shard's *UnavailError becomes

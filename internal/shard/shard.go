@@ -430,11 +430,52 @@ func (s *Store) wireMetrics() {
 // NumShards returns the partition count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
-// ShardFor returns the index of the shard key routes to (FNV-1a of the key,
-// modulo the shard count — stable across restarts for a fixed count).
+// sidecarMark opens a sidecar key: "\x00<class>\x00<base>". The leading NUL
+// cannot appear in protocol-level keys (the wire layer rejects it), so
+// sidecars never collide with user data.
+const sidecarMark = '\x00'
+
+// SidecarKey builds a key that stores metadata ABOUT base (a TTL cell, a
+// type tag, ...) and is guaranteed to live on base's shard: ShardFor routes
+// sidecar keys by their base key. class must not contain NUL.
+func SidecarKey(class string, base []byte) []byte {
+	out := make([]byte, 0, len(class)+len(base)+2)
+	out = append(out, sidecarMark)
+	out = append(out, class...)
+	out = append(out, sidecarMark)
+	return append(out, base...)
+}
+
+// RoutingKey returns the key hashing routes by: the base key for sidecar
+// keys (see SidecarKey), the key itself otherwise. A malformed sidecar (a
+// leading NUL with no closing NUL) routes by its full bytes.
+func RoutingKey(key []byte) []byte {
+	if len(key) > 0 && key[0] == sidecarMark {
+		if i := indexByteFrom(key, 1, sidecarMark); i >= 0 {
+			return key[i+1:]
+		}
+	}
+	return key
+}
+
+// indexByteFrom is bytes.IndexByte over key[from:], returning an absolute
+// index.
+func indexByteFrom(key []byte, from int, c byte) int {
+	for i := from; i < len(key); i++ {
+		if key[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// ShardFor returns the index of the shard key routes to (FNV-1a of the
+// routing key, modulo the shard count — stable across restarts for a fixed
+// count). Sidecar keys route with their base key, so a key and its metadata
+// always commit in the same shard's transactions.
 func (s *Store) ShardFor(key []byte) int {
 	h := fnv.New64a()
-	h.Write(key)
+	h.Write(RoutingKey(key))
 	return int(h.Sum64() % uint64(len(s.shards)))
 }
 
@@ -516,6 +557,29 @@ func (s *Store) Delete(key []byte) error {
 	s.routeDel.Inc()
 	return s.onShard(s.ShardFor(key), func(p *shardPart) error {
 		return p.db.Delete(key)
+	})
+}
+
+// Update runs fn as ONE durable transaction on shard i, handing it the
+// shard's transaction handle and RomulusDB map. This is the hand-off the
+// network layer's group commit uses: many connections' operations merge into
+// a single shard transaction, paying one flat-combined durability round for
+// the whole batch. When Update returns nil the transaction's psync has
+// completed — there is no separate completion notification to wait for.
+// Keys touched inside fn MUST route to shard i (tx/db belong to that shard
+// alone); use ShardFor, and SidecarKey for metadata keys. Quarantine and
+// transient-fault retry semantics match the single-key operations.
+func (s *Store) Update(i int, fn func(tx ptm.Tx, db *kvstore.DB) error) error {
+	return s.onShard(i, func(p *shardPart) error {
+		return p.eng.Update(func(tx ptm.Tx) error { return fn(tx, p.db) })
+	})
+}
+
+// View runs fn as one read-only transaction on shard i (a consistent
+// snapshot of that shard). The same key-routing rule as Update applies.
+func (s *Store) View(i int, fn func(tx ptm.Tx, db *kvstore.DB) error) error {
+	return s.onShard(i, func(p *shardPart) error {
+		return p.eng.Read(func(tx ptm.Tx) error { return fn(tx, p.db) })
 	})
 }
 
