@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-scale bench-server tools experiments crashtest crashtest-short crashtest-batch shardtest grouptest faulttest audit docs-check fuzz clean
+.PHONY: all build test race bench bench-scale bench-server tools experiments crashtest crashtest-short crashtest-batch shardtest grouptest faulttest audit obstest docs-check fuzz clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: crashtest-short shardtest grouptest faulttest audit docs-check
+test: crashtest-short shardtest grouptest faulttest audit obstest docs-check
 	go test ./...
 
 # Documentation hygiene: vet, formatting, and Markdown link integrity.
@@ -99,6 +99,13 @@ faulttest:
 # close fails the run. Part of `make test`.
 audit:
 	go run ./cmd/romulus-crashtest -audit -seed 1 -rounds 250 -chain 3 -engines all -threads 4
+
+# Observability surface under the race detector: the metrics registry and
+# span recorder (internal/obs), the HTTP ops endpoints (internal/obshttp),
+# the pmem flight recorder (internal/blackbox), and the server's span
+# pipeline (internal/server). Part of `make test`.
+obstest:
+	go test -race ./internal/obs/ ./internal/obshttp/ ./internal/blackbox/ ./internal/server/
 
 fuzz:
 	go test -fuzz FuzzAllocFree -fuzztime 60s ./internal/alloc

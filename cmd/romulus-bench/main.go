@@ -55,6 +55,8 @@ func main() {
 	shardCounts := flag.String("shards", "", "sweep the sharded store across these shard counts (e.g. 1,2,4) instead of a figure; -engines selects Romulus variants, the first -threads value sets client goroutines")
 	serverConns := flag.String("server", "", "sweep the network server across these pipelined connection counts (e.g. 1,2,8,32) instead of a figure; -engines selects Romulus variants")
 	pipeline := flag.Int("pipeline", 32, "per-connection pipelining window in -server mode")
+	spanOverhead := flag.Bool("span-overhead", false, "compare server throughput with request tracing off vs on (pins the span-layer overhead); -engines selects variants, the first -server value sets connections")
+	trials := flag.Int("trials", 3, "off/on trial pairs per engine in -span-overhead mode")
 	ops := flag.Int("ops", 1000, "update transactions per engine in -workload mode")
 	seed := flag.Int64("seed", 1, "workload operation seed")
 	metrics := flag.Bool("metrics", false, "print the per-engine metrics registry after a -workload run")
@@ -71,6 +73,27 @@ func main() {
 	m, ok := pmem.ModelByName(*model)
 	if !ok {
 		exitOn(fmt.Errorf("unknown model %q", *model))
+	}
+	if *spanOverhead {
+		oopts := bench.SpanOverheadOptions{
+			Trials:   *trials,
+			Ops:      *ops,
+			Pipeline: *pipeline,
+			Seed:     *seed,
+			Model:    m,
+		}
+		if *engines != "all" {
+			oopts.Engines = kinds
+		}
+		if *serverConns != "" {
+			counts, err := bench.ParseInts(*serverConns)
+			exitOn(err)
+			oopts.Conns = counts[0]
+		}
+		out, err := bench.RunSpanOverhead(oopts)
+		exitOn(err)
+		fmt.Print(out)
+		return
 	}
 	if *serverConns != "" {
 		counts, err := bench.ParseInts(*serverConns)

@@ -170,9 +170,11 @@ func runGroupCampaign(cfg crashtest.GroupConfig, jsonOut bool) {
 	}
 	for _, r := range reports {
 		fmt.Printf("%-8s %6d rounds, %d conns — %d mid-round crashes, %d batches (%d multi-conn), "+
-			"%d chain crashes (%d inside recovery), acks: %d survived / %d lost\n",
+			"%d chain crashes (%d inside recovery), acks: %d survived / %d lost, "+
+			"flight: %d rounds (%d with in-flight batches)\n",
 			r.Engine, r.Rounds, r.Conns, r.MidRoundCrashes, r.Batches, r.MultiConnBatches,
-			r.ChainCrashes, r.RecoveryCrashes, r.AcksSurvived, r.AcksLost)
+			r.ChainCrashes, r.RecoveryCrashes, r.AcksSurvived, r.AcksLost,
+			r.FlightRounds, r.FlightInFlight)
 		if cfg.Audit {
 			fmt.Printf("         audit: %d violations\n", r.AuditViolations)
 		}

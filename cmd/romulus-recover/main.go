@@ -3,6 +3,13 @@
 // which is dominated by copying the used prefix of the region (back over
 // main). The paper reports ~114 µs for 1,000 key-value pairs, ~127 ms for
 // one million, and about one second per recovered gigabyte.
+//
+// With -flight <image> it instead performs flight-recorder forensics: the
+// saved device image's header locates the reserved tail, and the blackbox
+// ring there is decoded and printed — which group-commit batches had started
+// and committed, which were still in flight, and any prior recoveries — all
+// read-only, without running recovery on the image. -json emits the report
+// as one JSON object for tooling.
 package main
 
 import (
@@ -11,26 +18,58 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/blackbox"
+	"repro/internal/core"
+	"repro/internal/pmem"
 )
 
 func main() {
 	sizes := flag.String("sizes", "1000,10000,100000,1000000", "key-value pair counts to measure")
+	flight := flag.String("flight", "", "dump the flight recorder of a saved device image instead of benchmarking")
+	jsonOut := flag.Bool("json", false, "with -flight: emit the report as JSON")
 	flag.Parse()
 
-	ns, err := bench.ParseInts(*sizes)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "romulus-recover:", err)
-		os.Exit(1)
+	if *flight != "" {
+		exitOn(dumpFlight(*flight, *jsonOut))
+		return
 	}
+
+	ns, err := bench.ParseInts(*sizes)
+	exitOn(err)
 	t := bench.NewTable("entries", "copied bytes", "recovery time", "GB/s")
 	for _, n := range ns {
 		res, err := bench.MeasureRecovery(n)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "romulus-recover:", err)
-			os.Exit(1)
-		}
+		exitOn(err)
 		gbps := float64(res.Watermark) / res.Duration.Seconds() / 1e9
 		t.Row(res.Entries, res.Watermark, res.Duration.String(), gbps)
 	}
 	fmt.Printf("Recovery cost (§6.5) — mid-transaction crash, RomulusLog\n%s", t)
+}
+
+// dumpFlight locates and renders the blackbox ring of one saved shard image.
+func dumpFlight(path string, asJSON bool) error {
+	dev, err := pmem.LoadFile(path, pmem.ModelCLWB)
+	if err != nil {
+		return err
+	}
+	off, size, err := core.TailRegion(dev)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if size < blackbox.MinSize {
+		return fmt.Errorf("%s: no flight recorder (reserved tail is %d bytes; the store ran without -blackbox)", path, size)
+	}
+	rep := blackbox.Inspect(dev, off, size)
+	if asJSON {
+		return rep.WriteJSON(os.Stdout)
+	}
+	fmt.Printf("%s: flight recorder @%#x (%d bytes)\n", path, off, size)
+	return rep.WriteText(os.Stdout)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "romulus-recover:", err)
+		os.Exit(1)
+	}
 }

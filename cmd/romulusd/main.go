@@ -16,8 +16,18 @@
 // a durable two-phase record and are atomic across crashes. With -dir the
 // shard and coordinator images persist across restarts (loaded on startup,
 // written on shutdown). With -http an observability endpoint serves
-// /metrics (shard_*, xshard_*, net_* series), /stats (JSON snapshot) and,
-// with -audit, /audit.
+// /metrics (shard_*, xshard_*, net_* series; ?format=prom for Prometheus),
+// /stats (JSON snapshot), /healthz, /readyz (503 while shards are
+// quarantined), with -audit /audit, with -spans /trace (request timelines:
+// /trace?req=<id>), and with -pprof the Go profiling endpoints.
+//
+// Each shard's device reserves a small pmem-backed flight recorder
+// (-blackbox, on by default): group-commit batch starts and commits are
+// fenced onto a ring in the reserved tail, recovered and printed on the next
+// startup — a crash-surviving record of what was in flight. -spans
+// additionally assigns every request a server-wide id and traces its phases
+// (parse, queue_wait, batch_form, psync_wait, reply_flush) through the
+// group-commit pipeline; see docs/OBSERVABILITY.md.
 //
 // With -quarantine (on by default), a shard whose device reports a media
 // fault is fenced instead of served: its commands answer "UNAVAIL shard=N"
@@ -68,6 +78,10 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "maximum queued ops per MULTI batch (0: default 4096, negative: unbounded)")
 	groupMax := flag.Int("group-max-batch", 0, "maximum ops per group-commit batch transaction (0: default 256)")
 	groupLinger := flag.Duration("group-linger", 0, "how long a group-commit batch waits for more ops after its first (0: commit immediately)")
+	spansFlag := flag.Bool("spans", false, "trace every request's phase timeline (net_span_* histograms, /trace?req=<id>)")
+	spanRing := flag.Int("span-ring", 4096, "span events retained for /trace (with -spans)")
+	blackboxFlag := flag.Bool("blackbox", true, "reserve a pmem flight recorder per shard (batch starts/commits survive crashes)")
+	pprofFlag := flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof (with -http)")
 	flag.Parse()
 
 	variant, err := parseVariant(*engine)
@@ -82,44 +96,55 @@ func main() {
 		Metrics:          reg,
 		Audit:            *auditFlag,
 		QuarantineFaults: *quarantine,
+		Blackbox:         *blackboxFlag,
 	})
 	exitOn(err)
 
+	// A prior run's flight data, replayed from the reserved tails: what was
+	// in flight when that run ended (or crashed).
+	for _, rep := range st.FlightReports() {
+		if rep != nil && !rep.Empty() {
+			fmt.Printf("romulusd: flight recorder: %s\n", rep)
+		}
+	}
+
+	var spans *obs.SpanRecorder
+	if *spansFlag {
+		spans = obs.NewSpanRecorder(reg, *spanRing)
+	}
 	srv := server.New(st, server.Options{
 		Registry:      reg,
 		IdleTimeout:   *idleTimeout,
 		MaxBatchOps:   *maxBatch,
 		GroupMaxBatch: *groupMax,
 		GroupLinger:   *groupLinger,
+		Spans:         spans,
 	})
 
 	if *httpAddr != "" {
-		mux := obshttp.NewMux(obshttp.Sources{
+		src := obshttp.Sources{
 			Registry: func() *obs.Registry { return reg },
-		})
+			Spans:    spans,
+			Pprof:    *pprofFlag,
+			Ready: func() error {
+				if q := st.Quarantined(); len(q) > 0 {
+					return fmt.Errorf("%d shard(s) quarantined: %v", len(q), q)
+				}
+				return nil
+			},
+		}
+		if *auditFlag {
+			src.Auditors = st.Auditors
+		}
+		mux := obshttp.NewMux(src)
 		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(st.Stats())
+			json.NewEncoder(w).Encode(srv.StatsReply())
 		})
-		if *auditFlag {
-			mux.HandleFunc("/audit", func(w http.ResponseWriter, _ *http.Request) {
-				per := make([]uint64, 0, st.NumShards()+1)
-				for _, a := range st.Auditors() {
-					if a != nil {
-						per = append(per, a.ViolationCount())
-					}
-				}
-				w.Header().Set("Content-Type", "application/json")
-				json.NewEncoder(w).Encode(map[string]any{
-					"violations_total": st.ViolationCount(),
-					"per_device":       per,
-				})
-			})
-		}
 		hs, err := obshttp.Listen(*httpAddr, mux)
 		exitOn(err)
 		defer hs.Shutdown(context.Background())
-		fmt.Printf("romulusd: observability on http://%s (/metrics, /stats)\n", hs.Addr())
+		fmt.Printf("romulusd: observability on http://%s (/metrics, /stats, /healthz, /readyz)\n", hs.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -49,6 +49,11 @@ type ServerWorkloadOptions struct {
 	// Audit chains a durability auditor onto every device; any violation
 	// fails the run.
 	Audit bool
+	// Spans enables request tracing on the benchmarked server (a span
+	// recorder in its Options), so every request pays the per-phase
+	// timestamping the -spans flag of romulusd would. RunSpanOverhead uses
+	// this to pin the tracing overhead.
+	Spans bool
 	// JSONOut, when non-nil, receives one WorkloadResult row per data point
 	// (workload "server", the conns field set), newline-delimited, in the
 	// same romulus-bench/workload/v1 schema the trajectory checker consumes.
@@ -123,6 +128,90 @@ func RunServerWorkload(opts ServerWorkloadOptions) (string, error) {
 	return out.String(), nil
 }
 
+// SpanOverheadOptions configure RunSpanOverhead, the spans-on vs spans-off
+// throughput comparison behind `romulus-bench -span-overhead`.
+type SpanOverheadOptions struct {
+	// Engines lists the Romulus variants to compare (default romlog only —
+	// the server's default engine).
+	Engines []string
+	// Conns is the concurrent-connection count per trial (default 8, where
+	// group commit is active and the span path is exercised per batch).
+	Conns int
+	// Trials is how many off/on pairs to run per engine (default 3); the
+	// best throughput of each mode is compared, so a single slow trial
+	// (GC, scheduler noise) does not fabricate overhead.
+	Trials int
+	// Ops, Pipeline, Seed and Model mirror ServerWorkloadOptions.
+	Ops      int
+	Pipeline int
+	Seed     int64
+	Model    pmem.Model
+}
+
+// RunSpanOverhead measures what request tracing costs: for each engine it
+// runs alternating spans-off / spans-on server trials on identical
+// workloads and compares the best throughput of each mode. The result is a
+// table with an overhead column — the acceptance budget for the span layer
+// is < 5% ops/sec, and keeping the comparison in the bench binary (rather
+// than a flaky CI gate) lets any machine re-pin it.
+func RunSpanOverhead(opts SpanOverheadOptions) (string, error) {
+	if len(opts.Engines) == 0 {
+		opts.Engines = []string{"romlog"}
+	}
+	if opts.Conns == 0 {
+		opts.Conns = 8
+	}
+	if opts.Trials == 0 {
+		opts.Trials = 3
+	}
+	base := ServerWorkloadOptions{
+		Ops:      opts.Ops,
+		Pipeline: opts.Pipeline,
+		Seed:     opts.Seed,
+		Model:    opts.Model,
+	}
+	if base.Ops == 0 {
+		base.Ops = 2000
+	}
+	if base.Pipeline == 0 {
+		base.Pipeline = 32
+	}
+	if base.Seed == 0 {
+		base.Seed = 1
+	}
+	jenc := json.NewEncoder(io.Discard)
+	tbl := NewTable("engine", "conns", "trials", "off ops/sec", "on ops/sec", "overhead")
+	for _, kind := range opts.Engines {
+		variant, ok := shardVariants[kind]
+		if !ok {
+			return "", fmt.Errorf("bench: engine %q has no server composition", kind)
+		}
+		var bestOff, bestOn float64
+		for trial := 0; trial < opts.Trials; trial++ {
+			// Alternate off/on within each trial so drift (thermal, cache,
+			// background load) hits both modes evenly.
+			for _, withSpans := range []bool{false, true} {
+				o := base
+				o.Spans = withSpans
+				res, err := runServerPoint(kind, variant, opts.Conns, obs.NewRegistry(), o, jenc)
+				if err != nil {
+					return "", fmt.Errorf("bench: span overhead on %s (spans=%v): %w", kind, withSpans, err)
+				}
+				if withSpans && res.OpsPerSec > bestOn {
+					bestOn = res.OpsPerSec
+				}
+				if !withSpans && res.OpsPerSec > bestOff {
+					bestOff = res.OpsPerSec
+				}
+			}
+		}
+		overhead := (bestOff - bestOn) / bestOff * 100
+		tbl.Row(kind, opts.Conns, opts.Trials, bestOff, bestOn, fmt.Sprintf("%+.1f%%", overhead))
+	}
+	return fmt.Sprintf("Span overhead — best-of-%d pipelined SET throughput, spans off vs on\n%s",
+		opts.Trials, tbl), nil
+}
+
 // runServerPoint drives one (engine, conns) data point: a fresh single-shard
 // store behind a loopback server, Ops pipelined SETs split across conns
 // connections, each streaming Pipeline requests per burst before reading the
@@ -143,7 +232,11 @@ func runServerPoint(kind string, variant core.Variant, conns int, reg *obs.Regis
 	}
 	defer st.Close()
 
-	srv := server.New(st, server.Options{Registry: reg})
+	sopts := server.Options{Registry: reg}
+	if opts.Spans {
+		sopts.Spans = obs.NewSpanRecorder(reg, 4096)
+	}
+	srv := server.New(st, sopts)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return WorkloadResult{}, err

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunSpanOverhead pins the comparison harness itself (not the overhead
+// number, which is machine-dependent and printed for operators): both modes
+// run to completion on every variant and the table carries the overhead
+// column.
+func TestRunSpanOverhead(t *testing.T) {
+	out, err := RunSpanOverhead(SpanOverheadOptions{
+		Engines: []string{"romlog"},
+		Conns:   2,
+		Trials:  1,
+		Ops:     200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"off ops/sec", "on ops/sec", "overhead", "romlog", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkServerPoint measures one spans-on server data point end to end;
+// profile it to see where the span layer spends (go test -bench ServerPoint
+// -cpuprofile).
+func BenchmarkServerPoint(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		spans bool
+	}{{"spans-off", false}, {"spans-on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := ServerWorkloadOptions{
+					Ops:      2000,
+					Pipeline: 32,
+					Seed:     1,
+					Spans:    mode.spans,
+				}
+				jenc := json.NewEncoder(io.Discard)
+				if _, err := runServerPoint("romlog", shardVariants["romlog"], 8, obs.NewRegistry(), opts, jenc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -39,7 +39,7 @@ type Regression struct {
 	// in-process rows).
 	Conns int
 	// Metric is the regressed quantity ("fences_per_tx" — fences per
-	// acknowledged write for server rows — or "ops_per_sec").
+	// acknowledged write for server rows — "ops_per_sec", or "ack_p99_ns").
 	Metric string
 	// Newest is the metric of the latest appended row; Best the historical
 	// best over all earlier rows of the group (minimum for cost metrics,
@@ -162,6 +162,29 @@ func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
 				r.Best = bestOps
 				r.Limit = floor
 				regs = append(regs, r)
+			}
+			// Ack-latency SLO ceiling: the p99 acknowledgment latency may not
+			// blow past the group's historical best. Quantiles come from
+			// power-of-two buckets, so one bucket step (a factor of two) is
+			// legal jitter; the relative tolerance rides on top of that.
+			// Rows predating the ack histogram (p99 absent/zero) are skipped
+			// on both sides so old history neither gates nor trips.
+			bestP99 := uint64(0)
+			for _, row := range rows[:len(rows)-1] {
+				if row.AckP99Ns > 0 && (bestP99 == 0 || row.AckP99Ns < bestP99) {
+					bestP99 = row.AckP99Ns
+				}
+			}
+			if bestP99 > 0 && newest.AckP99Ns > 0 {
+				ceiling := float64(bestP99) * 2 * (1 + tol)
+				if float64(newest.AckP99Ns) > ceiling {
+					r := base
+					r.Metric = "ack_p99_ns"
+					r.Newest = float64(newest.AckP99Ns)
+					r.Best = float64(bestP99)
+					r.Limit = ceiling
+					regs = append(regs, r)
+				}
 			}
 		}
 	}

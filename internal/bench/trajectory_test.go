@@ -62,6 +62,77 @@ func TestCheckTrajectorySingleRowGroupsPass(t *testing.T) {
 	}
 }
 
+// serverRow renders a network-server trajectory row (conns > 0) with an ack
+// p99; p99 of 0 models history predating the ack histogram.
+func serverRow(conns int, opsPerSec float64, ackP99 uint64) string {
+	return fmt.Sprintf(`{"schema":"romulus-bench/workload/v1","workload":"server","engine":"romlog",`+
+		`"model":"dram","threads":1,"shards":1,"conns":%d,"ops":2000,"seed":1,"elapsed_sec":0.1,`+
+		`"ops_per_sec":%g,"updates":2000,"fences_per_tx":0.5,"pwbs_per_tx":6,"ack_p99_ns":%d}`,
+		conns, opsPerSec, ackP99)
+}
+
+func TestCheckTrajectoryAckP99Ceiling(t *testing.T) {
+	// One bucket step (2x) plus tolerance is legal jitter: 524287 → 1048575
+	// stays under 524287*2*1.3.
+	ok := strings.Join([]string{
+		serverRow(8, 100000, 524287),
+		serverRow(8, 101000, 1048575),
+	}, "\n")
+	regs, err := CheckTrajectory(strings.NewReader(ok), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("legal p99 jitter flagged: %v", regs)
+	}
+
+	// Two bucket steps past the best blows the SLO ceiling.
+	bad := ok + "\n" + serverRow(8, 99000, 4194303)
+	regs, err = CheckTrajectory(strings.NewReader(bad), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "ack_p99_ns" {
+		t.Fatalf("got %v, want one ack_p99_ns regression", regs)
+	}
+	if regs[0].Best != 524287 {
+		t.Fatalf("ceiling anchored on %v, want the historical best 524287", regs[0].Best)
+	}
+	if !strings.Contains(regs[0].String(), "ack_p99_ns") {
+		t.Errorf("regression string %q lacks metric name", regs[0].String())
+	}
+}
+
+func TestCheckTrajectoryAckP99SkipsRowsWithoutP99(t *testing.T) {
+	// Historical rows without the ack histogram (p99 0) provide no baseline:
+	// the newest row cannot trip, and a newest row without p99 is skipped
+	// even against a real baseline.
+	noBase := strings.Join([]string{
+		serverRow(8, 100000, 0),
+		serverRow(8, 100000, 0),
+		serverRow(8, 99000, 8388607),
+	}, "\n")
+	regs, err := CheckTrajectory(strings.NewReader(noBase), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("p99 gate fired without a baseline: %v", regs)
+	}
+
+	noNew := strings.Join([]string{
+		serverRow(8, 100000, 524287),
+		serverRow(8, 100000, 0),
+	}, "\n")
+	regs, err = CheckTrajectory(strings.NewReader(noNew), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("p99-less newest row flagged: %v", regs)
+	}
+}
+
 func TestCheckTrajectoryRejectsForeignSchema(t *testing.T) {
 	_, err := CheckTrajectory(strings.NewReader(`{"schema":"other/v2"}`), 0)
 	if err == nil {

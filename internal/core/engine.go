@@ -76,6 +76,13 @@ type Config struct {
 	// markers: TxBegin/TxEnd around each update transaction, format and
 	// recovery, and DurablePoint at every commit-marker psync.
 	Audit ptm.Auditor
+	// ReserveTail reserves this many bytes (line-aligned up) at the tail of
+	// a freshly created device, past both region copies, for a caller-owned
+	// structure — the shard layer's flight recorder lives there. Only New
+	// consults it: on reopen the header's recorded region size governs the
+	// layout, so the tail is implicitly whatever the device holds past the
+	// copies (ReservedTail reports it).
+	ReserveTail int
 }
 
 // Engine is a Romulus persistent transactional memory over a simulated
@@ -158,7 +165,11 @@ func New(regionSize int, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: region size %d below minimum %d", regionSize, MinRegionSize)
 	}
 	regionSize = ptm.Align(regionSize, pmem.LineSize)
-	dev := pmem.New(headSize+2*regionSize, cfg.Model)
+	tail := 0
+	if cfg.ReserveTail > 0 {
+		tail = ptm.Align(cfg.ReserveTail, pmem.LineSize)
+	}
+	dev := pmem.New(headSize+2*regionSize+tail, cfg.Model)
 	return Open(dev, cfg)
 }
 
@@ -169,10 +180,38 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 	if cfg.Variant == VariantDefault {
 		cfg.Variant = RomLog
 	}
-	regionSize := (dev.Size() - headSize) / 2
+	reserve := 0
+	if cfg.ReserveTail > 0 {
+		reserve = ptm.Align(cfg.ReserveTail, pmem.LineSize)
+	}
+	// maxRegion is the largest per-copy size this device could physically
+	// hold; the format-time size additionally leaves the reserved tail free.
+	maxRegion := (dev.Size() - headSize) / 2
+	maxRegion &^= pmem.LineSize - 1
+	regionSize := (dev.Size() - headSize - reserve) / 2
 	regionSize &^= pmem.LineSize - 1
 	if regionSize < MinRegionSize {
 		return nil, fmt.Errorf("core: device of %d bytes too small (need %d per region)", dev.Size(), MinRegionSize)
+	}
+	formatted := dev.Load64(offMagic) == magicValue
+	if formatted {
+		if sum := headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize)); dev.Load64(offHeadSum) != sum {
+			return nil, fmt.Errorf("core: header checksum %#x, computed %#x: %w",
+				dev.Load64(offHeadSum), sum, ErrCorruptHeader)
+		}
+		if dev.Load64(offVersion) != layoutVersion {
+			return nil, fmt.Errorf("core: layout version %d, want %d", dev.Load64(offVersion), layoutVersion)
+		}
+		// On a formatted device the checksummed header governs the layout:
+		// any in-range recorded size is honored, so a device formatted with a
+		// reserved tail (Config.ReserveTail) reopens correctly even when the
+		// opener passes a different — or no — reserve. Out-of-range sizes are
+		// still a layout mismatch: the copies would not fit the device.
+		got := int(dev.Load64(offRegionSize))
+		if got < MinRegionSize || got > maxRegion {
+			return nil, fmt.Errorf("%w: header says %d, device fits %d..%d", ErrRegionMismatch, got, MinRegionSize, maxRegion)
+		}
+		regionSize = got
 	}
 	e := &Engine{
 		dev:        dev,
@@ -189,7 +228,7 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 	e.aud = cfg.Audit
 
 	openTrips := dev.FaultsTripped()
-	if dev.Load64(offMagic) != magicValue {
+	if !formatted {
 		// No magic normally means a never-formatted device (or a format that
 		// crashed before its final publish). But a NONZERO wrong magic whose
 		// stored header checksum validates against the true magic constant is
@@ -217,16 +256,6 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 			a.TxEnd()
 		}
 	} else {
-		if sum := headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize)); dev.Load64(offHeadSum) != sum {
-			return nil, fmt.Errorf("core: header checksum %#x, computed %#x: %w",
-				dev.Load64(offHeadSum), sum, ErrCorruptHeader)
-		}
-		if dev.Load64(offVersion) != layoutVersion {
-			return nil, fmt.Errorf("core: layout version %d, want %d", dev.Load64(offVersion), layoutVersion)
-		}
-		if got := dev.Load64(offRegionSize); got != uint64(regionSize) {
-			return nil, fmt.Errorf("%w: header says %d, device implies %d", ErrRegionMismatch, got, regionSize)
-		}
 		state := dev.Load64(offState)
 		if a := e.aud; a != nil {
 			a.TxBegin(e.Name(), "recovery")
@@ -647,6 +676,36 @@ func (e *Engine) DataOffsets() []int { return []int{e.mainBase, e.backBase} }
 // Watermark returns the persistent high-water mark: the number of bytes of
 // main that replication and recovery must copy.
 func (e *Engine) Watermark() int { return int(e.dev.Load64(offWatermark)) }
+
+// ReservedTail returns the device range past both region copies — bytes the
+// engine never reads or writes, available to co-located structures such as
+// the shard layer's flight recorder. size is zero on devices created without
+// Config.ReserveTail (modulo sub-line alignment slack).
+func (e *Engine) ReservedTail() (off, size int) {
+	off = e.backBase + e.regionSize
+	return off, e.dev.Size() - off
+}
+
+// TailRegion reports the reserved-tail range of a formatted device without
+// opening an engine on it. Forensic tools (romulus-recover's flight-recorder
+// dump) use it: a dump must locate the tail without running recovery, which
+// Open would. The header checksum is verified so a torn header answers a
+// typed error instead of a garbage offset.
+func TailRegion(dev *pmem.Device) (off, size int, err error) {
+	if dev.Load64(offMagic) != magicValue {
+		return 0, 0, errors.New("core: device holds no formatted region")
+	}
+	if sum := headerChecksum(dev.Load64(offVersion), dev.Load64(offRegionSize)); dev.Load64(offHeadSum) != sum {
+		return 0, 0, fmt.Errorf("core: header checksum %#x, computed %#x: %w",
+			dev.Load64(offHeadSum), sum, ErrCorruptHeader)
+	}
+	rs := int(dev.Load64(offRegionSize))
+	off = headSize + 2*rs
+	if rs < MinRegionSize || off > dev.Size() {
+		return 0, 0, fmt.Errorf("%w: header says region %d on a %d-byte device", ErrRegionMismatch, rs, dev.Size())
+	}
+	return off, dev.Size() - off, nil
+}
 
 // AllocStats returns allocator counters.
 func (e *Engine) AllocStats() alloc.Stats { return e.heap.Stats() }

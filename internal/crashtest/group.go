@@ -108,6 +108,12 @@ type GroupReport struct {
 	// AuditViolations counts durability violations (Audit campaigns only;
 	// any nonzero count also fails the offending round).
 	AuditViolations uint64 `json:"audit_violations,omitempty"`
+	// FlightRounds counts rounds whose recovered flight recorder held
+	// records; FlightInFlight the subset whose report named a batch that
+	// had started but not committed at the crash. Every round also asserts
+	// the recorder's claims against ground truth (see groupRound).
+	FlightRounds   int `json:"flight_rounds"`
+	FlightInFlight int `json:"flight_in_flight_rounds"`
 }
 
 // GroupEngineNames lists the variants the group-commit campaign drives.
@@ -147,6 +153,14 @@ func RunGroup(cfg GroupConfig) ([]GroupReport, error) {
 			}
 			rep.Rounds++
 		}
+		// Non-vacuity: a healthy campaign recovers flight data nearly every
+		// round (any round with an acked batch has at minimum its start
+		// record). All-empty rings mean the blackbox check tested nothing.
+		if rep.Rounds >= 25 && rep.FlightRounds == 0 {
+			return append(reports, rep), fmt.Errorf(
+				"crashtest: %s: %d rounds recovered no flight-recorder data — blackbox assertions are vacuous",
+				bv.name, rep.Rounds)
+		}
 		reports = append(reports, rep)
 	}
 	if len(reports) == 0 {
@@ -161,6 +175,8 @@ func RunGroup(cfg GroupConfig) ([]GroupReport, error) {
 			r.Counter("group_crash_chain_total").Add(uint64(rep.ChainCrashes))
 			r.Counter("group_crash_ack_survived_total").Add(uint64(rep.AcksSurvived))
 			r.Counter("group_crash_ack_lost_total").Add(uint64(rep.AcksLost))
+			r.Counter("group_crash_flight_rounds_total").Add(uint64(rep.FlightRounds))
+			r.Counter("group_crash_flight_inflight_total").Add(uint64(rep.FlightInFlight))
 		}
 	}
 	return reports, nil
@@ -181,6 +197,11 @@ func groupOpts(v core.Variant) shard.Options {
 		RegionSize: 256 << 10,
 		CoordSize:  32 << 10,
 		Variant:    v,
+		// Every round also tortures the flight recorder: batch records are
+		// appended through the same crash scheduler as the data they
+		// describe, and the recovered report is checked against ground
+		// truth below.
+		Blackbox: true,
 	}
 }
 
@@ -360,7 +381,7 @@ func groupRound(cfg GroupConfig, v core.Variant, round int, roundSeed int64, rep
 			recovered[w] = n
 		}
 	}
-	var survivedMax uint64
+	var survivedMax, maxAcked uint64
 	lostMin := ^uint64(0)
 	for w, gc := range conns {
 		r := recovered[w]
@@ -379,6 +400,9 @@ func groupRound(cfg GroupConfig, v core.Variant, round int, roundSeed int64, rep
 			} else if seq < lostMin {
 				lostMin = seq
 			}
+			if i < gc.mustSurvive && seq > maxAcked {
+				maxAcked = seq
+			}
 		}
 	}
 	// All-or-nothing per group batch, durable in batch commit order: every
@@ -389,6 +413,43 @@ func groupRound(cfg GroupConfig, v core.Variant, round int, roundSeed int64, rep
 		return &Failure{Chain: chain, Reason: fmt.Sprintf(
 			"group batch atomicity violated: batch %d (or earlier) lost while batch %d survived",
 			lostMin, survivedMax)}
+	}
+
+	// Flight-recorder forensics. The recovered ring's claims are checked
+	// against ground truth from the workload:
+	//
+	//  1. Every batch's BatchStart record is fenced BEFORE its transaction,
+	//     so a batch acked before the crash image was captured must appear
+	//     started (ring wrap only retains newer, higher seqs, so the max
+	//     can only grow).
+	//  2. A durable BatchCommit record means the batch's psync completed
+	//     before the record was even appended — so a commit record for a
+	//     batch whose acked data was LOST is a lie on the media.
+	fr := final.FlightReports()[0]
+	if fr == nil {
+		return &Failure{Chain: chain, Reason: "blackbox store reopened without a flight report"}
+	}
+	if maxAcked > 0 {
+		if fr.Empty() {
+			return &Failure{Chain: chain, Reason: fmt.Sprintf(
+				"flight recorder empty though batch %d was acked before the crash", maxAcked)}
+		}
+		if fr.MaxBatchStarted < maxAcked {
+			return &Failure{Chain: chain, Reason: fmt.Sprintf(
+				"flight recorder names batch %d as last started, but batch %d was acked before the crash",
+				fr.MaxBatchStarted, maxAcked)}
+		}
+	}
+	if lostMin != ^uint64(0) && fr.MaxBatchCommitted >= lostMin {
+		return &Failure{Chain: chain, Reason: fmt.Sprintf(
+			"flight recorder claims batch %d committed, but batch %d lost acked data",
+			fr.MaxBatchCommitted, lostMin)}
+	}
+	if !fr.Empty() {
+		rep.FlightRounds++
+		if len(fr.InFlight) > 0 {
+			rep.FlightInFlight++
+		}
 	}
 
 	// The recovered store must keep serving the group-commit path.

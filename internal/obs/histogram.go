@@ -49,6 +49,54 @@ func (h *Histogram) Observe(v uint64) {
 	}
 }
 
+// histAccum locally aggregates samples destined for one Histogram so a batch
+// can merge with a handful of atomic operations instead of four per sample.
+// The span recorder's EmitBatch uses one per phase: without it, every flushed
+// request costs ~24 contended atomic RMWs on shared histogram cache lines.
+type histAccum struct {
+	count, sum, max uint64
+	lo, hi          int // touched bucket range [lo, hi]; scan only that
+	buckets         [numBuckets]uint32
+}
+
+func (a *histAccum) add(v uint64) {
+	i := bucketIndex(v)
+	if a.count == 0 || i < a.lo {
+		a.lo = i
+	}
+	if i > a.hi {
+		a.hi = i
+	}
+	a.buckets[i]++
+	a.count++
+	a.sum += v
+	if v > a.max {
+		a.max = v
+	}
+}
+
+// mergeInto applies the aggregate to h and resets the accumulator.
+func (a *histAccum) mergeInto(h *Histogram) {
+	if a.count == 0 {
+		return
+	}
+	for i := a.lo; i <= a.hi; i++ {
+		if c := a.buckets[i]; c != 0 {
+			h.buckets[i].Add(uint64(c))
+			a.buckets[i] = 0
+		}
+	}
+	h.count.Add(a.count)
+	h.sum.Add(a.sum)
+	for {
+		cur := h.max.Load()
+		if a.max <= cur || h.max.CompareAndSwap(cur, a.max) {
+			break
+		}
+	}
+	a.count, a.sum, a.max, a.lo, a.hi = 0, 0, 0, 0, 0
+}
+
 // Count returns the number of samples recorded.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

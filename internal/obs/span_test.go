@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSpanRecorderRingAndByReq pins ring retention and the per-request
+// timeline join.
+func TestSpanRecorderRingAndByReq(t *testing.T) {
+	reg := NewRegistry()
+	r := NewSpanRecorder(reg, 4)
+	r.Emit(SpanEvent{Req: 1, Phase: PhaseParse, DurNs: 10})
+	r.Emit(SpanEvent{Req: 1, Phase: PhaseRequest, DurNs: 50})
+	r.Emit(SpanEvent{Req: 2, Phase: PhaseParse, DurNs: 20})
+	if got := r.ByReq(1); len(got) != 2 || got[0].Phase != PhaseParse || got[1].Phase != PhaseRequest {
+		t.Fatalf("ByReq(1) = %+v", got)
+	}
+	// Overflow the 4-slot ring; req 1's spans are evicted.
+	for i := 0; i < 4; i++ {
+		r.Emit(SpanEvent{Req: 3, Phase: PhaseQueueWait, DurNs: 1})
+	}
+	if got := r.ByReq(1); len(got) != 0 {
+		t.Fatalf("ByReq(1) after eviction = %+v, want empty", got)
+	}
+	if r.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", r.Total())
+	}
+
+	// Each phase fed its histogram.
+	s := reg.Snapshot()
+	if c := s.Histograms["net_span_parse_ns"].Count; c != 2 {
+		t.Errorf("net_span_parse_ns count = %d, want 2", c)
+	}
+	if c := s.Histograms["net_span_queue_wait_ns"].Count; c != 4 {
+		t.Errorf("net_span_queue_wait_ns count = %d, want 4", c)
+	}
+	if c := s.Histograms["net_span_request_ns"].Count; c != 1 {
+		t.Errorf("net_span_request_ns count = %d, want 1", c)
+	}
+}
+
+// TestSpanRecorderConcurrentEmit exercises Emit from many goroutines under
+// the race detector.
+func TestSpanRecorderConcurrentEmit(t *testing.T) {
+	r := NewSpanRecorder(nil, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Emit(SpanEvent{Req: uint64(g*1000 + i), Phase: PhasePsyncWait, DurNs: uint64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 1600 {
+		t.Fatalf("Total = %d, want 1600", r.Total())
+	}
+	if got := len(r.Events()); got != 64 {
+		t.Fatalf("retained %d events, want 64", got)
+	}
+}

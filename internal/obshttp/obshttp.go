@@ -1,14 +1,34 @@
 // Package obshttp is the shared observability HTTP surface for the repo's
 // long-running binaries (romulus-db -http, romulusd -http): one mux layout
-// for /metrics, /trace and /audit, and a graceful http.Server wrapper that
-// surfaces bind errors synchronously instead of dying silently in a
-// goroutine.
+// for /metrics, /trace, /audit, /healthz and /readyz (plus opt-in
+// /debug/pprof), and a graceful http.Server wrapper that surfaces bind
+// errors synchronously instead of dying silently in a goroutine.
+//
+// Endpoint summary (docs/OBSERVABILITY.md is the full reference):
+//
+//	GET /metrics                 text counters (obs.WriteText)
+//	GET /metrics?format=json     one JSON object
+//	GET /metrics?format=prom     Prometheus exposition (counters, gauges,
+//	                             cumulative-le histograms)
+//	GET /trace                   retained events as JSON lines: tx events
+//	                             (Trace ring) then request spans (Spans)
+//	GET /trace?req=<id>          one request's span timeline as a JSON
+//	                             array (404 once evicted from the ring)
+//	GET /audit                   durability auditor summaries (503 until
+//	                             one is attached; ?format=json)
+//	GET /healthz                 liveness: always 200 once serving
+//	GET /readyz                  readiness: 200, or 503 + reason from the
+//	                             Ready hook (e.g. quarantined shards)
 package obshttp
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 
 	"repro/internal/audit"
 	"repro/internal/obs"
@@ -24,14 +44,27 @@ type Sources struct {
 	// Trace, when non-nil, serves the retained per-transaction events as
 	// JSON lines on /trace.
 	Trace *obs.RingSink
-	// Auditor, when non-nil, serves the current durability auditor's
-	// summary on /audit; the route answers 503 while it returns nil.
+	// Spans, when non-nil, adds request spans to /trace and enables the
+	// /trace?req=<id> timeline view.
+	Spans *obs.SpanRecorder
+	// Auditors, when non-nil, serves every live durability auditor on
+	// /audit (one summary per shard). Takes precedence over Auditor.
+	Auditors func() []*audit.Auditor
+	// Auditor, when non-nil (and Auditors is nil), serves the single
+	// current auditor on /audit; the route answers 503 while it returns
+	// nil. Kept for single-engine binaries (romulus-db).
 	Auditor func() *audit.Auditor
+	// Ready, when non-nil, gates /readyz: a non-nil error answers 503 with
+	// the error text as the reason. Nil means "ready once serving".
+	Ready func() error
+	// Pprof registers net/http/pprof under /debug/pprof/ (off by default:
+	// profiling endpoints expose goroutine stacks and should be opted
+	// into, not ambient).
+	Pprof bool
 }
 
-// NewMux builds the shared mux: GET /metrics (text; ?format=json), GET
-// /trace (ndjson), GET /audit (text; ?format=json). Callers add their own
-// routes (e.g. romulusd's /stats) on the returned mux.
+// NewMux builds the shared mux. Callers add their own routes (e.g.
+// romulusd's /stats) on the returned mux.
 func NewMux(src Sources) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -40,39 +73,113 @@ func NewMux(src Sources) *http.ServeMux {
 			http.Error(w, "no registry", http.StatusServiceUnavailable)
 			return
 		}
-		if req.URL.Query().Get("format") == "json" {
+		switch req.URL.Query().Get("format") {
+		case "json":
 			w.Header().Set("Content-Type", "application/json")
 			r.WriteJSON(w)
-			return
+		case "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			r.WriteProm(w)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			r.WriteText(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		r.WriteText(w)
 	})
-	if src.Trace != nil {
-		ring := src.Trace
-		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+	if src.Trace != nil || src.Spans != nil {
+		ring, spans := src.Trace, src.Spans
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+			if q := req.URL.Query().Get("req"); q != "" {
+				if spans == nil {
+					http.Error(w, "request spans not enabled", http.StatusNotFound)
+					return
+				}
+				id, err := strconv.ParseUint(q, 10, 64)
+				if err != nil {
+					http.Error(w, "req must be a request id", http.StatusBadRequest)
+					return
+				}
+				tl := spans.ByReq(id)
+				if len(tl) == 0 {
+					http.Error(w, fmt.Sprintf("no retained spans for req %d", id), http.StatusNotFound)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				enc.Encode(tl)
+				return
+			}
 			w.Header().Set("Content-Type", "application/x-ndjson")
-			ring.WriteJSON(w)
+			if ring != nil {
+				ring.WriteJSON(w)
+			}
+			if spans != nil {
+				spans.WriteJSON(w)
+			}
 		})
 	}
-	if src.Auditor != nil {
-		cur := src.Auditor
+	if src.Auditors != nil || src.Auditor != nil {
+		many, one := src.Auditors, src.Auditor
 		mux.HandleFunc("/audit", func(w http.ResponseWriter, req *http.Request) {
-			a := cur()
-			if a == nil {
+			var live []*audit.Auditor
+			if many != nil {
+				for _, a := range many() {
+					if a != nil {
+						live = append(live, a)
+					}
+				}
+			} else if a := one(); a != nil {
+				live = append(live, a)
+			}
+			if len(live) == 0 {
 				http.Error(w, "no auditor attached (run with -audit)", http.StatusServiceUnavailable)
 				return
 			}
 			// Summary reads shadow state only — safe against a live store.
-			rep := a.Summary()
 			if req.URL.Query().Get("format") == "json" {
 				w.Header().Set("Content-Type", "application/json")
-				rep.WriteJSON(w)
+				if len(live) == 1 {
+					live[0].Summary().WriteJSON(w)
+					return
+				}
+				reps := make([]*audit.Report, len(live))
+				for i, a := range live {
+					reps[i] = a.Summary()
+				}
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				enc.Encode(reps)
 				return
 			}
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			rep.WriteText(w)
+			for i, a := range live {
+				if len(live) > 1 {
+					fmt.Fprintf(w, "== auditor %d ==\n", i)
+				}
+				a.Summary().WriteText(w)
+			}
 		})
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if src.Ready != nil {
+			if err := src.Ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
+	})
+	if src.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/blackbox"
 	"repro/internal/kvstore"
 	"repro/internal/obs"
 	"repro/internal/ptm"
@@ -68,6 +69,11 @@ type Pending struct {
 	seq  uint64
 	text string
 	done chan struct{}
+	// sp, when tracing, is the request's span; the commit loop stamps the
+	// queue-drain, tx-start and psync-done boundaries on it. Only the loop
+	// writes these fields, and the writer goroutine reads them strictly
+	// after done closes.
+	sp *spanInfo
 }
 
 // Wait blocks until the operation's durability round completed and returns
@@ -112,6 +118,7 @@ type Committer struct {
 	maxBatch int
 	linger   time.Duration
 	onBatch  func(int, uint64, []*Pending)
+	flight   bool // the store has flight recorders; stamp batch records
 
 	queues []chan *Pending
 	wg     sync.WaitGroup
@@ -139,6 +146,7 @@ func NewCommitter(st *shard.Store, opts GroupOptions) *Committer {
 		maxBatch:   maxBatch,
 		linger:     opts.Linger,
 		onBatch:    opts.OnBatch,
+		flight:     st.HasFlightRecorder(),
 		queues:     make([]chan *Pending, st.NumShards()),
 		batches:    reg.Counter("net_group_batch_total"),
 		batchOps:   reg.Counter("net_group_batch_ops_total"),
@@ -166,6 +174,23 @@ func (c *Committer) Submit(sh int, conn uint64, op string, tag any, fn OpFunc) *
 	return p
 }
 
+// submitSpan is Submit with a request span attached. The span MUST be wired
+// before the channel send — the commit loop may pick the Pending up the
+// instant it is queued, so attaching afterwards is a data race. The send is
+// the happens-before edge that publishes sp's reader-side stamps to the
+// loop.
+func (c *Committer) submitSpan(sh int, conn uint64, op string, sp *spanInfo, fn OpFunc) *Pending {
+	p := &Pending{fn: fn, op: op, conn: conn, enq: time.Now(), done: make(chan struct{})}
+	if sp != nil {
+		sp.op = op
+		sp.parsed = p.enq
+		sp.shard = sh
+		p.sp = sp
+	}
+	c.queues[sh] <- p
+	return p
+}
+
 // Close drains every queue — all submitted operations still commit and
 // resolve — and stops the commit loops. Callers must stop Submitting first.
 func (c *Committer) Close() {
@@ -184,6 +209,7 @@ func (c *Committer) loop(sh int) {
 	var seq uint64
 	batch := make([]*Pending, 0, c.maxBatch)
 	for first := range q {
+		stampDrain(first)
 		batch = append(batch[:0], first)
 		batch = c.drainInto(q, batch)
 		if c.linger > 0 && len(batch) < c.maxBatch {
@@ -195,6 +221,7 @@ func (c *Committer) loop(sh int) {
 					if !ok {
 						break linger
 					}
+					stampDrain(p)
 					batch = append(batch, p)
 					batch = c.drainInto(q, batch)
 				case <-t.C:
@@ -208,14 +235,30 @@ func (c *Committer) loop(sh int) {
 	}
 }
 
+// stampDrain marks the moment an operation left its shard queue — the
+// queue_wait/batch_form boundary of its span. No-op (no clock read) when the
+// operation is untraced.
+func stampDrain(p *Pending) {
+	if p.sp != nil {
+		p.sp.drain = time.Now()
+	}
+}
+
 // drainInto appends queued operations without waiting, up to the batch
-// bound.
+// bound. Traced operations drained by one sweep share one drain timestamp.
 func (c *Committer) drainInto(q chan *Pending, batch []*Pending) []*Pending {
+	var now time.Time
 	for len(batch) < c.maxBatch {
 		select {
 		case p, ok := <-q:
 			if !ok {
 				return batch
+			}
+			if p.sp != nil {
+				if now.IsZero() {
+					now = time.Now()
+				}
+				p.sp.drain = now
 			}
 			batch = append(batch, p)
 		default:
@@ -228,9 +271,35 @@ func (c *Committer) drainInto(q chan *Pending, batch []*Pending) []*Pending {
 // commit runs one batch as a single durable shard transaction and releases
 // every member's reply after its psync. On a transaction-level error the
 // batch rolls back untouched and each operation re-runs solo.
+//
+// Flight recording brackets the transaction: the BatchStart record is fenced
+// onto the shard's blackbox ring BEFORE the batch runs — so a crash anywhere
+// inside the durability round leaves a durable record naming the in-flight
+// batch — and the BatchCommit record lands after the psync, so a durable
+// commit record implies the batch's data is durable too (the psync strictly
+// preceded the record's own fence).
 func (c *Committer) commit(sh int, seq uint64, ops []*Pending) {
 	if c.onBatch != nil {
 		c.onBatch(sh, seq, ops)
+	}
+	conns := distinctConns(ops)
+	if c.flight {
+		c.st.RecordFlight(sh, blackbox.Record{
+			Kind:     blackbox.KindBatchStart,
+			BatchSeq: seq,
+			Req:      firstReq(ops),
+			Ops:      uint32(len(ops)),
+			Conns:    uint32(conns),
+		})
+	}
+	var txStart time.Time
+	for _, p := range ops {
+		if p.sp != nil {
+			if txStart.IsZero() {
+				txStart = time.Now()
+			}
+			p.sp.txStart = txStart
+		}
 	}
 	err := c.st.Update(sh, func(tx ptm.Tx, db *kvstore.DB) error {
 		for _, p := range ops {
@@ -256,23 +325,98 @@ func (c *Committer) commit(sh int, seq uint64, ops []*Pending) {
 			if serr != nil {
 				p.text = renderOpError(p.op, serr)
 			}
-			c.finish(p, seq)
+			c.finish(p, seq, soloEnd(p))
 		}
+		c.flightCommit(sh, seq, len(ops))
 		return
+	}
+	var end time.Time
+	for _, p := range ops {
+		if p.sp != nil && end.IsZero() {
+			end = time.Now()
+		}
 	}
 	c.batches.Inc()
 	c.batchOps.Add(uint64(len(ops)))
-	c.batchConns.Observe(uint64(distinctConns(ops)))
+	c.batchConns.Observe(uint64(conns))
+	// Commit record before reply release: once a client reads an ack, the
+	// batch's BatchCommit record is already on the ring.
+	c.flightCommit(sh, seq, len(ops))
 	for _, p := range ops {
-		c.finish(p, seq)
+		c.finish(p, seq, end)
 	}
 }
 
-// finish stamps the committing round and publishes the reply.
-func (c *Committer) finish(p *Pending, seq uint64) {
+// flightCommit records a batch's resolution (shared tx or solo re-runs) on
+// the shard's blackbox ring.
+func (c *Committer) flightCommit(sh int, seq uint64, ops int) {
+	if c.flight {
+		c.st.RecordFlight(sh, blackbox.Record{
+			Kind:     blackbox.KindBatchCommit,
+			BatchSeq: seq,
+			Ops:      uint32(ops),
+		})
+	}
+}
+
+// soloEnd takes the durable timestamp for one solo re-run (only when traced).
+func soloEnd(p *Pending) time.Time {
+	if p.sp == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// firstReq returns the request id of the first traced operation in a batch
+// (0 when tracing is off) — the flight record's anchor back into /trace.
+func firstReq(ops []*Pending) uint64 {
+	for _, p := range ops {
+		if p.sp != nil {
+			return p.sp.req
+		}
+	}
+	return 0
+}
+
+// finish stamps the committing round and publishes the reply. durable is the
+// post-psync timestamp for the span (zero when untraced).
+func (c *Committer) finish(p *Pending, seq uint64, durable time.Time) {
 	p.seq = seq
+	if p.sp != nil {
+		p.sp.durable = durable
+		p.sp.batchSeq = seq
+	}
 	c.ackNs.Observe(uint64(time.Since(p.enq)))
 	close(p.done)
+}
+
+// GroupStats is the group-commit section of a STATS reply: cumulative batch
+// counters plus the live per-shard queue depths. MeanBatchOps is the
+// amortization the layer achieves (operations per durability round).
+type GroupStats struct {
+	Batches      uint64  `json:"batches"`
+	BatchOps     uint64  `json:"batch_ops"`
+	SoloRuns     uint64  `json:"solo_runs"`
+	MeanBatchOps float64 `json:"mean_batch_ops"`
+	QueueDepth   []int   `json:"queue_depth"`
+}
+
+// Stats snapshots the committer for STATS replies. Queue depths are
+// instantaneous (the loops keep draining while we look).
+func (c *Committer) Stats() GroupStats {
+	g := GroupStats{
+		Batches:    c.batches.Load(),
+		BatchOps:   c.batchOps.Load(),
+		SoloRuns:   c.soloRuns.Load(),
+		QueueDepth: make([]int, len(c.queues)),
+	}
+	if g.Batches > 0 {
+		g.MeanBatchOps = float64(g.BatchOps) / float64(g.Batches)
+	}
+	for i, q := range c.queues {
+		g.QueueDepth[i] = len(q)
+	}
+	return g
 }
 
 // distinctConns counts how many different connections a batch merged — the

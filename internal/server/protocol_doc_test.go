@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"regexp"
 	"sort"
@@ -62,6 +63,78 @@ func TestProtocolDocCoversEveryCommand(t *testing.T) {
 	sort.Strings(extra)
 	for _, verb := range extra {
 		t.Errorf("docs/PROTOCOL.md documents %s, which the server does not dispatch", verb)
+	}
+}
+
+// docStatsKeyRow matches one row of the "### STATS fields" table: a leading
+// cell holding exactly one backticked snake_case key.
+var docStatsKeyRow = regexp.MustCompile("^\\| `([a-z_]+)` \\|")
+
+// TestProtocolDocCoversStatsFields diffs the STATS-fields table of
+// docs/PROTOCOL.md against a marshaled StatsReply, both ways: a top-level
+// key the server sends but the doc omits fails, and so does a documented
+// key the reply no longer carries. The group_commit sub-keys are pinned
+// too (they are named in the section's prose).
+func TestProtocolDocCoversStatsFields(t *testing.T) {
+	data, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("reading protocol reference: %v", err)
+	}
+	documented := map[string]bool{}
+	inSection := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "#") {
+			inSection = strings.Contains(line, "STATS fields")
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := docStatsKeyRow.FindStringSubmatch(line); m != nil {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no STATS field rows found in docs/PROTOCOL.md; did the table format change?")
+	}
+
+	st := newTestStore(t)
+	defer st.Close()
+	srv := New(st, Options{})
+	defer srv.Shutdown(context.Background())
+	raw, err := json.Marshal(srv.StatsReply())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		t.Fatal(err)
+	}
+	for key := range reply {
+		if !documented[key] {
+			t.Errorf("STATS sends top-level key %q, missing from docs/PROTOCOL.md's STATS fields table", key)
+		}
+	}
+	for key := range documented {
+		if _, ok := reply[key]; !ok {
+			t.Errorf("docs/PROTOCOL.md documents STATS key %q, which the reply does not carry", key)
+		}
+	}
+
+	var group map[string]json.RawMessage
+	if err := json.Unmarshal(reply["group_commit"], &group); err != nil {
+		t.Fatalf("group_commit is not an object: %v", err)
+	}
+	doc := string(data)
+	for key := range group {
+		if !strings.Contains(doc, "`"+key+"`") {
+			t.Errorf("STATS group_commit sends sub-key %q, not named in docs/PROTOCOL.md", key)
+		}
+	}
+	for _, key := range []string{"batches", "batch_ops", "solo_runs", "mean_batch_ops", "queue_depth"} {
+		if _, ok := group[key]; !ok {
+			t.Errorf("documented group_commit sub-key %q missing from the reply", key)
+		}
 	}
 }
 

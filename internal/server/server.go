@@ -21,7 +21,7 @@
 //	  SET/DEL ...         -> QUEUED <n>     (inside MULTI)
 //	  EXEC                -> OK <n>         (atomic durable commit, cross-shard safe)
 //	  DISCARD             -> OK
-//	STATS                 -> STATS <json>   (shard.Stats snapshot)
+//	STATS                 -> STATS <json>   (store + uptime + group-commit snapshot)
 //	SCRUB <shard>         -> OK             (re-formats and readmits a quarantined shard)
 //	QUIT                  -> BYE            (server closes the connection)
 //	anything else         -> ERR <message>
@@ -113,6 +113,12 @@ type Options struct {
 	// Now substitutes the clock used for EXPIRE/TTL deadlines (nil =
 	// time.Now). Tests inject it to cross expiry boundaries deterministically.
 	Now func() time.Time
+	// Spans, when non-nil, turns on request-scoped tracing: every command is
+	// assigned a server-wide request id and emits one SpanEvent per phase
+	// (parse, queue_wait, batch_form, psync_wait, reply_flush, request) into
+	// the recorder as its reply is flushed. Nil keeps tracing off — the hot
+	// path then takes no timestamps beyond what group commit already takes.
+	Spans *obs.SpanRecorder
 }
 
 // Server serves the protocol over a shard.Store.
@@ -122,6 +128,9 @@ type Server struct {
 	idleTimeout time.Duration
 	maxBatchOps int
 	now         func() time.Time
+	spans       *obs.SpanRecorder
+	started     time.Time
+	reqSeq      atomic.Uint64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -176,6 +185,8 @@ func New(st *shard.Store, opts Options) *Server {
 		idleTimeout: opts.IdleTimeout,
 		maxBatchOps: maxOps,
 		now:         now,
+		spans:       opts.Spans,
+		started:     time.Now(),
 		conns:       make(map[net.Conn]struct{}),
 		connsTotal:  reg.Counter("net_conn_total"),
 		connsActive: reg.Gauge("net_conn_active"),
@@ -197,6 +208,33 @@ func New(st *shard.Store, opts Options) *Server {
 // Committer exposes the server's group-commit scheduler (benchmarks and
 // crash harnesses submit through it directly).
 func (s *Server) GroupCommitter() *Committer { return s.committer }
+
+// StatsReply is the JSON object the STATS command marshals: the store
+// snapshot (shard.Stats, flattened) plus the server-level fields an operator
+// polls — uptime, which shards are quarantined, and group-commit batching
+// health. docs/PROTOCOL.md pins the top-level keys; the conformance test
+// diffs them against this struct, so renames cannot slip past the docs.
+type StatsReply struct {
+	shard.Stats
+	UptimeSecs  float64    `json:"uptime_secs"`
+	Quarantined []int      `json:"quarantined_shards"`
+	Group       GroupStats `json:"group_commit"`
+}
+
+// StatsReply snapshots the server for the STATS command (and romulusd's
+// /stats endpoint, which serves the same object over HTTP).
+func (s *Server) StatsReply() StatsReply {
+	q := s.st.Quarantined()
+	if q == nil {
+		q = []int{} // pin the wire shape: always a list, never null
+	}
+	return StatsReply{
+		Stats:       s.st.Stats(),
+		UptimeSecs:  time.Since(s.started).Seconds(),
+		Quarantined: q,
+		Group:       s.committer.Stats(),
+	}
+}
 
 // Commands returns every verb the server dispatches, sorted. The
 // documentation conformance test diffs this set against docs/PROTOCOL.md's
@@ -283,11 +321,104 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// spanInfo carries one request's phase timestamps from the reader goroutine
+// through the group-commit pipeline to the writer goroutine, which emits the
+// SpanEvents when the reply's flush completes (the true end of the request).
+// Stamping discipline: the reader owns t0/parsed, the commit loop owns
+// drain/txStart/durable (group.go), and the writer reads everything after
+// the Pending resolves — the done-channel close orders those writes, so no
+// field needs atomics.
+type spanInfo struct {
+	req  uint64
+	conn uint64
+	op   string
+
+	t0      time.Time // reader picked the line off the socket
+	parsed  time.Time // dispatch done: enqueued (writes) or resolved (reads)
+	drain   time.Time // commit loop pulled the op off the shard queue
+	txStart time.Time // the batch transaction containing the op began
+	durable time.Time // the batch's psync completed; reply releasable
+
+	shard    int
+	batchSeq uint64
+}
+
+// spanPool recycles spanInfos: one is taken per traced request and returned
+// by the writer after rendering, so tracing adds no steady-state heap churn
+// (which on small hosts costs more in GC assists than the tracing itself).
+// The render in flush is the last reference — the commit loop's stamps all
+// happen before the Pending's done closes, and the writer renders only
+// after.
+var spanPool = sync.Pool{New: func() any { return new(spanInfo) }}
+
+// renderSpan appends one request's phases to evs, which the flusher hands to
+// the recorder in one EmitBatch. end is the flush timestamp that closed the
+// request. Phase boundaries that never happened (reads and immediate errors
+// skip the queue) emit nothing; clock granularity can legally yield
+// zero-length phases, which still emit.
+func renderSpan(evs []obs.SpanEvent, sp *spanInfo, end time.Time) []obs.SpanEvent {
+	ev := obs.SpanEvent{Req: sp.req, Conn: sp.conn, Op: sp.op, Shard: sp.shard, BatchSeq: sp.batchSeq}
+	// Straight-line phase emission: a closure here defeats inlining and costs
+	// measurably on the per-request path.
+	if !sp.t0.IsZero() && !sp.parsed.IsZero() {
+		ev.Phase = obs.PhaseParse
+		ev.StartNs = sp.t0.UnixNano()
+		ev.DurNs = nsBetween(sp.t0, sp.parsed)
+		evs = append(evs, ev)
+	}
+	if !sp.parsed.IsZero() && !sp.drain.IsZero() {
+		ev.Phase = obs.PhaseQueueWait
+		ev.StartNs = sp.parsed.UnixNano()
+		ev.DurNs = nsBetween(sp.parsed, sp.drain)
+		evs = append(evs, ev)
+	}
+	if !sp.drain.IsZero() && !sp.txStart.IsZero() {
+		ev.Phase = obs.PhaseBatchForm
+		ev.StartNs = sp.drain.UnixNano()
+		ev.DurNs = nsBetween(sp.drain, sp.txStart)
+		evs = append(evs, ev)
+	}
+	if !sp.txStart.IsZero() && !sp.durable.IsZero() {
+		ev.Phase = obs.PhasePsyncWait
+		ev.StartNs = sp.txStart.UnixNano()
+		ev.DurNs = nsBetween(sp.txStart, sp.durable)
+		evs = append(evs, ev)
+	}
+	flushFrom := sp.durable
+	if flushFrom.IsZero() {
+		flushFrom = sp.parsed
+	}
+	if !flushFrom.IsZero() && !end.IsZero() {
+		ev.Phase = obs.PhaseReplyFlush
+		ev.StartNs = flushFrom.UnixNano()
+		ev.DurNs = nsBetween(flushFrom, end)
+		evs = append(evs, ev)
+	}
+	if !sp.t0.IsZero() && !end.IsZero() {
+		ev.Phase = obs.PhaseRequest
+		ev.StartNs = sp.t0.UnixNano()
+		ev.DurNs = nsBetween(sp.t0, end)
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// nsBetween is a saturating duration: monotonic-clock steps between stamps
+// taken on different goroutines never render as underflowed uint64s.
+func nsBetween(from, to time.Time) uint64 {
+	d := to.Sub(from)
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
+}
+
 // token is one in-order reply slot: either an immediate reply text or a
-// group-committed operation's future.
+// group-committed operation's future, plus the request's span (when tracing).
 type token struct {
 	text string
 	p    *Pending
+	sp   *spanInfo
 }
 
 func imm(text string) token { return token{text: text} }
@@ -296,6 +427,10 @@ func imm(text string) token { return token{text: text} }
 type connState struct {
 	id    uint64
 	multi *kvstore.Batch
+	// cur is the span of the command currently being dispatched (nil when
+	// tracing is off); submitWrite hands it to the Pending so the commit
+	// loop can stamp the queue/batch/psync boundaries.
+	cur *spanInfo
 	// outstanding holds this connection's not-yet-committed writes; reads
 	// barrier on them so a connection always observes its own writes.
 	outstanding []*Pending
@@ -368,7 +503,24 @@ func (s *Server) handle(c net.Conn) {
 		if line == "" {
 			continue
 		}
+		if s.spans != nil {
+			sp := spanPool.Get().(*spanInfo)
+			*sp = spanInfo{req: s.reqSeq.Add(1), conn: st.id, t0: time.Now(), shard: -1}
+			st.cur = sp
+		}
 		tok, quit := s.dispatch(line, st)
+		if sp := st.cur; sp != nil {
+			st.cur = nil
+			if sp.parsed.IsZero() {
+				// Immediate reply (read, protocol error, MULTI bookkeeping):
+				// dispatch resolved it right here.
+				sp.parsed = time.Now()
+			}
+			if sp.op == "" {
+				sp.op = verbOf(line)
+			}
+			tok.sp = sp
+		}
 		tokens <- tok
 		if quit {
 			break
@@ -389,6 +541,8 @@ func (s *Server) writeReplies(c net.Conn, tokens <-chan token, wdone chan<- stru
 	w := bufio.NewWriter(c)
 	dead := false  // the socket failed; keep draining tokens without writing
 	dirty := false // unflushed replies are buffered
+	var spans []*spanInfo
+	var evs []obs.SpanEvent // reused render buffer, one EmitBatch per flush
 	flush := func() {
 		if dirty && !dead {
 			s.flushes.Inc()
@@ -398,6 +552,18 @@ func (s *Server) writeReplies(c net.Conn, tokens <-chan token, wdone chan<- stru
 			}
 		}
 		dirty = false
+		if len(spans) > 0 {
+			// One flush timestamp closes every span whose reply it carried;
+			// emitted even on a dead socket (the work still happened).
+			end := time.Now()
+			for _, sp := range spans {
+				evs = renderSpan(evs, sp, end)
+				spanPool.Put(sp)
+			}
+			s.spans.EmitBatch(evs)
+			evs = evs[:0]
+			spans = spans[:0]
+		}
 	}
 	for tok := range tokens {
 		text := tok.text
@@ -419,6 +585,9 @@ func (s *Server) writeReplies(c net.Conn, tokens <-chan token, wdone chan<- stru
 				c.Close()
 			}
 			dirty = true
+		}
+		if tok.sp != nil {
+			spans = append(spans, tok.sp)
 		}
 		if len(tokens) == 0 {
 			flush()
@@ -552,7 +721,7 @@ func (s *Server) dispatch(line string, st *connState) (token, bool) {
 		st.multi = nil
 		return imm("OK"), false
 	case "STATS":
-		js, err := json.Marshal(s.st.Stats())
+		js, err := json.Marshal(s.StatsReply())
 		if err != nil {
 			return imm(s.errf("stats: %v", err)), false
 		}
@@ -578,9 +747,17 @@ func (s *Server) dispatch(line string, st *connState) (token, bool) {
 // submitWrite routes one write to its shard's group-commit loop and tracks
 // the future for the connection's read barrier.
 func (s *Server) submitWrite(st *connState, key []byte, op string, fn OpFunc) *Pending {
-	p := s.committer.Submit(s.st.ShardFor(key), st.id, op, nil, fn)
+	p := s.committer.submitSpan(s.st.ShardFor(key), st.id, op, st.cur, fn)
 	st.track(p)
 	return p
+}
+
+// verbOf uppercases a line's command word for span labeling.
+func verbOf(line string) string {
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		line = line[:i]
+	}
+	return strings.ToUpper(line)
 }
 
 // queueMulti appends one SET/DEL to the open MULTI batch, enforcing the
@@ -630,7 +807,7 @@ func (s *Server) execMulti(st *connState, b *kvstore.Batch) token {
 	})
 	if single {
 		reply := fmt.Sprintf("OK %d", n)
-		p := s.committer.Submit(only, st.id, "exec", nil, func(tx ptm.Tx, db *kvstore.DB) (string, error) {
+		p := s.committer.submitSpan(only, st.id, "exec", st.cur, func(tx ptm.Tx, db *kvstore.DB) (string, error) {
 			if err := db.Apply(tx, ex); err != nil {
 				return "", err
 			}

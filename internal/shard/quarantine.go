@@ -149,7 +149,7 @@ func (s *Store) Scrub(i int) error {
 	if !p.faulted.Load() {
 		return fmt.Errorf("shard: scrub: shard %d is not quarantined", i)
 	}
-	eng, err := core.New(s.opts.RegionSize, core.Config{Variant: s.opts.Variant, Model: s.opts.Model})
+	eng, err := core.New(s.opts.RegionSize, s.engineConfig())
 	if err != nil {
 		return fmt.Errorf("shard: scrub %d: %w", i, err)
 	}
@@ -165,8 +165,14 @@ func (s *Store) Scrub(i int) error {
 		aud.Attach()
 		eng.SetAuditor(aud)
 	}
+	// A fresh recorder on the fresh device; the quarantined device's ring
+	// (if any) goes with it — its flight data described lost media.
+	scrubbed := &shardPart{eng: eng, db: kvstore.Attach(eng), dev: eng.Device()}
+	if err := s.attachBlackbox(i, scrubbed); err != nil {
+		return fmt.Errorf("shard: scrub %d: %w", i, err)
+	}
 	p.mu.Lock()
-	p.eng, p.db, p.dev = eng, kvstore.Attach(eng), eng.Device()
+	p.eng, p.db, p.dev, p.bb = scrubbed.eng, scrubbed.db, scrubbed.dev, scrubbed.bb
 	p.reason = ""
 	p.faulted.Store(false)
 	p.mu.Unlock()

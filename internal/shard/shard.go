@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/blackbox"
 	"repro/internal/core"
 	"repro/internal/kvstore"
 	"repro/internal/obs"
@@ -105,6 +106,13 @@ type Options struct {
 	// FaultRetryBackoff is the sleep before the first retry, doubling per
 	// attempt (default 0: retry immediately).
 	FaultRetryBackoff time.Duration
+	// Blackbox, when true, reserves a small tail of each shard's device
+	// (blackbox.DefaultSize) for a crash-surviving flight recorder: the
+	// group committer records batch starts and durable points there, and
+	// Reopen replays whatever survived into FlightReports before appending
+	// its own recovery record. Devices created without the reserve reopen
+	// fine with Blackbox on — they just have no tail, so no recorder.
+	Blackbox bool
 }
 
 func (o *Options) applyDefaults() {
@@ -134,10 +142,19 @@ type shardPart struct {
 	eng *core.Engine
 	db  *kvstore.DB
 	dev *pmem.Device
+	bb  *blackbox.Recorder // reserved-tail flight recorder (nil when off)
 
 	mu      sync.RWMutex
 	faulted atomic.Bool
 	reason  string
+
+	// wmu is the raw-device writers' mutex. pmem.Device's mutation path is
+	// unsynchronized (single-mutator by design); flight-recorder appends run
+	// on the shard's committer goroutine while cross-shard applies
+	// (applyPrepared) run engine updates on the coordinator caller's
+	// goroutine against the same device, so both take wmu. The engine's own
+	// update-vs-update serialization stays the flat combiner's job.
+	wmu sync.Mutex
 }
 
 // appliedID reads the shard's applied-batch watermark (0 before the first
@@ -168,6 +185,8 @@ func (p *shardPart) applyPrepared(id uint64, b *kvstore.Batch) error {
 	if p.eng == nil {
 		return fmt.Errorf("shard quarantined: %w", ErrShardUnavailable)
 	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
 	return p.eng.Update(func(tx ptm.Tx) error {
 		if err := p.db.Apply(tx, b); err != nil {
 			return err
@@ -193,6 +212,10 @@ type Store struct {
 	coord  *coordinator
 	reg    *obs.Registry
 	auds   []*audit.Auditor // non-nil entries only when Options.Audit built them
+	// flight holds the per-shard flight-recorder reports replayed at the
+	// last Open/Reopen (nil entries: Blackbox off, no reserved tail, or the
+	// shard was quarantined at open).
+	flight []*blackbox.Report
 
 	routeGet, routePut, routeDel *obs.Counter
 	batchSingle, batchX          *obs.Counter
@@ -212,7 +235,7 @@ func Open(opts Options) (*Store, error) {
 	s := newStore(opts)
 	exts := s.externalAuditors()
 	for i := 0; i < opts.Shards; i++ {
-		eng, err := core.New(opts.RegionSize, core.Config{Variant: opts.Variant, Model: opts.Model})
+		eng, err := core.New(opts.RegionSize, s.engineConfig())
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -222,6 +245,9 @@ func Open(opts Options) (*Store, error) {
 			return err
 		}); err != nil {
 			return nil, fmt.Errorf("shard %d: initializing map: %w", i, err)
+		}
+		if err := s.attachBlackbox(i, p); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		s.shards = append(s.shards, p)
 	}
@@ -271,7 +297,9 @@ func Reopen(devs []*pmem.Device, opts Options) (*Store, error) {
 		if exts != nil && exts[i] != nil {
 			aud = exts[i]
 		}
-		eng, err := core.Open(devs[i], core.Config{Variant: opts.Variant, Audit: aud})
+		cfg := s.engineConfig()
+		cfg.Audit = aud
+		eng, err := core.Open(devs[i], cfg)
 		if err != nil {
 			if opts.QuarantineFaults && quarantinedOnOpen(err) {
 				// Degraded reopen: this shard's image is torn, rotted, or
@@ -286,7 +314,16 @@ func Reopen(devs []*pmem.Device, opts Options) (*Store, error) {
 			}
 			return nil, fmt.Errorf("shard %d: reopening: %w", i, err)
 		}
-		s.shards = append(s.shards, &shardPart{eng: eng, db: kvstore.Attach(eng), dev: devs[i]})
+		p := &shardPart{eng: eng, db: kvstore.Attach(eng), dev: devs[i]}
+		if err := s.attachBlackbox(i, p); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if p.bb != nil {
+			// Stamp the successful recovery after replay, so the report the
+			// caller reads describes the pre-crash run, not this reopen.
+			p.bb.Recovery()
+		}
+		s.shards = append(s.shards, p)
 	}
 	coord, err := openCoordinator(devs[len(devs)-1], s, s.coordAuditor(exts))
 	if err != nil {
@@ -334,6 +371,7 @@ func newStore(opts Options) *Store {
 		opts:        opts,
 		reg:         reg,
 		auds:        make([]*audit.Auditor, opts.Shards+1),
+		flight:      make([]*blackbox.Report, opts.Shards),
 		routeGet:    reg.Counter("shard_route_get_total"),
 		routePut:    reg.Counter("shard_route_put_total"),
 		routeDel:    reg.Counter("shard_route_delete_total"),
@@ -344,6 +382,39 @@ func newStore(opts Options) *Store {
 		faultScrub:  reg.Counter("fault_scrub_total"),
 		quarantineN: reg.Counter("shard_quarantine_total"),
 	}
+}
+
+// engineConfig is the per-shard core.Config Open, Reopen and Scrub share.
+// With Blackbox on, fresh devices reserve the flight-recorder tail; on
+// reopen the header governs the layout, so the reserve is advisory there.
+func (s *Store) engineConfig() core.Config {
+	cfg := core.Config{Variant: s.opts.Variant, Model: s.opts.Model}
+	if s.opts.Blackbox {
+		cfg.ReserveTail = blackbox.DefaultSize
+	}
+	return cfg
+}
+
+// attachBlackbox opens the flight recorder in shard i's reserved tail,
+// storing the replayed report in s.flight[i]. A device without a (large
+// enough) reserved tail — created before Blackbox or with it off — is not
+// an error: the shard simply records no flights.
+func (s *Store) attachBlackbox(i int, p *shardPart) error {
+	if !s.opts.Blackbox {
+		return nil
+	}
+	off, size := p.eng.ReservedTail()
+	if size < blackbox.MinSize {
+		return nil
+	}
+	rec, rep, err := blackbox.Open(p.dev, off, size)
+	if err != nil {
+		return fmt.Errorf("flight recorder: %w", err)
+	}
+	rep.Shard = i
+	p.bb = rec
+	s.flight[i] = rep
+	return nil
 }
 
 // externalAuditors validates and returns Options.Auditors (nil when unset).
@@ -400,6 +471,7 @@ func (s *Store) wireMetrics() {
 		set("coord_fence_total", cds.Pfences+cds.Psyncs)
 		set("coord_pwb_total", cds.Pwbs)
 		quarantined := uint64(0)
+		flights, replayed, reformatted := uint64(0), uint64(0), uint64(0)
 		for i, p := range shards {
 			pre := fmt.Sprintf("shard_%d_", i)
 			faulted := uint64(0)
@@ -408,8 +480,17 @@ func (s *Store) wireMetrics() {
 			}
 			set(pre+"faulted", faulted)
 			p.mu.RLock()
-			eng, dev := p.eng, p.dev
+			eng, dev, bb := p.eng, p.dev, p.bb
 			p.mu.RUnlock()
+			if bb != nil {
+				flights += bb.Appended()
+			}
+			if rep := s.flight[i]; rep != nil {
+				replayed += uint64(len(rep.Records))
+				if rep.Reformatted {
+					reformatted++
+				}
+			}
 			ds := dev.Stats()
 			set(pre+"fence_total", ds.Pfences+ds.Psyncs)
 			set(pre+"pwb_total", ds.Pwbs)
@@ -424,6 +505,11 @@ func (s *Store) wireMetrics() {
 		}
 		set("shard_quarantined", quarantined)
 		set("shard_count", uint64(len(shards)))
+		if s.opts.Blackbox {
+			set("blackbox_record_total", flights)
+			set("blackbox_replay_records", replayed)
+			set("blackbox_reformatted_total", reformatted)
+		}
 	})
 }
 
@@ -518,6 +604,44 @@ func (s *Store) SetAuditors(auds []ptm.Auditor) {
 // shard plus the coordinator's last; entries are nil when auditing is off
 // or externally managed.
 func (s *Store) Auditors() []*audit.Auditor { return s.auds }
+
+// FlightReports returns the per-shard flight-recorder reports replayed at
+// the last Open/Reopen. Entries are nil when Blackbox is off, the device
+// has no reserved tail, or the shard was quarantined at open. The reports
+// describe the run *before* this open — forensics, not live state.
+func (s *Store) FlightReports() []*blackbox.Report { return s.flight }
+
+// HasFlightRecorder reports whether any shard is recording flights; the
+// group committer checks once instead of per batch.
+func (s *Store) HasFlightRecorder() bool {
+	for _, p := range s.shards {
+		if p.bb != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// RecordFlight durably appends one record to shard i's flight recorder (a
+// no-op when the shard has none, or is quarantined). Seq and TsNs are
+// recorder-assigned. The append takes the shard's raw-device writers'
+// mutex, which serializes it against cross-shard applies; the group
+// committer — the intended caller — is otherwise the shard's only engine
+// writer, so nothing else mutates the device concurrently.
+func (s *Store) RecordFlight(i int, rec blackbox.Record) {
+	if i < 0 || i >= len(s.shards) {
+		return
+	}
+	p := s.shards[i]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.bb == nil || p.faulted.Load() {
+		return
+	}
+	p.wmu.Lock()
+	p.bb.Append(rec)
+	p.wmu.Unlock()
+}
 
 // ViolationCount sums durability violations across the store-created
 // auditors.
