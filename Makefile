@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-scale bench-server tools experiments crashtest crashtest-short crashtest-batch shardtest grouptest faulttest audit obstest docs-check fuzz clean
+.PHONY: all build test race bench bench-scale bench-server tools experiments crashtest crashtest-short crashtest-batch shardtest grouptest faulttest replicatetest audit obstest docs-check fuzz clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: crashtest-short shardtest grouptest faulttest audit obstest docs-check
+test: crashtest-short shardtest grouptest faulttest replicatetest audit obstest docs-check
 	go test ./...
 
 # Documentation hygiene: vet, formatting, and Markdown link integrity.
@@ -92,6 +92,14 @@ grouptest:
 # corrupt-and-served (docs/FAULTS.md). Part of `make test`.
 faulttest:
 	go run -race ./cmd/romulus-crashtest -faults -audit -seed 1 -rounds 60
+
+# Mid-replicate crash campaign under the race detector: crashes armed a few
+# persistence events past a random commit's durable point land inside
+# dirty-range (or full-copy) replication; recovered lanes must replay each
+# worker's surviving operation prefix exactly (DESIGN.md dirty-extent
+# tracking). Part of `make test`.
+replicatetest:
+	go run -race ./cmd/romulus-crashtest -replicate -audit -seed 1 -rounds 150 -chain 2 -threads 2
 
 # Crash-chain campaign with the durability auditor chained in front of the
 # crash scheduler: any dirty or unfenced line at a commit marker, any

@@ -1,8 +1,11 @@
 // Command benchcheck guards benchmark trajectories: it reads one or more
 // JSON-lines files accumulated with `romulus-bench -workload ... -json FILE
 // -append` and exits non-zero if the newest row of any (workload, engine,
-// model, threads, shards, conns) group regressed fences_per_tx above the
-// group's historical best by more than the tolerance. Network-server rows
+// model, threads, shards, conns) group regressed fences_per_tx or
+// pwbs_per_tx above the group's historical best by more than the tolerance —
+// write-backs get the same headroom as fences, so a dirty-range replicate
+// backsliding toward full-copy write amplification fails the build just like
+// a broken fence amortization. Network-server rows
 // (conns > 0, from `romulus-bench -server`) are additionally gated on
 // ops_per_sec falling below the group's best by more than the tolerance, so
 // both halves of the group-commit claim — fence amortization per
@@ -26,7 +29,7 @@ import (
 
 func main() {
 	tol := flag.Float64("tol", bench.DefaultTrajectoryTol,
-		"relative headroom against a group's historical best (fences_per_tx above, ops_per_sec below)")
+		"relative headroom against a group's historical best (fences_per_tx and pwbs_per_tx above, ops_per_sec below)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no trajectory files given")

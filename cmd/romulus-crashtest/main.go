@@ -74,6 +74,54 @@ func runBatchCampaign(cfg crashtest.BatchConfig, jsonOut bool) {
 	fmt.Println("OK")
 }
 
+// runReplicateCampaign executes the mid-replicate campaign and prints its
+// reports (text or JSON), exiting non-zero on a safety failure. The map
+// workload flags (-keys, -trace, -metrics) do not apply here.
+func runReplicateCampaign(cfg crashtest.ReplicateConfig, jsonOut bool) {
+	if !jsonOut {
+		fmt.Printf("romulus-crashtest -replicate: %d rounds/variant, seed %d, %d threads, chain depth %d\n",
+			cfg.Rounds, cfg.Seed, cfg.Threads, cfg.ChainDepth)
+	}
+	reports, err := crashtest.RunReplicate(cfg)
+	if jsonOut {
+		out := struct {
+			Seed    int64                       `json:"seed"`
+			Reports []crashtest.ReplicateReport `json:"reports"`
+			Failure *crashtest.Failure          `json:"failure,omitempty"`
+			Error   string                      `json:"error,omitempty"`
+		}{Seed: cfg.Seed, Reports: reports}
+		if err != nil {
+			var f *crashtest.Failure
+			if errors.As(err, &f) {
+				out.Failure = f
+			} else {
+				out.Error = err.Error()
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range reports {
+		fmt.Printf("%-8s %6d rounds, %d threads — %d mid-round crashes (%d mid-replicate), "+
+			"%d chain crashes (%d inside recovery), ops: %d survived / %d lost\n",
+			r.Engine, r.Rounds, r.Threads, r.MidRoundCrashes, r.MidReplicateCrashes,
+			r.ChainCrashes, r.RecoveryCrashes, r.OpsSurvived, r.OpsLost)
+		if cfg.Audit {
+			fmt.Printf("         audit: %d violations\n", r.AuditViolations)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAILURE: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}
+
 // runFaultCampaign executes the media-fault campaign and prints its reports
 // (text or JSON), exiting non-zero on a safety failure. Rounds are
 // single-threaded, so the -threads and -chain flags do not apply.
@@ -265,6 +313,8 @@ func main() {
 	faults := flag.Bool("faults", false, "run the media-fault campaign instead: each round chains a torn-write crash, post-crash bit rot, and sticky/transient media faults through recovery, asserting damage is always reported typed and never served as good data")
 	group := flag.Bool("group", false, "run the network group-commit campaign instead: concurrent pipelined connections funneling writes through the server's per-shard group committer ("+
 		strings.Join(crashtest.GroupEngineNames(), ",")+" only), crashes aimed inside shared durability rounds, every acknowledged write asserted durable and every batch all-or-nothing after recovery")
+	replicate := flag.Bool("replicate", false, "run the mid-replicate campaign instead: sparse scattered-store workers ("+
+		strings.Join(crashtest.ReplicateEngineNames(), ",")+" only), crashes armed a few persistence events past a random commit's durable point so they land inside dirty-range (or full-copy) replication, recovered lanes validated against an operation-prefix replay")
 	shards := flag.Int("shards", 3, "shard count for the -xshard campaign")
 	jsonOut := flag.Bool("json", false, "emit reports (and any failure) as JSON")
 	metrics := flag.Bool("metrics", false, "print campaign totals (pmem_* and crash_* counters) after the reports")
@@ -317,6 +367,18 @@ func main() {
 			xcfg.Metrics = obs.NewRegistry()
 		}
 		runXShardCampaign(xcfg, *jsonOut)
+		return
+	}
+	if *replicate {
+		runReplicateCampaign(crashtest.ReplicateConfig{
+			Rounds:       *rounds,
+			Seed:         *seed,
+			Threads:      *threads,
+			OpsPerWorker: *txs,
+			ChainDepth:   *chain,
+			Engines:      strings.Split(*engines, ","),
+			Audit:        *audit,
+		}, *jsonOut)
 		return
 	}
 	if *batch {

@@ -38,8 +38,9 @@ type Regression struct {
 	// Conns is the client-connection count of the regressed group (zero for
 	// in-process rows).
 	Conns int
-	// Metric is the regressed quantity ("fences_per_tx" — fences per
-	// acknowledged write for server rows — "ops_per_sec", or "ack_p99_ns").
+	// Metric is the regressed quantity ("fences_per_tx" or "pwbs_per_tx" —
+	// per acknowledged write for server rows — "ops_per_sec", or
+	// "ack_p99_ns").
 	Metric string
 	// Newest is the metric of the latest appended row; Best the historical
 	// best over all earlier rows of the group (minimum for cost metrics,
@@ -67,8 +68,11 @@ func (r Regression) String() string {
 // CheckTrajectory reads a trajectory file — WorkloadSchema JSON lines
 // accumulated across runs with romulus-bench -json -append — and reports
 // every (workload, engine, model, threads, shards, conns) group whose newest
-// row regresses fences_per_tx above the group's historical best by more than
-// tol (relative, plus a small absolute slack). Network-server rows (conns >
+// row regresses fences_per_tx or pwbs_per_tx above the group's historical
+// best by more than tol (relative, plus a small absolute slack) — pwbs get
+// the same headroom as fences, so a dirty-range replicate backsliding toward
+// full-copy write amplification flags just like a broken fence amortization.
+// Network-server rows (conns >
 // 0) are additionally gated on ops_per_sec: throughput collapsing below the
 // group's historical best by more than tol flags, since scaling with
 // connection count is what those rows exist to evidence. Groups with a
@@ -143,6 +147,26 @@ func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
 			r.Best = bestFences
 			r.Limit = limit
 			regs = append(regs, r)
+		}
+		// Write-amplification gate: pwbs per tx gets the same relative
+		// headroom as fences. A zero best (history predating the pwbs
+		// column) disables the gate rather than flagging every later row.
+		bestPwbs := rows[0].PwbsPerTx
+		for _, row := range rows[1 : len(rows)-1] {
+			if row.PwbsPerTx < bestPwbs {
+				bestPwbs = row.PwbsPerTx
+			}
+		}
+		if bestPwbs > 0 {
+			pwbLimit := bestPwbs*(1+tol) + trajectoryEps
+			if newest.PwbsPerTx > pwbLimit {
+				r := base
+				r.Metric = "pwbs_per_tx"
+				r.Newest = newest.PwbsPerTx
+				r.Best = bestPwbs
+				r.Limit = pwbLimit
+				regs = append(regs, r)
+			}
 		}
 		// Throughput gate for network-server rows: higher is better, so the
 		// floor is the historical best shrunk by the tolerance. Timing-based,

@@ -7,10 +7,14 @@ import (
 )
 
 func trajRow(workload, engine string, threads int, fences float64) string {
+	return trajRowPwbs(workload, engine, threads, fences, 6)
+}
+
+func trajRowPwbs(workload, engine string, threads int, fences, pwbs float64) string {
 	return fmt.Sprintf(`{"schema":"romulus-bench/workload/v1","workload":%q,"engine":%q,`+
 		`"model":"dram","threads":%d,"ops":1000,"seed":1,"elapsed_sec":0.1,"ops_per_sec":1,`+
-		`"updates":1000,"reads":250,"fences_per_tx":%g,"pwbs_per_tx":6}`,
-		workload, engine, threads, fences)
+		`"updates":1000,"reads":250,"fences_per_tx":%g,"pwbs_per_tx":%g}`,
+		workload, engine, threads, fences, pwbs)
 }
 
 func TestCheckTrajectoryPassesAndFails(t *testing.T) {
@@ -48,6 +52,54 @@ func TestCheckTrajectoryPassesAndFails(t *testing.T) {
 	}
 	if !strings.Contains(r.String(), "fences_per_tx") {
 		t.Errorf("regression string %q lacks metric name", r.String())
+	}
+}
+
+func TestCheckTrajectoryPwbsGate(t *testing.T) {
+	// Dirty-range replication holds pwbs_per_tx at 6; a row backsliding
+	// toward full-copy write amplification must flag with the same headroom
+	// the fence gate gets. Jitter within tolerance must not.
+	ok := strings.Join([]string{
+		trajRowPwbs("shardkv", "rom", 4, 4, 6),
+		trajRowPwbs("shardkv", "rom", 4, 4, 7),
+	}, "\n")
+	regs, err := CheckTrajectory(strings.NewReader(ok), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("legal pwbs jitter flagged: %v", regs)
+	}
+
+	bad := ok + "\n" + trajRowPwbs("shardkv", "rom", 4, 4, 700)
+	regs, err = CheckTrajectory(strings.NewReader(bad), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "pwbs_per_tx" {
+		t.Fatalf("got %v, want one pwbs_per_tx regression", regs)
+	}
+	if regs[0].Best != 6 || regs[0].Newest != 700 {
+		t.Fatalf("wrong regression flagged: %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "pwbs_per_tx") {
+		t.Errorf("regression string %q lacks metric name", regs[0].String())
+	}
+}
+
+func TestCheckTrajectoryPwbsGateSkipsZeroBaseline(t *testing.T) {
+	// History predating the pwbs column deserializes as zero and provides no
+	// baseline; the gate stays silent rather than flagging every later row.
+	rows := strings.Join([]string{
+		trajRowPwbs("swaps", "rom", 1, 4, 0),
+		trajRowPwbs("swaps", "rom", 1, 4, 154),
+	}, "\n")
+	regs, err := CheckTrajectory(strings.NewReader(rows), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("pwbs gate fired without a baseline: %v", regs)
 	}
 }
 

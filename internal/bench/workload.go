@@ -94,6 +94,11 @@ type WorkloadResult struct {
 	// batch's shared durability round is amortized across its operations.
 	FencesPerTx float64 `json:"fences_per_tx"`
 	PwbsPerTx   float64 `json:"pwbs_per_tx"`
+	// ReplicateBytesPerTx is the twin-copy replication volume per committed
+	// update — the quantity the dirty-extent tracker shrinks from O(heap) to
+	// O(dirty). Zero for engines without replication counters and for
+	// sharded/server rows (their stats aggregate across stores).
+	ReplicateBytesPerTx float64 `json:"replicate_bytes_per_tx,omitempty"`
 	// Batches and OpsPerBatch describe flat-combined batch formation during
 	// the measured run (absent for engines without a batch commit path).
 	Batches     uint64  `json:"batches,omitempty"`
@@ -232,6 +237,8 @@ func RunWorkload(opts WorkloadOptions) (string, error) {
 					Reads:       s.Counters["trace_read_total"],
 					FencesPerTx: fencesPerTx,
 					PwbsPerTx:   pwbsPerTx,
+					ReplicateBytesPerTx: float64(fin.ReplicatedBytes-base.ReplicatedBytes) /
+						float64(updates),
 					Batches:     batches,
 					OpsPerBatch: opsPerBatch,
 				}

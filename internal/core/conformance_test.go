@@ -37,6 +37,7 @@ func TestConformanceAblations(t *testing.T) {
 		"lr-defer-pwb": {Variant: core.RomLR, DeferPwb: true},
 		"eager-pwb":    {Variant: core.RomLog, EagerPwb: true},
 		"rom-eager":    {Variant: core.Rom, EagerPwb: true},
+		"rom-full":     {Variant: core.Rom, FullReplicate: true},
 	}
 	for name, cfg := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -23,8 +23,10 @@ type Variant int
 const (
 	// VariantDefault resolves to RomLog.
 	VariantDefault Variant = iota
-	// Rom is the basic algorithm: full main-to-back replication at commit,
-	// C-RW-WP plus flat combining for concurrency.
+	// Rom is the basic algorithm: no range log, C-RW-WP plus flat combining
+	// for concurrency. Replication copies the round's dirty cache lines
+	// (tracked by a DRAM dirty set; Config.FullReplicate restores the
+	// paper's original full-watermark copy as an ablation).
 	Rom
 	// RomLog adds the volatile redo log: only modified ranges replicate.
 	RomLog
@@ -63,6 +65,13 @@ type Config struct {
 	// the default is a deduplicated per-batch flush set that write-backs
 	// each dirty line exactly once before the commit fence).
 	EagerPwb bool
+	// FullReplicate restores the basic algorithm's original commit path:
+	// replicate (and roll back) the entire watermark prefix instead of only
+	// the round's dirty cache lines (ablation; Rom only — the log variants
+	// already replicate logged ranges). The dirty-range equivalence
+	// property test and §4.7's replication-volume contrast measure against
+	// this path.
+	FullReplicate bool
 	// DisableFlatCombining serializes writers with a plain spin lock
 	// instead of combining announced operations (ablation).
 	DisableFlatCombining bool
@@ -109,14 +118,32 @@ type Engine struct {
 	// combiner) touches it, like wtx.
 	fset *pmem.FlushSet
 
+	// dirty tracks the round's modified cache lines when the range log is
+	// disabled (basic Rom without the FullReplicate ablation), so
+	// replication copies O(dirty) bytes instead of the whole watermark
+	// prefix. Dirty extents accumulate across a flat-combined batch and
+	// drain once per durability round, like fset. Only the single writer
+	// touches it.
+	dirty dirtySet
+
 	updates   atomic.Uint64
 	reads     atomic.Uint64
 	rollbacks atomic.Uint64
+	// replBytes and replExtents count bytes and contiguous ranges copied
+	// between the twin copies at replication and rollback — the
+	// write-amplification measure behind ptm_replicate_bytes_total.
+	replBytes   atomic.Uint64
+	replExtents atomic.Uint64
 
 	// pwbHist records pwbs issued per update transaction (§6.2's analysis
 	// tool). Only the single writer touches it.
 	pwbHist    hist.Histogram
 	txStartPwb uint64
+
+	// wmBumped marks the current round as having raised the persistent
+	// watermark, so rollback knows whether the flush-set drop lost a
+	// watermark write-back that must be reissued. Single-writer, like wtx.
+	wmBumped bool
 
 	// trace receives one obs.TxEvent per transaction when non-nil. Set only
 	// at quiescent points (SetTrace); txStartFence is the fence-count
@@ -225,6 +252,9 @@ func Open(dev *pmem.Device, cfg Config) (*Engine, error) {
 	e.wtx.log.enabled = cfg.Variant != Rom
 	e.wtx.log.merge = !cfg.DisableLogMerge
 	e.fset = pmem.NewFlushSet(dev.Size())
+	if cfg.Variant == Rom && !cfg.FullReplicate {
+		e.dirty.init(regionSize)
+	}
 	e.aud = cfg.Audit
 
 	openTrips := dev.FaultsTripped()
@@ -369,6 +399,26 @@ func RecoveryPending(img []byte) bool {
 	return load(offMagic) == magicValue && load(offState) != stateIDL
 }
 
+// ReplicationPending reports whether the image crashed between a commit's
+// durable point and the end of replication (state CPY): the transaction is
+// durable but back is stale, and recovery will re-run the main→back copy.
+// Crash harnesses aiming failures at the replication path use it to census
+// which captures actually landed mid-replicate rather than elsewhere in the
+// round.
+func ReplicationPending(img []byte) bool {
+	if len(img) < headSize {
+		return false
+	}
+	load := func(off int) uint64 {
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(img[off+i])
+		}
+		return v
+	}
+	return load(offMagic) == magicValue && load(offState) == stateCPY
+}
+
 // wireConcurrency installs the variant-specific writer hooks and creates
 // the flat combiner.
 func (e *Engine) wireConcurrency() {
@@ -421,6 +471,8 @@ func (e *Engine) wireConcurrency() {
 func (e *Engine) beginTx() *Tx {
 	t := &e.wtx
 	t.log.reset()
+	e.dirty.reset()
+	e.wmBumped = false
 	t.loads, t.stores, t.writeBytes = 0, 0, 0
 	t.batchOps = 1
 	if a := e.aud; a != nil {
@@ -479,7 +531,7 @@ func (e *Engine) durablePoint(t *Tx) {
 // (idempotent) copy.
 func (e *Engine) replicate(t *Tx) {
 	d := e.dev
-	var copied uint64
+	var copied, extents uint64
 	if t.log.enabled {
 		// Copy every range before writing any back: distinct log ranges can
 		// share a cache line, and interleaving copy/pwb per range would store
@@ -494,10 +546,33 @@ func (e *Engine) replicate(t *Tx) {
 				e.fset.Add(e.backBase+int(r.Off), int(r.N))
 			}
 			copied += r.N
+			extents++
 		}
 		if !eager {
 			e.fset.Flush(d)
 		}
+	} else if e.dirty.enabled() {
+		// Dirty-range replication for the basic variant: copy only the cache
+		// lines this round stored to, in address order. Every copied line was
+		// just dirtied, so each write-back hits a line with pending stores —
+		// no audit_pwb_clean waste — and an empty or fault-refused round
+		// copies nothing at all (the same media-fault smear guard the
+		// zero-store check below gives the full-copy ablation).
+		eager := e.cfg.EagerPwb
+		for _, r := range e.dirty.extents() {
+			d.CopyWithin(e.backBase+int(r.Off), e.mainBase+int(r.Off), int(r.N))
+			if eager {
+				d.PwbRange(e.backBase+int(r.Off), int(r.N))
+			} else {
+				e.fset.Add(e.backBase+int(r.Off), int(r.N))
+			}
+			copied += r.N
+			extents++
+		}
+		if !eager && extents > 0 {
+			e.fset.Flush(d)
+		}
+		e.dirty.reset()
 	} else if t.stores > 0 {
 		// A zero-store batch left main == back, so the full-watermark copy
 		// has nothing to do. Skipping it matters beyond waste: a read-only
@@ -508,7 +583,10 @@ func (e *Engine) replicate(t *Tx) {
 		d.CopyWithin(e.backBase, e.mainBase, wm)
 		d.PwbRange(e.backBase, wm)
 		copied = uint64(wm)
+		extents = 1
 	}
+	e.replBytes.Add(copied)
+	e.replExtents.Add(extents)
 	if d.NeedsFence() {
 		d.Pfence()
 	}
@@ -544,11 +622,15 @@ func (e *Engine) rollbackTx(t *Tx) {
 	// restored ranges can share cache lines just like replicated ones). The
 	// watermark write-back is the one entry that must survive the drop — the
 	// media watermark has to stay ahead of the media heap top even when the
-	// allocating transaction rolls back — so it is reissued here and drained
-	// by the fence below.
+	// allocating transaction rolls back — so it is reissued here (only when
+	// this round actually raised it: an unconditional reissue would be a
+	// clean-line pwb, the waste class the auditor censuses) and drained by
+	// the fence below.
 	e.fset.Reset()
-	d.Pwb(offWatermark)
-	var copied uint64
+	if e.wmBumped {
+		d.Pwb(offWatermark)
+	}
+	var copied, extents uint64
 	if t.log.enabled {
 		eager := e.cfg.EagerPwb
 		for _, r := range t.log.compacted() {
@@ -559,10 +641,31 @@ func (e *Engine) rollbackTx(t *Tx) {
 				e.fset.Add(e.mainBase+int(r.Off), int(r.N))
 			}
 			copied += r.N
+			extents++
 		}
 		if !eager {
 			e.fset.Flush(d)
 		}
+	} else if e.dirty.enabled() {
+		// Dirty-range rollback: restore from back exactly the lines this
+		// round stored to. Beyond symmetry with replicate, the narrow restore
+		// strengthens the media-fault guard — the bulk copy never traverses
+		// faulted lines the transaction did not itself touch.
+		eager := e.cfg.EagerPwb
+		for _, r := range e.dirty.extents() {
+			d.CopyWithin(e.mainBase+int(r.Off), e.backBase+int(r.Off), int(r.N))
+			if eager {
+				d.PwbRange(e.mainBase+int(r.Off), int(r.N))
+			} else {
+				e.fset.Add(e.mainBase+int(r.Off), int(r.N))
+			}
+			copied += r.N
+			extents++
+		}
+		if !eager {
+			e.fset.Flush(d)
+		}
+		e.dirty.reset()
 	} else if t.stores > 0 {
 		// Same zero-store guard as replicate: a transaction that never
 		// touched main (e.g. a load-only probe that hit a media fault and
@@ -573,7 +676,10 @@ func (e *Engine) rollbackTx(t *Tx) {
 		d.CopyWithin(e.mainBase, e.backBase, wm)
 		d.PwbRange(e.mainBase, wm)
 		copied = uint64(wm)
+		extents = 1
 	}
+	e.replBytes.Add(copied)
+	e.replExtents.Add(extents)
 	if d.NeedsFence() {
 		d.Pfence()
 	}
@@ -623,6 +729,7 @@ func (e *Engine) bumpWatermark() {
 	top := e.heap.Top()
 	if top > e.dev.Load64(offWatermark) {
 		e.dev.Store64(offWatermark, top)
+		e.wmBumped = true
 		if e.cfg.EagerPwb || (e.cfg.DeferPwb && e.wtx.log.enabled) {
 			e.dev.Pwb(offWatermark)
 		} else {
@@ -638,13 +745,15 @@ func (e *Engine) Name() string { return e.cfg.Variant.String() }
 func (e *Engine) Stats() ptm.TxStats {
 	cs := e.comb.Stats()
 	return ptm.TxStats{
-		UpdateTxs: e.updates.Load(),
-		ReadTxs:   e.reads.Load(),
-		Rollbacks: e.rollbacks.Load(),
-		Combined:  cs.Combined,
-		Batches:   cs.Batches,
-		BatchOps:  cs.BatchOps,
-		CombineNs: cs.CombineNs,
+		UpdateTxs:        e.updates.Load(),
+		ReadTxs:          e.reads.Load(),
+		Rollbacks:        e.rollbacks.Load(),
+		Combined:         cs.Combined,
+		Batches:          cs.Batches,
+		BatchOps:         cs.BatchOps,
+		CombineNs:        cs.CombineNs,
+		ReplicatedBytes:  e.replBytes.Load(),
+		ReplicateExtents: e.replExtents.Load(),
 	}
 }
 

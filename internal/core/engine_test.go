@@ -375,11 +375,17 @@ func TestReadsAreFenceFree(t *testing.T) {
 	})
 }
 
-// RomulusLog must copy only modified ranges at commit, not the whole
-// region; basic Romulus must copy the whole used prefix (the §4.7 contrast).
+// RomulusLog — and, since dirty-range tracking, basic Romulus too — must
+// copy only modified ranges at commit; the FullReplicate ablation preserves
+// the paper's original full-used-prefix copy (the §4.7 contrast, now
+// measured against the ablation rather than the default basic engine).
 func TestReplicationVolume(t *testing.T) {
-	measure := func(v Variant) uint64 {
-		e := newEngine(t, v)
+	measure := func(cfg Config) uint64 {
+		cfg.Model = pmem.ModelDRAM
+		e, err := New(testRegion, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var p ptm.Ptr
 		e.Update(func(tx ptm.Tx) error {
 			var err error
@@ -393,13 +399,20 @@ func TestReplicationVolume(t *testing.T) {
 		})
 		return e.Device().Stats().BytesPersisted
 	}
-	logBytes := measure(RomLog)
-	basicBytes := measure(Rom)
-	if logBytes >= basicBytes/8 {
-		t.Errorf("RomulusLog persisted %d bytes, basic %d; expected an order-of-magnitude gap", logBytes, basicBytes)
+	logBytes := measure(Config{Variant: RomLog})
+	dirtyBytes := measure(Config{Variant: Rom})
+	fullBytes := measure(Config{Variant: Rom, FullReplicate: true})
+	if logBytes >= fullBytes/8 {
+		t.Errorf("RomulusLog persisted %d bytes, full-replicate basic %d; expected an order-of-magnitude gap", logBytes, fullBytes)
+	}
+	if dirtyBytes >= fullBytes/8 {
+		t.Errorf("dirty-range basic persisted %d bytes, full-replicate basic %d; expected an order-of-magnitude gap", dirtyBytes, fullBytes)
 	}
 	if logBytes > 1024 {
 		t.Errorf("RomulusLog persisted %d bytes for one store", logBytes)
+	}
+	if dirtyBytes > 1024 {
+		t.Errorf("dirty-range basic persisted %d bytes for one store", dirtyBytes)
 	}
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // rng is one volatile redo-log entry: a modified [Off, Off+N) byte range of
 // the main region.
@@ -17,15 +20,29 @@ type rangeLog struct {
 	merge   bool // extend the last entry on overlap/adjacency (ablatable)
 	ranges  []rng
 	scratch []rng
+
+	// compactValid marks scratch[:compactLen] as holding the compacted form
+	// of the current ranges. A durability round consults the compacted log
+	// up to three times (deferred write-backs at the durable point,
+	// replication, rollback); caching makes every call after the first a
+	// slice header return, and the scratch buffer is pooled across rounds so
+	// the steady state allocates nothing (pinned by
+	// TestRangeLogCompactedAllocationFree).
+	compactValid bool
+	compactLen   int
 }
 
-func (l *rangeLog) reset() { l.ranges = l.ranges[:0] }
+func (l *rangeLog) reset() {
+	l.ranges = l.ranges[:0]
+	l.compactValid = false
+}
 
 // add records a store of n bytes at off.
 func (l *rangeLog) add(off, n uint64) {
 	if !l.enabled || n == 0 {
 		return
 	}
+	l.compactValid = false
 	if l.merge && len(l.ranges) > 0 {
 		last := &l.ranges[len(l.ranges)-1]
 		if off <= last.Off+last.N && last.Off <= off+n {
@@ -50,14 +67,18 @@ const mergeGap = 64
 
 // compacted returns the log as a sorted, non-overlapping list of ranges,
 // fusing ranges separated by less than a cache line. The returned slice is
-// reused across transactions.
+// reused across transactions and valid until the next add or reset; callers
+// must not retain or mutate it.
 func (l *rangeLog) compacted() []rng {
+	if l.compactValid {
+		return l.scratch[:l.compactLen]
+	}
 	if len(l.ranges) == 0 {
 		return nil
 	}
 	l.scratch = append(l.scratch[:0], l.ranges...)
 	s := l.scratch
-	sort.Slice(s, func(i, j int) bool { return s[i].Off < s[j].Off })
+	slices.SortFunc(s, func(a, b rng) int { return cmp.Compare(a.Off, b.Off) })
 	out := s[:1]
 	for _, r := range s[1:] {
 		last := &out[len(out)-1]
@@ -69,6 +90,8 @@ func (l *rangeLog) compacted() []rng {
 		}
 		out = append(out, r)
 	}
+	l.compactLen = len(out)
+	l.compactValid = true
 	return out
 }
 

@@ -168,3 +168,68 @@ func TestQuickLogReplicationEquivalence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The compacted form is cached per durability round: repeated calls (a
+// DeferPwb round consults it at the durable point and again at replication)
+// must return the identical slice without re-sorting, and any add or reset
+// must invalidate the cache.
+func TestRangeLogCompactedCache(t *testing.T) {
+	l := rangeLog{enabled: true, merge: true}
+	l.add(200, 8)
+	l.add(0, 8)
+	c1 := l.compacted()
+	c2 := l.compacted()
+	if len(c1) != 2 || len(c2) != 2 {
+		t.Fatalf("compacted lengths %d, %d; want 2, 2", len(c1), len(c2))
+	}
+	if &c1[0] != &c2[0] {
+		t.Error("second compacted call rebuilt the slice instead of returning the cache")
+	}
+	l.add(1000, 8)
+	c3 := l.compacted()
+	if len(c3) != 3 {
+		t.Errorf("compacted after add has %d ranges, want 3 (stale cache?)", len(c3))
+	}
+	l.reset()
+	if got := l.compacted(); got != nil {
+		t.Errorf("compacted after reset = %v, want nil", got)
+	}
+}
+
+// TestRangeLogCompactedAllocationFree pins the allocation behavior the
+// cache exists for: once the scratch buffer has grown to the working-set
+// size, a full round — reset, a batch of scattered adds, and the up to
+// three compacted() calls the engine makes — allocates nothing.
+func TestRangeLogCompactedAllocationFree(t *testing.T) {
+	l := rangeLog{enabled: true, merge: true}
+	round := func() {
+		l.reset()
+		for j := 0; j < 128; j++ {
+			l.add(uint64((j*2654435761)%(1<<16)), 8)
+		}
+		l.compacted()
+		l.compacted()
+		l.compacted()
+	}
+	round() // warm up: grow ranges and scratch to steady-state capacity
+	if allocs := testing.AllocsPerRun(50, round); allocs != 0 {
+		t.Errorf("steady-state round allocated %.1f times, want 0", allocs)
+	}
+}
+
+// BenchmarkRangeLogCompacted measures one durability round's log cost at
+// commit: scattered adds plus the round's compacted() calls (the second and
+// third hitting the cache). Run with -benchmem; steady state is 0 allocs/op.
+func BenchmarkRangeLogCompacted(b *testing.B) {
+	l := rangeLog{enabled: true, merge: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.reset()
+		for j := 0; j < 128; j++ {
+			l.add(uint64((j*2654435761)%(1<<16)), 8)
+		}
+		if len(l.compacted()) == 0 || len(l.compacted()) == 0 {
+			b.Fatal("empty compacted log")
+		}
+	}
+}

@@ -99,13 +99,28 @@ func (t *Tx) flush(off, n int) {
 	}
 }
 
+// record routes a store's [p, p+n) range to the round's dirty tracker: the
+// volatile range log for the log variants, or the basic variant's
+// cache-line dirty set. At most one of the two is enabled per engine, and
+// the dirty set's own nil-stamps guard makes the doubly-disabled
+// combination (a FullReplicate rom engine) a no-op — so the hot path pays
+// one predicted branch here instead of an unconditional log call whose body
+// re-tests enablement on every store.
+func (t *Tx) record(p ptm.Ptr, n uint64) {
+	if t.log.enabled {
+		t.log.add(uint64(p), n)
+	} else {
+		t.e.dirty.add(uint64(p), n)
+	}
+}
+
 // Store8 implements ptm.Tx.
 func (t *Tx) Store8(p ptm.Ptr, v byte) {
 	t.mustWrite()
 	t.checkRange(p, 1)
 	off := t.e.mainBase + int(p)
 	t.e.dev.Store8(off, v)
-	t.log.add(uint64(p), 1)
+	t.record(p, 1)
 	t.stores++
 	t.writeBytes++
 	t.flush(off, 1)
@@ -117,7 +132,7 @@ func (t *Tx) Store16(p ptm.Ptr, v uint16) {
 	t.checkRange(p, 2)
 	off := t.e.mainBase + int(p)
 	t.e.dev.Store16(off, v)
-	t.log.add(uint64(p), 2)
+	t.record(p, 2)
 	t.stores++
 	t.writeBytes += 2
 	t.flush(off, 2)
@@ -129,7 +144,7 @@ func (t *Tx) Store32(p ptm.Ptr, v uint32) {
 	t.checkRange(p, 4)
 	off := t.e.mainBase + int(p)
 	t.e.dev.Store32(off, v)
-	t.log.add(uint64(p), 4)
+	t.record(p, 4)
 	t.stores++
 	t.writeBytes += 4
 	t.flush(off, 4)
@@ -141,7 +156,7 @@ func (t *Tx) Store64(p ptm.Ptr, v uint64) {
 	t.checkRange(p, 8)
 	off := t.e.mainBase + int(p)
 	t.e.dev.Store64(off, v)
-	t.log.add(uint64(p), 8)
+	t.record(p, 8)
 	t.stores++
 	t.writeBytes += 8
 	t.flush(off, 8)
@@ -153,7 +168,7 @@ func (t *Tx) StoreBytes(p ptm.Ptr, src []byte) {
 	t.checkRange(p, len(src))
 	off := t.e.mainBase + int(p)
 	t.e.dev.StoreBytes(off, src)
-	t.log.add(uint64(p), uint64(len(src)))
+	t.record(p, uint64(len(src)))
 	t.stores++
 	t.writeBytes += uint64(len(src))
 	t.flush(off, len(src))
@@ -163,7 +178,7 @@ func (t *Tx) StoreBytes(p ptm.Ptr, src []byte) {
 func (t *Tx) memset(p ptm.Ptr, n int) {
 	off := t.e.mainBase + int(p)
 	t.e.dev.Memset(off, 0, n)
-	t.log.add(uint64(p), uint64(n))
+	t.record(p, uint64(n))
 	t.stores++
 	t.writeBytes += uint64(n)
 	t.flush(off, n)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"repro/internal/hist"
 	"repro/internal/pmem"
 	"repro/internal/ptm"
 )
@@ -38,12 +39,22 @@ func Instrument(dev *pmem.Device, r *Registry) {
 //
 //	ptm_update_tx_total, ptm_read_tx_total, ptm_abort_total,
 //	ptm_rollback_total, ptm_combined_total, ptm_batch_total,
-//	ptm_batch_ops_total, ptm_batch_combine_ns_total
+//	ptm_batch_ops_total, ptm_batch_combine_ns_total,
+//	ptm_replicate_bytes_total, ptm_replicate_extent_total
 //
 // Every engine in the repository reports the same schema, so tools can
 // compare engines without per-engine cases. The ptm_batch_* gauges stay zero
-// for engines without a flat-combined batch commit path.
+// for engines without a flat-combined batch commit path, and the
+// ptm_replicate_* gauges for engines without a twin-copy replication step.
+//
+// Engines that additionally expose their exact per-transaction pwb
+// histogram (PwbHistogrammer — the core Romulus engines) also publish its
+// shape as ptm_tx_pwb_p50, ptm_tx_pwb_p90, ptm_tx_pwb_p99 and
+// ptm_tx_pwb_max, the distribution view behind the paper's §6.2 analysis —
+// a collapsed write-amplification fix shows up here as the p99 falling to
+// the dirty-line count rather than the watermark's line count.
 func InstrumentPTM(e ptm.PTM, r *Registry) {
+	ph, _ := e.(PwbHistogrammer)
 	r.Collect(func(set Setter) {
 		s := e.Stats()
 		set("ptm_update_tx_total", s.UpdateTxs)
@@ -54,7 +65,30 @@ func InstrumentPTM(e ptm.PTM, r *Registry) {
 		set("ptm_batch_total", s.Batches)
 		set("ptm_batch_ops_total", s.BatchOps)
 		set("ptm_batch_combine_ns_total", s.CombineNs)
+		set("ptm_replicate_bytes_total", s.ReplicatedBytes)
+		set("ptm_replicate_extent_total", s.ReplicateExtents)
+		if ph != nil {
+			h := ph.PwbHistogram()
+			if h.Count() > 0 {
+				set("ptm_tx_pwb_p50", h.Quantile(0.50))
+				set("ptm_tx_pwb_p90", h.Quantile(0.90))
+				set("ptm_tx_pwb_p99", h.Quantile(0.99))
+				set("ptm_tx_pwb_max", h.Max())
+			}
+		}
 	})
+}
+
+// PwbHistogrammer is implemented by engines that keep an exact histogram of
+// pwb instructions issued per committed update transaction (the core
+// Romulus engines). InstrumentPTM publishes its quantiles as the
+// ptm_tx_pwb_* series. The histogram is read when the registry snapshots;
+// engines that only tolerate quiescent reads (the core engines update the
+// histogram from the single writer without synchronization) inherit the
+// registry owner's obligation to snapshot at quiescent points, which is
+// when every in-repo harness does.
+type PwbHistogrammer interface {
+	PwbHistogram() hist.Histogram
 }
 
 // Traceable is implemented by every engine that can emit per-transaction

@@ -122,6 +122,17 @@ type TxStats struct {
 	Batches   uint64 // committed durability rounds
 	BatchOps  uint64 // update operations retired across those rounds
 	CombineNs uint64 // total wall-clock ns spent in combining passes
+
+	// Replication counters (twin-copy engines only; zero elsewhere).
+	// ReplicatedBytes counts bytes copied between the twin copies when
+	// bringing the stale copy up to date at commit — and, symmetrically,
+	// when restoring main at rollback; ReplicateExtents counts the
+	// contiguous ranges those copies were issued as. Together they measure
+	// replication write amplification: with dirty-range tracking
+	// ReplicatedBytes/UpdateTxs is O(bytes stored), where a full-prefix
+	// replicator pays O(heap watermark) per round.
+	ReplicatedBytes  uint64
+	ReplicateExtents uint64
 }
 
 // PTM is a persistent transactional memory engine.
