@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-scale bench-server tools experiments crashtest crashtest-short crashtest-batch shardtest grouptest faulttest replicatetest audit obstest docs-check fuzz clean
+.PHONY: all build test race bench bench-scale bench-server tools experiments crashtest crashtest-short crashtest-batch shardtest grouptest faulttest replicatetest migratetest audit obstest docs-check fuzz clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: crashtest-short shardtest grouptest faulttest replicatetest audit obstest docs-check
+test: crashtest-short shardtest grouptest faulttest replicatetest migratetest audit obstest docs-check
 	go test ./...
 
 # Documentation hygiene: vet, formatting, and Markdown link integrity.
@@ -49,15 +49,18 @@ experiments: tools
 	./bin/romulus-bench -workload swaps -ops 2000 -threads 1,2,4,8 -audit -json results/BENCH_swaps.json -append | tee results/workload_swaps.txt
 	./bin/romulus-bench -workload map -ops 2000 -threads 1,2,4,8 -audit -json results/BENCH_map.json -append    | tee results/workload_map.txt
 	./bin/romulus-bench -shards 1,2,4 -threads 4 -ops 2000 -audit -json results/BENCH_shard.json -append       | tee results/workload_shard.txt
-	./bin/romulus-bench -server 1,2,8,32 -ops 2000 -audit -json results/BENCH_server.json -append              | tee results/workload_server.txt
+	./bin/romulus-bench -migrate -threads 1 -ops 2000 -audit -json results/BENCH_shard.json -append            | tee results/workload_rebalance.txt
+	./bin/romulus-bench -server 1,2,8,32,64,256,1024 -ops 4000 -audit -json results/BENCH_server.json -append  | tee results/workload_server.txt
 	./bin/benchcheck results/BENCH_swaps.json results/BENCH_map.json results/BENCH_shard.json results/BENCH_server.json
 
 # Network group-commit sweep alone: pipelined connections against the
-# loopback server; fences per acknowledged write must fall below one once
-# 8+ connections share durability rounds (docs/PROTOCOL.md).
+# loopback server, up through saturation at 1024; fences per acknowledged
+# write must fall below one once 8+ connections share durability rounds,
+# and the p99 ack-latency SLO rows at the high counts are gated by
+# benchcheck's trajectory ceiling (docs/PROTOCOL.md).
 bench-server: tools
 	mkdir -p results
-	./bin/romulus-bench -server 1,2,8,32 -ops 2000 -audit -json results/BENCH_server.json -append | tee results/workload_server.txt
+	./bin/romulus-bench -server 1,2,8,32,64,256,1024 -ops 4000 -audit -json results/BENCH_server.json -append | tee results/workload_server.txt
 	./bin/benchcheck results/BENCH_server.json
 
 crashtest: tools
@@ -100,6 +103,18 @@ faulttest:
 # tracking). Part of `make test`.
 replicatetest:
 	go run -race ./cmd/romulus-crashtest -replicate -audit -seed 1 -rounds 150 -chain 2 -threads 2
+
+# Mid-migration crash campaign under the race detector: crashes land inside
+# the copy, cutover and cleanup phases of an online shard split — and inside
+# recovery itself, chained — while a workload keeps writing to the moving
+# keyspace; every key must recover to exactly one owner, with in-flight
+# splits rolled back (journal in copy) or carried forward (journal past
+# cutover) and no acknowledged write lost (docs/SHARDING.md). The left-right
+# publish interleavings replica reads ride during the split run under the
+# race detector too. Part of `make test`.
+migratetest:
+	go test -race ./internal/leftright/
+	go run -race ./cmd/romulus-crashtest -migrate -audit -seed 1 -rounds 60 -chain 2
 
 # Crash-chain campaign with the durability auditor chained in front of the
 # crash scheduler: any dirty or unfenced line at a commit marker, any

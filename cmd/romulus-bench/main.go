@@ -29,7 +29,15 @@
 // evidence — device fence events per acknowledged write, reported with the
 // conns field set:
 //
-//	romulus-bench -server 1,2,8,32 [-engines romlog] [-ops 2000] [-json FILE]
+//	romulus-bench -server 1,2,8,32,64,256,1024 [-engines romlog] [-ops 2000] [-json FILE]
+//
+// Migrate mode measures online-rebalance serving capacity: a two-shard
+// store under the shardkv client mix splits a shard mid-load, and the row
+// records steady vs during-split throughput (workload "rebalance"); the
+// during/steady ratio is an absolute trajectory SLO — at least half the
+// steady rate must survive the split:
+//
+//	romulus-bench -migrate [-engines romlog] [-threads 4] [-ops 1500] [-json FILE]
 package main
 
 import (
@@ -53,7 +61,8 @@ func main() {
 	model := flag.String("model", "dram", "persistence model: dram, clwb, clflushopt, clflush, stt, pcm")
 	workload := flag.String("workload", "", "run a deterministic workload (swaps, map) instead of a figure")
 	shardCounts := flag.String("shards", "", "sweep the sharded store across these shard counts (e.g. 1,2,4) instead of a figure; -engines selects Romulus variants, the first -threads value sets client goroutines")
-	serverConns := flag.String("server", "", "sweep the network server across these pipelined connection counts (e.g. 1,2,8,32) instead of a figure; -engines selects Romulus variants")
+	serverConns := flag.String("server", "", "sweep the network server across these pipelined connection counts (e.g. 1,2,8,32,64,256,1024) instead of a figure; -engines selects Romulus variants")
+	migrateRun := flag.Bool("migrate", false, "measure online-rebalance serving capacity (steady vs during-split throughput on a two-shard store) instead of a figure; -engines selects Romulus variants, the first -threads value sets client goroutines")
 	pipeline := flag.Int("pipeline", 32, "per-connection pipelining window in -server mode")
 	spanOverhead := flag.Bool("span-overhead", false, "compare server throughput with request tracing off vs on (pins the span-layer overhead); -engines selects variants, the first -server value sets connections")
 	trials := flag.Int("trials", 3, "off/on trial pairs per engine in -span-overhead mode")
@@ -127,6 +136,39 @@ func main() {
 			}
 		}
 		out, err := bench.RunServerWorkload(vopts)
+		exitOn(err)
+		fmt.Print(out)
+		return
+	}
+	if *migrateRun {
+		mopts := bench.MigrateWorkloadOptions{
+			Threads: ths[0],
+			Ops:     *ops,
+			Seed:    *seed,
+			Model:   m,
+			Metrics: *metrics,
+			Audit:   *audit,
+		}
+		// -engines all means every engine with a sharded composition, which
+		// is exactly the Romulus variants.
+		if *engines != "all" {
+			mopts.Engines = kinds
+		}
+		if *jsonOut != "" {
+			if *jsonOut == "-" {
+				mopts.JSONOut = os.Stdout
+			} else {
+				mode := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+				if *appendJSON {
+					mode = os.O_WRONLY | os.O_CREATE | os.O_APPEND
+				}
+				f, err := os.OpenFile(*jsonOut, mode, 0o644)
+				exitOn(err)
+				defer f.Close()
+				mopts.JSONOut = f
+			}
+		}
+		out, err := bench.RunMigrateWorkload(mopts)
 		exitOn(err)
 		fmt.Print(out)
 		return

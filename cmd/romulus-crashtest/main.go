@@ -297,6 +297,64 @@ func runXShardCampaign(cfg crashtest.XShardConfig, jsonOut bool) {
 	fmt.Println("OK")
 }
 
+// runMigrateCampaign executes the mid-migration campaign and prints its
+// report (text or JSON), exiting non-zero on a safety failure. Like
+// -xshard, the store is always the sharded composition and the workload is
+// single-threaded for consistent multi-device captures.
+func runMigrateCampaign(cfg crashtest.MigrateConfig, jsonOut bool) {
+	if !jsonOut {
+		fmt.Printf("romulus-crashtest -migrate: %d rounds, seed %d, %d shards pre-split, chain depth %d\n",
+			cfg.Rounds, cfg.Seed, cfg.Shards, cfg.ChainDepth)
+	}
+	rep, err := crashtest.RunMigrate(cfg)
+	if jsonOut {
+		out := struct {
+			Seed    int64                   `json:"seed"`
+			Migrate crashtest.MigrateReport `json:"migrate"`
+			Metrics *obs.Snapshot           `json:"metrics,omitempty"`
+			Failure *crashtest.Failure      `json:"failure,omitempty"`
+			Error   string                  `json:"error,omitempty"`
+		}{Seed: cfg.Seed, Migrate: rep}
+		if cfg.Metrics != nil {
+			snap := cfg.Metrics.Snapshot()
+			out.Metrics = &snap
+		}
+		if err != nil {
+			var f *crashtest.Failure
+			if errors.As(err, &f) {
+				out.Failure = f
+			} else {
+				out.Error = err.Error()
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("migrate  %6d rounds, %d shards pre-split — %d mid-op crashes, "+
+		"journal at crash: %d copy / %d cleanup / %d closed, "+
+		"%d chain crashes (%d inside recovery), rounds: %d rolled back / %d carried forward\n",
+		rep.Rounds, rep.Shards, rep.MidOpCrashes,
+		rep.CopyCrashes, rep.CleanupCrashes, rep.CompleteCrashes,
+		rep.ChainCrashes, rep.RecoveryCrashes, rep.RolledBack, rep.CarriedForward)
+	if cfg.Audit {
+		fmt.Printf("         audit: %d violations\n", rep.AuditViolations)
+	}
+	if cfg.Metrics != nil {
+		fmt.Println("# campaign totals")
+		cfg.Metrics.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAILURE: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}
+
 func main() {
 	rounds := flag.Int("rounds", 1000, "crash/recover cycles per engine")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "campaign seed (printed for reproduction)")
@@ -315,7 +373,8 @@ func main() {
 		strings.Join(crashtest.GroupEngineNames(), ",")+" only), crashes aimed inside shared durability rounds, every acknowledged write asserted durable and every batch all-or-nothing after recovery")
 	replicate := flag.Bool("replicate", false, "run the mid-replicate campaign instead: sparse scattered-store workers ("+
 		strings.Join(crashtest.ReplicateEngineNames(), ",")+" only), crashes armed a few persistence events past a random commit's durable point so they land inside dirty-range (or full-copy) replication, recovered lanes validated against an operation-prefix replay")
-	shards := flag.Int("shards", 3, "shard count for the -xshard campaign")
+	migrateF := flag.Bool("migrate", false, "run the mid-migration campaign instead: an online shard split (copy/cutover/cleanup against the durable placement journal) interleaved with a workload, whole-process crash images captured consistently across every device, recovery asserted to land on a committed prefix with exactly one owner per key")
+	shards := flag.Int("shards", 3, "shard count for the -xshard campaign (pre-split count for -migrate, default 2 there)")
 	jsonOut := flag.Bool("json", false, "emit reports (and any failure) as JSON")
 	metrics := flag.Bool("metrics", false, "print campaign totals (pmem_* and crash_* counters) after the reports")
 	trace := flag.String("trace", "", "write the workload transaction trace (JSON lines) to this file, or - for stdout")
@@ -351,6 +410,28 @@ func main() {
 			gcfg.Metrics = obs.NewRegistry()
 		}
 		runGroupCampaign(gcfg, *jsonOut)
+		return
+	}
+	if *migrateF {
+		n := 2
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				n = *shards
+			}
+		})
+		mcfg := crashtest.MigrateConfig{
+			Rounds:      *rounds,
+			Seed:        *seed,
+			Shards:      n,
+			Keys:        *keys,
+			OpsPerRound: *txs,
+			ChainDepth:  *chain,
+			Audit:       *audit,
+		}
+		if *metrics {
+			mcfg.Metrics = obs.NewRegistry()
+		}
+		runMigrateCampaign(mcfg, *jsonOut)
 		return
 	}
 	if *xshard {

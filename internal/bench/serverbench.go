@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"runtime"
 	"strings"
 	"time"
 
@@ -105,6 +106,11 @@ func RunServerWorkload(opts ServerWorkloadOptions) (string, error) {
 				kind, strings.Join([]string{"rom", "romlog", "romlr"}, ", "))
 		}
 		for _, conns := range opts.Conns {
+			// Isolate data points: a high-conns point leaves a large heap
+			// and goroutine wake behind, and without a collection here the
+			// NEXT point's ack p99 absorbs that garbage's GC pauses — the
+			// sweep order, not the server, would set the latency SLO.
+			runtime.GC()
 			reg := obs.NewRegistry()
 			res, err := runServerPoint(kind, variant, conns, reg, opts, jenc)
 			if err != nil {

@@ -39,12 +39,15 @@ type Regression struct {
 	// in-process rows).
 	Conns int
 	// Metric is the regressed quantity ("fences_per_tx" or "pwbs_per_tx" —
-	// per acknowledged write for server rows — "ops_per_sec", or
-	// "ack_p99_ns").
+	// per acknowledged write for server rows — "ops_per_sec", "ack_p99_ns",
+	// or "rebalance_ratio").
 	Metric string
-	// Newest is the metric of the latest appended row; Best the historical
-	// best over all earlier rows of the group (minimum for cost metrics,
-	// maximum for throughput); Limit the threshold Newest crossed.
+	// Newest is the metric of the latest appended row; Best the baseline it
+	// was judged against — the historical best over all earlier rows for the
+	// deterministic cost metrics (fences, pwbs), the *median* of the earlier
+	// rows for the wall-clock metrics (ops_per_sec, ack_p99_ns), and the
+	// absolute serving floor for rebalance_ratio; Limit the threshold Newest
+	// crossed.
 	Newest, Best, Limit float64
 }
 
@@ -58,10 +61,10 @@ func (r Regression) String() string {
 		dims += fmt.Sprintf(" conns=%d", r.Conns)
 	}
 	rel := "exceeds"
-	if r.Metric == "ops_per_sec" {
+	if r.Metric == "ops_per_sec" || r.Metric == "rebalance_ratio" {
 		rel = "falls below"
 	}
-	return fmt.Sprintf("%s/%s %s: %s %.3f %s %.3f (best earlier row %.3f)",
+	return fmt.Sprintf("%s/%s %s: %s %.3f %s %.3f (baseline over earlier rows %.3f)",
 		r.Workload, r.Engine, dims, r.Metric, r.Newest, rel, r.Limit, r.Best)
 }
 
@@ -74,8 +77,15 @@ func (r Regression) String() string {
 // full-copy write amplification flags just like a broken fence amortization.
 // Network-server rows (conns >
 // 0) are additionally gated on ops_per_sec: throughput collapsing below the
-// group's historical best by more than tol flags, since scaling with
-// connection count is what those rows exist to evidence. Groups with a
+// *median* of the group's earlier rows by more than tol flags, since scaling
+// with connection count is what those rows exist to evidence. The wall-clock
+// gates (ops_per_sec, ack_p99_ns) anchor on the median rather than the best
+// because one unusually idle session would otherwise set a bar no honest run
+// on a busier machine could meet — only the deterministic persistence-cost
+// columns keep best-based floors. Rebalance rows
+// (workload "rebalance") are gated on an absolute SLO instead of history:
+// rebalance_ratio below the serving floor flags regardless of prior rows.
+// Groups with a
 // single row have no baseline and pass. Blank lines are skipped; rows of a
 // different schema are an error, as mixing formats in one trajectory file
 // hides history.
@@ -121,10 +131,29 @@ func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
 	sort.Strings(order)
 	for _, key := range order {
 		rows := groups[key].rows
+		newest := rows[len(rows)-1]
+		// Rebalance rows carry an absolute SLO, not a history-relative gate:
+		// the during-split throughput fraction may never fall below the
+		// serving floor, even on a group's very first row. The ratio is
+		// self-normalizing (during / steady on the same machine and run), so
+		// unlike raw ops/sec it is safe to gate absolutely.
+		if newest.Workload == "rebalance" && newest.RebalanceRatio > 0 &&
+			newest.RebalanceRatio < rebalanceServingFloor {
+			regs = append(regs, Regression{
+				Workload: newest.Workload,
+				Engine:   newest.Engine,
+				Model:    newest.Model,
+				Threads:  newest.Threads,
+				Shards:   newest.Shards,
+				Metric:   "rebalance_ratio",
+				Newest:   newest.RebalanceRatio,
+				Best:     rebalanceServingFloor,
+				Limit:    rebalanceServingFloor,
+			})
+		}
 		if len(rows) < 2 {
 			continue
 		}
-		newest := rows[len(rows)-1]
 		base := Regression{
 			Workload: newest.Workload,
 			Engine:   newest.Engine,
@@ -169,43 +198,46 @@ func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
 			}
 		}
 		// Throughput gate for network-server rows: higher is better, so the
-		// floor is the historical best shrunk by the tolerance. Timing-based,
-		// hence only applied where throughput scaling is the row's claim.
+		// floor is the earlier rows' median shrunk by the tolerance. Anchoring
+		// on the median (not the best) keeps one unusually idle session from
+		// setting a floor normal runs cannot meet; a real collapse still lands
+		// far below any honest center. Timing-based, hence only applied where
+		// throughput scaling is the row's claim.
 		if newest.Conns > 0 {
-			bestOps := rows[0].OpsPerSec
-			for _, row := range rows[1 : len(rows)-1] {
-				if row.OpsPerSec > bestOps {
-					bestOps = row.OpsPerSec
-				}
+			var opsHist []float64
+			for _, row := range rows[:len(rows)-1] {
+				opsHist = append(opsHist, row.OpsPerSec)
 			}
-			floor := bestOps * (1 - tol)
+			medOps := medianOf(opsHist)
+			floor := medOps * (1 - tol)
 			if newest.OpsPerSec < floor {
 				r := base
 				r.Metric = "ops_per_sec"
 				r.Newest = newest.OpsPerSec
-				r.Best = bestOps
+				r.Best = medOps
 				r.Limit = floor
 				regs = append(regs, r)
 			}
 			// Ack-latency SLO ceiling: the p99 acknowledgment latency may not
-			// blow past the group's historical best. Quantiles come from
+			// blow past the earlier rows' median. Quantiles come from
 			// power-of-two buckets, so one bucket step (a factor of two) is
 			// legal jitter; the relative tolerance rides on top of that.
 			// Rows predating the ack histogram (p99 absent/zero) are skipped
 			// on both sides so old history neither gates nor trips.
-			bestP99 := uint64(0)
+			var p99Hist []float64
 			for _, row := range rows[:len(rows)-1] {
-				if row.AckP99Ns > 0 && (bestP99 == 0 || row.AckP99Ns < bestP99) {
-					bestP99 = row.AckP99Ns
+				if row.AckP99Ns > 0 {
+					p99Hist = append(p99Hist, float64(row.AckP99Ns))
 				}
 			}
-			if bestP99 > 0 && newest.AckP99Ns > 0 {
-				ceiling := float64(bestP99) * 2 * (1 + tol)
+			if len(p99Hist) > 0 && newest.AckP99Ns > 0 {
+				medP99 := medianOf(p99Hist)
+				ceiling := medP99 * 2 * (1 + tol)
 				if float64(newest.AckP99Ns) > ceiling {
 					r := base
 					r.Metric = "ack_p99_ns"
 					r.Newest = float64(newest.AckP99Ns)
-					r.Best = float64(bestP99)
+					r.Best = medP99
 					r.Limit = ceiling
 					regs = append(regs, r)
 				}
@@ -213,6 +245,16 @@ func CheckTrajectory(r io.Reader, tol float64) ([]Regression, error) {
 		}
 	}
 	return regs, nil
+}
+
+// medianOf returns the lower median of xs (the middle element after
+// sorting; for even counts the lower of the two middles, which biases the
+// wall-clock baselines slightly toward the stricter side). xs must be
+// non-empty; the caller's slice is not reordered.
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
 }
 
 // CheckTrajectoryFile is CheckTrajectory over a file path.

@@ -148,10 +148,48 @@ func TestCheckTrajectoryAckP99Ceiling(t *testing.T) {
 		t.Fatalf("got %v, want one ack_p99_ns regression", regs)
 	}
 	if regs[0].Best != 524287 {
-		t.Fatalf("ceiling anchored on %v, want the historical best 524287", regs[0].Best)
+		t.Fatalf("ceiling anchored on %v, want the earlier rows' median 524287", regs[0].Best)
 	}
 	if !strings.Contains(regs[0].String(), "ack_p99_ns") {
 		t.Errorf("regression string %q lacks metric name", regs[0].String())
+	}
+}
+
+func TestCheckTrajectoryWallClockGatesUseMedian(t *testing.T) {
+	// One unusually idle session recorded an outlier row (high throughput,
+	// low p99). The wall-clock gates must anchor on the median of the earlier
+	// rows, so a newest row consistent with the typical runs passes even
+	// though it falls outside tolerance of the outlier.
+	rows := strings.Join([]string{
+		serverRow(8, 160000, 1048575), // idle-session outlier
+		serverRow(8, 100000, 4194303),
+		serverRow(8, 101000, 4194303),
+		serverRow(8, 99000, 4194303), // newest: typical, must pass
+	}, "\n")
+	regs, err := CheckTrajectory(strings.NewReader(rows), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("median-consistent newest row flagged against an outlier: %v", regs)
+	}
+
+	// A genuine collapse still lands far below the median floor.
+	bad := rows + "\n" + serverRow(8, 20000, 67108863)
+	regs, err = CheckTrajectory(strings.NewReader(bad), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %v, want ops_per_sec and ack_p99_ns regressions", regs)
+	}
+	for _, r := range regs {
+		if r.Metric != "ops_per_sec" && r.Metric != "ack_p99_ns" {
+			t.Errorf("unexpected regression %+v", r)
+		}
+		if r.Metric == "ops_per_sec" && r.Best != 100000 {
+			t.Errorf("ops floor anchored on %v, want the median 100000", r.Best)
+		}
 	}
 }
 

@@ -107,6 +107,14 @@ type WorkloadResult struct {
 	// durable ack, nanoseconds) for network-server rows; absent elsewhere.
 	AckP50Ns uint64 `json:"ack_p50_ns,omitempty"`
 	AckP99Ns uint64 `json:"ack_p99_ns,omitempty"`
+	// SteadyOpsPerSec and RebalanceRatio are online-rebalance fields
+	// (workload "rebalance", emitted by RunMigrateWorkload): client
+	// throughput before the split starts, and the during-split fraction
+	// OpsPerSec / SteadyOpsPerSec. The ratio carries an absolute SLO in the
+	// trajectory checker — a store must keep serving at least half its
+	// steady throughput while a shard splits.
+	SteadyOpsPerSec float64 `json:"steady_ops_per_sec,omitempty"`
+	RebalanceRatio  float64 `json:"rebalance_ratio,omitempty"`
 	// Audit fields are present only for -audit runs.
 	AuditViolations uint64       `json:"audit_violations,omitempty"`
 	AuditWaste      *audit.Waste `json:"audit_waste,omitempty"`

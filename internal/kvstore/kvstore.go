@@ -230,6 +230,15 @@ func (db *DB) Range(reverse bool, fn func(key, val []byte) bool) error {
 	})
 }
 
+// RangeTx iterates all pairs inside an existing transaction on this
+// store's engine, so a caller can combine the scan with point reads (or
+// writes) in the same atomic snapshot — the shard migration copier
+// snapshots a keyspace slice this way. The callback's key/val slices are
+// only valid during the call; copy what outlives the transaction.
+func (db *DB) RangeTx(tx ptm.Tx, reverse bool, fn func(key, val []byte) bool) {
+	db.m.Range(tx, reverse, fn)
+}
+
 // Stats reports store-level counters and capacity.
 type Stats struct {
 	// Pairs is the number of live key-value pairs.

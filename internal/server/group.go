@@ -69,6 +69,16 @@ type Pending struct {
 	seq  uint64
 	text string
 	done chan struct{}
+	// keys are the operation's routing keys (base key plus sidecars). They
+	// let the commit loop detect an operation whose ownership migrated off
+	// the submitted shard while it sat in the queue; nil pins the operation
+	// to the submitted shard (harness submissions, which never race a
+	// migration).
+	keys [][]byte
+	// redo re-dispatches a re-routed operation on whatever shard owns its
+	// keys now. The commit loop calls it OUTSIDE the batch's route pin, so
+	// it may take the store's migration lock itself.
+	redo func() string
 	// sp, when tracing, is the request's span; the commit loop stamps the
 	// queue-drain, tx-start and psync-done boundaries on it. Only the loop
 	// writes these fields, and the writer goroutine reads them strictly
@@ -120,13 +130,19 @@ type Committer struct {
 	onBatch  func(int, uint64, []*Pending)
 	flight   bool // the store has flight recorders; stamp batch records
 
+	// qmu guards queues against growth: a SPLIT that adds a shard calls
+	// EnsureShards so writes routed to the new shard after cutover have a
+	// commit loop to land on.
+	qmu    sync.RWMutex
 	queues []chan *Pending
+	closed bool
 	wg     sync.WaitGroup
 	once   sync.Once
 
 	batches    *obs.Counter
 	batchOps   *obs.Counter
 	soloRuns   *obs.Counter
+	reroutes   *obs.Counter
 	batchConns *obs.Histogram
 	ackNs      *obs.Histogram
 }
@@ -151,15 +167,50 @@ func NewCommitter(st *shard.Store, opts GroupOptions) *Committer {
 		batches:    reg.Counter("net_group_batch_total"),
 		batchOps:   reg.Counter("net_group_batch_ops_total"),
 		soloRuns:   reg.Counter("net_group_solo_total"),
+		reroutes:   reg.Counter("net_group_reroute_total"),
 		batchConns: reg.Histogram("net_group_batch_conns"),
 		ackNs:      reg.Histogram("net_ack_latency_ns"),
 	}
 	for i := range c.queues {
 		c.queues[i] = make(chan *Pending, 4*maxBatch)
 		c.wg.Add(1)
-		go c.loop(i)
+		go c.loop(i, c.queues[i])
 	}
 	return c
+}
+
+// EnsureShards grows the committer to at least n shard queues, starting a
+// commit loop per new shard. The server calls it when a SPLIT provisions a
+// shard, so writes that route there after the cutover have a loop to land
+// on; Submit also calls it defensively. No-op after Close.
+func (c *Committer) EnsureShards(n int) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if c.closed {
+		return
+	}
+	for len(c.queues) < n {
+		q := make(chan *Pending, 4*c.maxBatch)
+		c.queues = append(c.queues, q)
+		c.wg.Add(1)
+		go c.loop(len(c.queues)-1, q)
+	}
+}
+
+// queue returns shard sh's channel, growing the queue set if a migration
+// added shards since the committer started.
+func (c *Committer) queue(sh int) chan *Pending {
+	c.qmu.RLock()
+	if sh < len(c.queues) {
+		q := c.queues[sh]
+		c.qmu.RUnlock()
+		return q
+	}
+	c.qmu.RUnlock()
+	c.EnsureShards(sh + 1)
+	c.qmu.RLock()
+	defer c.qmu.RUnlock()
+	return c.queues[sh]
 }
 
 // Submit enqueues fn for key's shard sh and returns its future. conn
@@ -170,24 +221,25 @@ func NewCommitter(st *shard.Store, opts GroupOptions) *Committer {
 // per-key ordering for free. Submit must not be called after Close.
 func (c *Committer) Submit(sh int, conn uint64, op string, tag any, fn OpFunc) *Pending {
 	p := &Pending{fn: fn, op: op, conn: conn, tag: tag, enq: time.Now(), done: make(chan struct{})}
-	c.queues[sh] <- p
+	c.queue(sh) <- p
 	return p
 }
 
-// submitSpan is Submit with a request span attached. The span MUST be wired
-// before the channel send — the commit loop may pick the Pending up the
-// instant it is queued, so attaching afterwards is a data race. The send is
-// the happens-before edge that publishes sp's reader-side stamps to the
-// loop.
-func (c *Committer) submitSpan(sh int, conn uint64, op string, sp *spanInfo, fn OpFunc) *Pending {
-	p := &Pending{fn: fn, op: op, conn: conn, enq: time.Now(), done: make(chan struct{})}
+// submitSpan is Submit with a request span and routing keys attached. The
+// span MUST be wired before the channel send — the commit loop may pick the
+// Pending up the instant it is queued, so attaching afterwards is a data
+// race. The send is the happens-before edge that publishes sp's reader-side
+// stamps to the loop. keys/redo let the commit loop re-dispatch the
+// operation if a migration cutover moves its keys off sh while it queues.
+func (c *Committer) submitSpan(sh int, conn uint64, op string, sp *spanInfo, keys [][]byte, redo func() string, fn OpFunc) *Pending {
+	p := &Pending{fn: fn, op: op, conn: conn, enq: time.Now(), done: make(chan struct{}), keys: keys, redo: redo}
 	if sp != nil {
 		sp.op = op
 		sp.parsed = p.enq
 		sp.shard = sh
 		p.sp = sp
 	}
-	c.queues[sh] <- p
+	c.queue(sh) <- p
 	return p
 }
 
@@ -195,17 +247,19 @@ func (c *Committer) submitSpan(sh int, conn uint64, op string, sp *spanInfo, fn 
 // resolve — and stops the commit loops. Callers must stop Submitting first.
 func (c *Committer) Close() {
 	c.once.Do(func() {
+		c.qmu.Lock()
+		c.closed = true
 		for _, q := range c.queues {
 			close(q)
 		}
+		c.qmu.Unlock()
 	})
 	c.wg.Wait()
 }
 
 // loop is shard sh's commit loop.
-func (c *Committer) loop(sh int) {
+func (c *Committer) loop(sh int, q chan *Pending) {
 	defer c.wg.Done()
-	q := c.queues[sh]
 	var seq uint64
 	batch := make([]*Pending, 0, c.maxBatch)
 	for first := range q {
@@ -278,7 +332,64 @@ func (c *Committer) drainInto(q chan *Pending, batch []*Pending) []*Pending {
 // batch — and the BatchCommit record lands after the psync, so a durable
 // commit record implies the batch's data is durable too (the psync strictly
 // preceded the record's own fence).
+// commit additionally pins routing for the whole batch: an elastic-shard
+// cutover can flip slot ownership between an operation's submit (it was
+// routed to sh then) and its drain (it commits now). The write handle holds
+// the store's migration read lock across the transaction, so ownership
+// cannot flip mid-batch; operations whose keys already re-routed off sh
+// while queued are split out and re-dispatched on their new shard after the
+// batch (p.redo), which preserves submission order per key — a key's queued
+// operations either all still route here or all moved with it.
 func (c *Committer) commit(sh int, seq uint64, ops []*Pending) {
+	var rkeys [][]byte
+	for _, p := range ops {
+		rkeys = append(rkeys, p.keys...)
+	}
+	h := c.st.BeginWrite(rkeys...)
+	local := ops
+	var moved []*Pending
+	if len(rkeys) > 0 {
+		local = ops[:0]
+		for _, p := range ops {
+			if c.routedHere(h, p, sh) {
+				local = append(local, p)
+			} else {
+				moved = append(moved, p)
+			}
+		}
+	}
+	if len(local) > 0 {
+		c.commitLocal(h, sh, seq, local)
+	}
+	h.Done()
+	// Re-dispatches run outside the handle: each takes its own route pin
+	// (and the cross-shard path takes the migration lock), which would
+	// deadlock against a cutover waiting on ours.
+	for _, p := range moved {
+		c.reroutes.Inc()
+		p.text = p.redo()
+		c.finish(p, seq, soloEnd(p))
+	}
+}
+
+// routedHere reports whether p's keys all still route to sh under the
+// batch's route pin. Keyless (or redo-less) operations are pinned to their
+// submitted shard.
+func (c *Committer) routedHere(h *shard.WriteHandle, p *Pending, sh int) bool {
+	if p.keys == nil || p.redo == nil {
+		return true
+	}
+	for _, k := range p.keys {
+		if h.Route(k) != sh {
+			return false
+		}
+	}
+	return true
+}
+
+// commitLocal runs the batch members still routed to sh as one durable
+// shard transaction. Caller holds the batch's route pin.
+func (c *Committer) commitLocal(h *shard.WriteHandle, sh int, seq uint64, ops []*Pending) {
 	if c.onBatch != nil {
 		c.onBatch(sh, seq, ops)
 	}
@@ -397,6 +508,7 @@ type GroupStats struct {
 	Batches      uint64  `json:"batches"`
 	BatchOps     uint64  `json:"batch_ops"`
 	SoloRuns     uint64  `json:"solo_runs"`
+	Reroutes     uint64  `json:"reroutes"`
 	MeanBatchOps float64 `json:"mean_batch_ops"`
 	QueueDepth   []int   `json:"queue_depth"`
 }
@@ -404,16 +516,20 @@ type GroupStats struct {
 // Stats snapshots the committer for STATS replies. Queue depths are
 // instantaneous (the loops keep draining while we look).
 func (c *Committer) Stats() GroupStats {
+	c.qmu.RLock()
+	queues := c.queues
+	c.qmu.RUnlock()
 	g := GroupStats{
 		Batches:    c.batches.Load(),
 		BatchOps:   c.batchOps.Load(),
 		SoloRuns:   c.soloRuns.Load(),
-		QueueDepth: make([]int, len(c.queues)),
+		Reroutes:   c.reroutes.Load(),
+		QueueDepth: make([]int, len(queues)),
 	}
 	if g.Batches > 0 {
 		g.MeanBatchOps = float64(g.BatchOps) / float64(g.Batches)
 	}
-	for i, q := range c.queues {
+	for i, q := range queues {
 		g.QueueDepth[i] = len(q)
 	}
 	return g

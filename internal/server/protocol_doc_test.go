@@ -131,9 +131,26 @@ func TestProtocolDocCoversStatsFields(t *testing.T) {
 			t.Errorf("STATS group_commit sends sub-key %q, not named in docs/PROTOCOL.md", key)
 		}
 	}
-	for _, key := range []string{"batches", "batch_ops", "solo_runs", "mean_batch_ops", "queue_depth"} {
+	for _, key := range []string{"batches", "batch_ops", "solo_runs", "reroutes", "mean_batch_ops", "queue_depth"} {
 		if _, ok := group[key]; !ok {
 			t.Errorf("documented group_commit sub-key %q missing from the reply", key)
+		}
+	}
+
+	var placement map[string]json.RawMessage
+	if err := json.Unmarshal(reply["placement"], &placement); err != nil {
+		t.Fatalf("placement is not an object: %v", err)
+	}
+	for key := range placement {
+		if !strings.Contains(doc, "`"+key+"`") {
+			t.Errorf("STATS placement sends sub-key %q, not named in docs/PROTOCOL.md", key)
+		}
+	}
+	// migration is omitempty — present only while a journal is open — so only
+	// the always-present keys are required here; migrate tests cover the rest.
+	for _, key := range []string{"slots", "version", "shard_slots"} {
+		if _, ok := placement[key]; !ok {
+			t.Errorf("documented placement sub-key %q missing from the reply", key)
 		}
 	}
 }

@@ -23,6 +23,8 @@
 //	  DISCARD             -> OK
 //	STATS                 -> STATS <json>   (store + uptime + group-commit snapshot)
 //	SCRUB <shard>         -> OK             (re-formats and readmits a quarantined shard)
+//	SPLIT <shard>         -> OK <dst>       (starts an online split; runs in background)
+//	PLACEMENT             -> PLACEMENT <json> (slot map + migration progress)
 //	QUIT                  -> BYE            (server closes the connection)
 //	anything else         -> ERR <message>
 //
@@ -73,6 +75,7 @@ import (
 	"time"
 
 	"repro/internal/kvstore"
+	"repro/internal/migrate"
 	"repro/internal/obs"
 	"repro/internal/ptm"
 	"repro/internal/shard"
@@ -132,6 +135,12 @@ type Server struct {
 	started     time.Time
 	reqSeq      atomic.Uint64
 
+	// driver runs SPLIT's online shard migration (one at a time); splitWG
+	// tracks the background run so Shutdown does not return while a split
+	// still mutates the store.
+	driver  *migrate.Driver
+	splitWG sync.WaitGroup
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -153,6 +162,7 @@ type Server struct {
 	cmdErr      *obs.Counter
 	cmdUnavail  *obs.Counter
 	cmdScrub    *obs.Counter
+	cmdSplit    *obs.Counter
 	idleClosed  *obs.Counter
 	flushes     *obs.Counter
 }
@@ -182,6 +192,7 @@ func New(st *shard.Store, opts Options) *Server {
 			Linger:   opts.GroupLinger,
 			Registry: reg,
 		}),
+		driver:      migrate.New(st, migrate.Options{}),
 		idleTimeout: opts.IdleTimeout,
 		maxBatchOps: maxOps,
 		now:         now,
@@ -200,6 +211,7 @@ func New(st *shard.Store, opts Options) *Server {
 		cmdErr:      reg.Counter("net_cmd_err_total"),
 		cmdUnavail:  reg.Counter("net_cmd_unavail_total"),
 		cmdScrub:    reg.Counter("net_cmd_scrub_total"),
+		cmdSplit:    reg.Counter("net_cmd_split_total"),
 		idleClosed:  reg.Counter("net_conn_idle_closed_total"),
 		flushes:     reg.Counter("net_reply_flush_total"),
 	}
@@ -216,9 +228,10 @@ func (s *Server) GroupCommitter() *Committer { return s.committer }
 // diffs them against this struct, so renames cannot slip past the docs.
 type StatsReply struct {
 	shard.Stats
-	UptimeSecs  float64    `json:"uptime_secs"`
-	Quarantined []int      `json:"quarantined_shards"`
-	Group       GroupStats `json:"group_commit"`
+	UptimeSecs  float64             `json:"uptime_secs"`
+	Quarantined []int               `json:"quarantined_shards"`
+	Group       GroupStats          `json:"group_commit"`
+	Placement   shard.PlacementInfo `json:"placement"`
 }
 
 // StatsReply snapshots the server for the STATS command (and romulusd's
@@ -233,6 +246,7 @@ func (s *Server) StatsReply() StatsReply {
 		UptimeSecs:  time.Since(s.started).Seconds(),
 		Quarantined: q,
 		Group:       s.committer.Stats(),
+		Placement:   s.st.Placement(),
 	}
 }
 
@@ -243,7 +257,8 @@ func (s *Server) StatsReply() StatsReply {
 func Commands() []string {
 	return []string{
 		"DECR", "DEL", "DISCARD", "EXEC", "EXPIRE", "GET", "INCR",
-		"MULTI", "PING", "QUIT", "SCRUB", "SET", "STATS", "TTL",
+		"MULTI", "PING", "PLACEMENT", "QUIT", "SCRUB", "SET", "SPLIT",
+		"STATS", "TTL",
 	}
 }
 
@@ -288,6 +303,11 @@ func (s *Server) Serve(ln net.Listener) error {
 // stranded.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.drain.Store(true)
+	// An in-flight split rolls back if it has not cut over yet (the journal's
+	// abort arm); past the cutover it runs forward to completion. Either way
+	// the background run finishes before Shutdown returns, so the caller may
+	// close the store.
+	s.driver.Stop()
 	s.mu.Lock()
 	s.draining = true
 	if s.ln != nil {
@@ -307,6 +327,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.splitWG.Wait()
 		s.committer.Close()
 		return nil
 	case <-ctx.Done():
@@ -316,6 +337,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.splitWG.Wait()
 		s.committer.Close()
 		return ctx.Err()
 	}
@@ -737,6 +759,24 @@ func (s *Server) dispatch(line string, st *connState) (token, bool) {
 			return imm(s.errf("scrub: %v", err)), false
 		}
 		return imm("OK"), false
+	case "SPLIT":
+		arg := strings.TrimSpace(rest)
+		n, err := strconv.Atoi(arg)
+		if arg == "" || err != nil {
+			return imm(s.errf("SPLIT needs a source shard index")), false
+		}
+		s.cmdSplit.Inc()
+		return imm(s.startSplit(n)), false
+	case "PLACEMENT":
+		reply := struct {
+			shard.PlacementInfo
+			Driver migrate.Status `json:"driver"`
+		}{s.st.Placement(), s.driver.Status()}
+		js, err := json.Marshal(reply)
+		if err != nil {
+			return imm(s.errf("placement: %v", err)), false
+		}
+		return imm("PLACEMENT " + string(js)), false
 	case "QUIT":
 		return imm("BYE"), true
 	default:
@@ -744,12 +784,66 @@ func (s *Server) dispatch(line string, st *connState) (token, bool) {
 	}
 }
 
+// startSplit provisions a fresh shard, begins moving half of src's slots to
+// it, and runs the copy/cutover/cleanup phases in the background — the
+// store keeps serving throughout (poll PLACEMENT or STATS for progress).
+// The reply names the destination shard. One migration runs at a time.
+func (s *Server) startSplit(src int) string {
+	if s.drain.Load() {
+		return s.errf("split: server is shutting down")
+	}
+	dst, err := s.driver.Begin(src, -1)
+	if err != nil {
+		if errors.Is(err, migrate.ErrBusy) {
+			return s.errf("migration already in progress")
+		}
+		return s.errf("split: %v", err)
+	}
+	// The new shard needs a commit loop before any write routes to it at
+	// cutover.
+	s.committer.EnsureShards(s.st.NumShards())
+	s.splitWG.Add(1)
+	go func() {
+		defer s.splitWG.Done()
+		// A terminal error (or a Stop-induced rollback) is recorded in the
+		// driver's Status, which PLACEMENT exposes.
+		_ = s.driver.Run()
+	}()
+	return "OK " + strconv.Itoa(dst)
+}
+
 // submitWrite routes one write to its shard's group-commit loop and tracks
-// the future for the connection's read barrier.
+// the future for the connection's read barrier. The routing keys (base key
+// plus its expiry sidecar — every write body may touch both) and the redo
+// closure let the commit loop re-dispatch the write if a migration cutover
+// moves the key off the submitted shard while it queues.
 func (s *Server) submitWrite(st *connState, key []byte, op string, fn OpFunc) *Pending {
-	p := s.committer.submitSpan(s.st.ShardFor(key), st.id, op, st.cur, fn)
+	keys := [][]byte{key, expiryKey(key)}
+	redo := func() string { return s.soloWrite(keys, op, fn) }
+	p := s.committer.submitSpan(s.st.ShardFor(key), st.id, op, st.cur, keys, redo, fn)
 	st.track(p)
 	return p
+}
+
+// soloWrite runs one re-routed operation on whatever shard owns its keys
+// now, under its own route pin (dirty-marking the keys if they are moving
+// again).
+func (s *Server) soloWrite(keys [][]byte, op string, fn OpFunc) string {
+	h := s.st.BeginWrite(keys...)
+	defer h.Done()
+	var text string
+	err := s.st.Update(h.Route(keys[0]), func(tx ptm.Tx, db *kvstore.DB) error {
+		t, e := fn(tx, db)
+		if e != nil {
+			return e
+		}
+		text = t
+		return nil
+	})
+	if err != nil {
+		return s.opReply(op, err)
+	}
+	return text
 }
 
 // verbOf uppercases a line's command word for span labeling.
@@ -807,7 +901,19 @@ func (s *Server) execMulti(st *connState, b *kvstore.Batch) token {
 	})
 	if single {
 		reply := fmt.Sprintf("OK %d", n)
-		p := s.committer.submitSpan(only, st.id, "exec", st.cur, func(tx ptm.Tx, db *kvstore.DB) (string, error) {
+		var keys [][]byte
+		ex.Each(func(del bool, key, val []byte) { keys = append(keys, key) })
+		// If a cutover moves any of the batch's keys before it commits, the
+		// redo path re-dispatches through the store's write front door,
+		// which regroups by current ownership (and runs the two-phase
+		// protocol if the batch is now cross-shard).
+		redo := func() string {
+			if err := s.st.Write(ex); err != nil {
+				return s.opReply("exec", err)
+			}
+			return reply
+		}
+		p := s.committer.submitSpan(only, st.id, "exec", st.cur, keys, redo, func(tx ptm.Tx, db *kvstore.DB) (string, error) {
 			if err := db.Apply(tx, ex); err != nil {
 				return "", err
 			}
@@ -943,11 +1049,13 @@ func (s *Server) expireOp(key []byte, secs int64) OpFunc {
 
 // readKey serves GET: one read transaction on the key's shard, honoring lazy
 // expiry (an expired pair reads as NOTFOUND; it is swept by the next write
-// to the key, keeping reads wait-free).
+// to the key, keeping reads wait-free). ViewKey routes and reads under one
+// left-right arrival, so reads stay wait-free even mid-migration — they
+// never block on the cutover fence.
 func (s *Server) readKey(key string) string {
 	kb := []byte(key)
 	var reply string
-	err := s.st.View(s.st.ShardFor(kb), func(tx ptm.Tx, db *kvstore.DB) error {
+	err := s.st.ViewKey(kb, func(tx ptm.Tx, db *kvstore.DB) error {
 		v, err := db.GetTx(tx, kb)
 		if errors.Is(err, kvstore.ErrNotFound) {
 			reply = "NOTFOUND"
@@ -975,7 +1083,7 @@ func (s *Server) ttlReply(key string) string {
 	kb := []byte(key)
 	now := s.now()
 	var reply string
-	err := s.st.View(s.st.ShardFor(kb), func(tx ptm.Tx, db *kvstore.DB) error {
+	err := s.st.ViewKey(kb, func(tx ptm.Tx, db *kvstore.DB) error {
 		_, err := db.GetTx(tx, kb)
 		if errors.Is(err, kvstore.ErrNotFound) {
 			reply = "NOTFOUND"

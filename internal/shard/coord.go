@@ -126,7 +126,7 @@ func openCoordinator(dev *pmem.Device, s *Store, aud ptm.Auditor) (*coordinator,
 	// it cannot — a corrupted state word repaired below — since reusing an
 	// id a shard has already applied would break replay idempotency.
 	maxApplied := uint64(0)
-	for i, p := range s.shards {
+	for i, p := range s.parts() {
 		w, err := p.appliedID()
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: reading applied watermark: %w", i, err)
@@ -215,7 +215,7 @@ func (c *coordinator) replay(s *Store, id uint64) error {
 			ErrCorruptLog, id, d.Load64(cOffBatchID))
 	}
 	payLen := int(d.Load64(cOffPayLen))
-	if payLen <= 0 || cPayloadBase+payLen > d.Size() {
+	if payLen <= 0 || cPayloadBase+payLen > d.Size()-placementReserve {
 		return fmt.Errorf("%w: payload length %d out of bounds", ErrCorruptLog, payLen)
 	}
 	payload := make([]byte, payLen)
@@ -223,7 +223,7 @@ func (c *coordinator) replay(s *Store, id uint64) error {
 	if sum := payloadSum(payload); sum != d.Load64(cOffPaySum) {
 		return fmt.Errorf("%w: payload checksum mismatch", ErrCorruptLog)
 	}
-	groups, err := decodeOps(payload, len(s.shards))
+	groups, err := decodeOps(payload, len(s.parts()))
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorruptLog, err)
 	}
@@ -231,22 +231,23 @@ func (c *coordinator) replay(s *Store, id uint64) error {
 	// the done transition (the record must stay replayable for them), so the
 	// caller wedges instead of retiring the batch.
 	var blocked []int
+	parts := s.parts()
 	for i, g := range groups {
 		if g == nil {
 			continue
 		}
-		if s.shards[i].faulted.Load() {
+		if parts[i].faulted.Load() {
 			blocked = append(blocked, i)
 			continue
 		}
-		w, err := s.shards[i].appliedID()
+		w, err := parts[i].appliedID()
 		if err != nil {
 			return fmt.Errorf("shard %d: reading applied watermark: %w", i, err)
 		}
 		if w >= id {
 			continue // this shard's slice already durable
 		}
-		if err := s.shards[i].applyPrepared(id, g); err != nil {
+		if err := parts[i].applyPrepared(id, g); err != nil {
 			return fmt.Errorf("shard %d: replaying batch %d: %w", i, id, err)
 		}
 	}
@@ -275,18 +276,19 @@ func (c *coordinator) commit(s *Store, groups []*kvstore.Batch) error {
 	}
 	// Refuse upfront if any involved shard is quarantined: preparing a batch
 	// that cannot complete would only wedge the coordinator.
+	parts := s.parts()
 	for i, g := range groups {
-		if g != nil && s.shards[i].faulted.Load() {
+		if g != nil && parts[i].faulted.Load() {
 			c.aborts.Add(1)
 			return s.unavail(i)
 		}
 	}
 
 	payload := encodeOps(groups)
-	if cPayloadBase+len(payload) > c.dev.Size() {
+	if cPayloadBase+len(payload) > c.dev.Size()-placementReserve {
 		c.aborts.Add(1)
 		return fmt.Errorf("shard: batch payload (%d bytes) exceeds coordinator log capacity (%d)",
-			len(payload), c.dev.Size()-cPayloadBase)
+			len(payload), c.dev.Size()-placementReserve-cPayloadBase)
 	}
 	id := c.lastID + 1
 	d := c.dev
@@ -326,7 +328,7 @@ func (c *coordinator) commit(s *Store, groups []*kvstore.Batch) error {
 		if g == nil {
 			continue
 		}
-		if err := s.shards[i].applyPrepared(id, g); err != nil {
+		if err := parts[i].applyPrepared(id, g); err != nil {
 			if s.opts.QuarantineFaults && errors.Is(err, pmem.ErrMediaFault) {
 				s.quarantine(i, err)
 			}

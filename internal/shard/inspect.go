@@ -1,0 +1,136 @@
+// Offline coordinator-image inspection for romulus-recover's -coord mode:
+// decode the two-phase record's state (is a batch in doubt?), a light scan
+// of its payload, and the placement record with any migration journal —
+// without opening engines or mutating anything.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/migrate"
+)
+
+// PlacementReport is the decoded placement record of a coordinator image.
+type PlacementReport struct {
+	NumSlots  int    `json:"slots"`
+	NumShards int    `json:"shards"`
+	Version   uint64 `json:"version"`
+	// SlotsPerShard counts owned slots by shard index.
+	SlotsPerShard []int           `json:"slots_per_shard"`
+	Journal       migrate.Journal `json:"journal"`
+}
+
+// CoordReport is an offline dump of a coordinator log image: the 2PC
+// record's disposition plus the placement record (when present).
+type CoordReport struct {
+	// Formatted reports a valid magic + header. False means a fresh or
+	// mid-format image: nothing was ever prepared, nothing to resolve.
+	Formatted bool `json:"formatted"`
+	// State is the state word's tag: "free", "prepared", or "garbage".
+	State string `json:"state,omitempty"`
+	// BatchID is the id named by the state word.
+	BatchID uint64 `json:"batch_id,omitempty"`
+	// InDoubt means a prepared batch would be rolled forward at reopen.
+	InDoubt bool `json:"in_doubt"`
+	// PayloadOps counts the staged batch's operations; OpsPerShard splits
+	// the count by destination shard. Only meaningful when InDoubt (the
+	// payload area otherwise holds a retired or abandoned record).
+	PayloadOps   int         `json:"payload_ops,omitempty"`
+	OpsPerShard  map[int]int `json:"ops_per_shard,omitempty"`
+	PayloadError string      `json:"payload_error,omitempty"`
+	// Placement is the decoded placement record; nil when the image
+	// predates placement routing (or is too small to hold the record).
+	Placement *PlacementReport `json:"placement,omitempty"`
+}
+
+// PlacementJournalPhase reports the migration journal's phase in the
+// decoded placement record (PhaseNone when no placement record decoded).
+func (rep CoordReport) PlacementJournalPhase() migrate.Phase {
+	if rep.Placement == nil {
+		return migrate.PhaseNone
+	}
+	return rep.Placement.Journal.Phase
+}
+
+// InspectCoordImage decodes a captured or saved coordinator image. It
+// never fails: damage is reported in the fields rather than refused, so
+// the operator sees whatever survives.
+func InspectCoordImage(img []byte) CoordReport {
+	var rep CoordReport
+	le := binary.LittleEndian
+	if len(img) >= cPayloadBase && le.Uint64(img[cOffMagic:]) == cMagic &&
+		le.Uint64(img[cOffVersion:]) == cVersion &&
+		le.Uint64(img[cOffHeadSum:]) == cMagic^cVersion^cHeadSalt {
+		rep.Formatted = true
+		word := le.Uint64(img[cOffState:])
+		rep.BatchID = word & cIDMask
+		switch word & cTagMask {
+		case cTagFree:
+			rep.State = "free"
+		case cTagPrepared:
+			rep.State = "prepared"
+			rep.InDoubt = true
+			rep.scanPayload(img)
+		default:
+			rep.State = "garbage"
+		}
+	}
+	if len(img) >= placementReserve {
+		if pl := migrate.DecodeRecordBytes(img[len(img)-placementReserve:]); pl != nil {
+			rep.Placement = &PlacementReport{
+				NumSlots:      pl.NumSlots,
+				NumShards:     pl.NumShards,
+				Version:       pl.Version,
+				SlotsPerShard: pl.Counts(),
+				Journal:       pl.Journal,
+			}
+		}
+	}
+	return rep
+}
+
+// scanPayload walks the staged ops counting per-shard totals. It is a
+// bounds-checking scan, not a full decode: no batches are materialized.
+func (rep *CoordReport) scanPayload(img []byte) {
+	le := binary.LittleEndian
+	if metaID := le.Uint64(img[cOffBatchID:]); metaID != rep.BatchID {
+		rep.PayloadError = fmt.Sprintf("prepared state names batch %d but meta holds %d", rep.BatchID, metaID)
+		return
+	}
+	payLen := int(le.Uint64(img[cOffPayLen:]))
+	if payLen <= 0 || cPayloadBase+payLen > len(img)-placementReserve {
+		rep.PayloadError = fmt.Sprintf("payload length %d out of bounds", payLen)
+		return
+	}
+	payload := img[cPayloadBase : cPayloadBase+payLen]
+	if sum := payloadSum(payload); sum != le.Uint64(img[cOffPaySum:]) {
+		rep.PayloadError = "payload checksum mismatch"
+		return
+	}
+	if len(payload) < 4 {
+		rep.PayloadError = "payload truncated before op count"
+		return
+	}
+	n := int(le.Uint32(payload))
+	pos := 4
+	perShard := make(map[int]int)
+	for op := 0; op < n; op++ {
+		if pos+13 > len(payload) {
+			rep.PayloadError = fmt.Sprintf("payload truncated in op %d header", op)
+			return
+		}
+		sh := int(le.Uint32(payload[pos:]))
+		klen := int(le.Uint32(payload[pos+5:]))
+		vlen := int(le.Uint32(payload[pos+9:]))
+		pos += 13
+		if klen < 0 || vlen < 0 || pos+klen+vlen > len(payload) {
+			rep.PayloadError = fmt.Sprintf("payload truncated in op %d body", op)
+			return
+		}
+		pos += klen + vlen
+		perShard[sh]++
+	}
+	rep.PayloadOps = n
+	rep.OpsPerShard = perShard
+}

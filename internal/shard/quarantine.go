@@ -49,7 +49,7 @@ func (e *UnavailError) Unwrap() error { return ErrShardUnavailable }
 
 // unavail builds the typed refusal for shard i with its recorded reason.
 func (s *Store) unavail(i int) *UnavailError {
-	p := s.shards[i]
+	p := s.parts()[i]
 	p.mu.RLock()
 	r := p.reason
 	p.mu.RUnlock()
@@ -58,7 +58,7 @@ func (s *Store) unavail(i int) *UnavailError {
 
 // quarantine marks shard i FAULTED (idempotently) with cause as the reason.
 func (s *Store) quarantine(i int, cause error) {
-	p := s.shards[i]
+	p := s.parts()[i]
 	p.mu.Lock()
 	if !p.faulted.Load() {
 		p.reason = cause.Error()
@@ -74,7 +74,7 @@ func (s *Store) quarantine(i int, cause error) {
 // and a fault that survives the retries quarantines the shard (when
 // Options.QuarantineFaults) and returns the typed *UnavailError.
 func (s *Store) onShard(i int, op func(p *shardPart) error) error {
-	p := s.shards[i]
+	p := s.parts()[i]
 	for attempt := 0; ; attempt++ {
 		if p.faulted.Load() {
 			return s.unavail(i)
@@ -117,7 +117,7 @@ func quarantinedOnOpen(err error) bool {
 // Quarantined returns the indices of currently quarantined shards.
 func (s *Store) Quarantined() []int {
 	var out []int
-	for i, p := range s.shards {
+	for i, p := range s.parts() {
 		if p.faulted.Load() {
 			out = append(out, i)
 		}
@@ -128,7 +128,7 @@ func (s *Store) Quarantined() []int {
 // QuarantineReason returns the recorded cause for a quarantined shard, or
 // "" when the shard is healthy.
 func (s *Store) QuarantineReason(i int) string {
-	p := s.shards[i]
+	p := s.parts()[i]
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return p.reason
@@ -142,10 +142,11 @@ func (s *Store) QuarantineReason(i int) string {
 // error if the shard is not quarantined, if the rebuild fails, or if the
 // coordinator resolution fails (the shard is readmitted either way).
 func (s *Store) Scrub(i int) error {
-	if i < 0 || i >= len(s.shards) {
+	parts := s.parts()
+	if i < 0 || i >= len(parts) {
 		return fmt.Errorf("shard: scrub: no shard %d", i)
 	}
-	p := s.shards[i]
+	p := parts[i]
 	if !p.faulted.Load() {
 		return fmt.Errorf("shard: scrub: shard %d is not quarantined", i)
 	}
@@ -159,8 +160,11 @@ func (s *Store) Scrub(i int) error {
 	}); err != nil {
 		return fmt.Errorf("shard: scrub %d: initializing map: %w", i, err)
 	}
+	s.amu.Lock()
+	hadAud := s.auds[i] != nil
+	s.amu.Unlock()
 	var aud *audit.Auditor
-	if s.auds[i] != nil {
+	if hadAud {
 		aud = audit.New(eng.Device(), audit.Options{})
 		aud.Attach()
 		eng.SetAuditor(aud)
@@ -168,7 +172,10 @@ func (s *Store) Scrub(i int) error {
 	// A fresh recorder on the fresh device; the quarantined device's ring
 	// (if any) goes with it — its flight data described lost media.
 	scrubbed := &shardPart{eng: eng, db: kvstore.Attach(eng), dev: eng.Device()}
-	if err := s.attachBlackbox(i, scrubbed); err != nil {
+	s.amu.Lock()
+	err = s.attachBlackbox(i, scrubbed) // writes s.flight[i]
+	s.amu.Unlock()
+	if err != nil {
 		return fmt.Errorf("shard: scrub %d: %w", i, err)
 	}
 	p.mu.Lock()
@@ -179,7 +186,9 @@ func (s *Store) Scrub(i int) error {
 	// The old engine (if any) is abandoned, not Closed: Close would report
 	// auditor state for a partition whose loss was just admitted.
 	if aud != nil {
+		s.amu.Lock()
 		s.auds[i] = aud
+		s.amu.Unlock()
 	}
 	s.faultScrub.Inc()
 	return s.coord.resolve(s)

@@ -57,7 +57,7 @@ func TestTransientFaultRetried(t *testing.T) {
 	if err := s.Put(key, bigValue()); err != nil {
 		t.Fatal(err)
 	}
-	markValueBad(t, s.shards[1].dev, bigValue(), true)
+	markValueBad(t, s.parts()[1].dev, bigValue(), true)
 
 	got, err := s.Get(key)
 	if err != nil {
@@ -99,7 +99,7 @@ func TestStickyFaultQuarantineAndScrub(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	markValueBad(t, s.shards[victim].dev, bigValue(), false)
+	markValueBad(t, s.parts()[victim].dev, bigValue(), false)
 
 	_, err = s.Get(vKey)
 	var ue *UnavailError

@@ -3,7 +3,15 @@
 // (rom/romlog/romlr selectable) with the flat-combining batched commit path,
 // and RomulusDB map, behind one Store API.
 //
-// Single-key operations hash-route to exactly one shard and keep the
+// Keys hash to a fixed set of placement slots, and a durable placement map
+// (persisted at the coordinator device's tail) assigns each slot to a shard
+// — see placement.go. A fresh store's identity placement reproduces plain
+// hash-mod-N routing exactly; online shard splits (internal/migrate) then
+// move slots between shards without stopping reads or writes. Lookups read
+// the slot table through a Left-Right construct, so routing is wait-free
+// even while a migration republishes it.
+//
+// Single-key operations route to exactly one shard and keep the
 // single-store fast path: they enter that shard's flat combiner and share
 // its batched ≤4-fence durability rounds with concurrent writers of the
 // same shard, while writers of different shards commit fully in parallel.
@@ -27,7 +35,6 @@ package shard
 
 import (
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
@@ -38,6 +45,7 @@ import (
 	"repro/internal/blackbox"
 	"repro/internal/core"
 	"repro/internal/kvstore"
+	"repro/internal/migrate"
 	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/pstruct"
@@ -58,14 +66,22 @@ var ErrNotFound = kvstore.ErrNotFound
 
 // Options configure Open and Reopen.
 type Options struct {
-	// Shards is the number of partitions (default 4). Fixed at creation; a
-	// store must be reopened with the shard count it was created with.
+	// Shards is the number of partitions created fresh (default 4). Reopen
+	// derives the count from the device set, and AddShard can grow it at
+	// runtime; the durable placement map keeps routing consistent across
+	// restarts either way.
 	Shards int
+	// SlotsPerShard sets the placement granularity for a freshly created
+	// store: the slot count is Shards × SlotsPerShard, fixed for the
+	// store's lifetime (default migrate.DefaultSlotsPerShard). More slots
+	// mean finer split boundaries at slightly larger placement records.
+	SlotsPerShard int
 	// RegionSize is the persistent heap size per twin copy per shard
 	// (default 4 MiB).
 	RegionSize int
-	// CoordSize is the coordinator log device size (default 256 KiB). It
-	// bounds the encoded size of one cross-shard batch.
+	// CoordSize is the coordinator log device size (default 256 KiB, floor
+	// 4× the placement record reserve). It bounds the encoded size of one
+	// cross-shard batch; the placement map lives in the device's tail.
 	CoordSize int
 	// Variant selects the Romulus engine for every shard (default RomLog).
 	Variant core.Variant
@@ -124,6 +140,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.CoordSize == 0 {
 		o.CoordSize = 256 << 10
+	}
+	if o.CoordSize < 4*placementReserve {
+		o.CoordSize = 4 * placementReserve
 	}
 	if o.FaultRetries == 0 {
 		o.FaultRetries = 1
@@ -207,21 +226,50 @@ func (p *shardPart) applyPrepared(id uint64, b *kvstore.Batch) error {
 
 // Store is a sharded persistent KV store.
 type Store struct {
-	opts   Options
-	shards []*shardPart
+	opts Options
+	// partsv holds the shard slice copy-on-write (AddShard appends by
+	// publishing a longer copy), so readers index it without locks.
+	partsv atomic.Pointer[[]*shardPart]
 	coord  *coordinator
 	reg    *obs.Registry
-	auds   []*audit.Auditor // non-nil entries only when Options.Audit built them
+
+	// amu guards auds and flight against AddShard/Scrub appends.
+	amu  sync.Mutex
+	auds []*audit.Auditor // non-nil entries only when Options.Audit built them
 	// flight holds the per-shard flight-recorder reports replayed at the
 	// last Open/Reopen (nil entries: Blackbox off, no reserved tail, or the
 	// shard was quarantined at open).
 	flight []*blackbox.Report
 
+	// Placement routing + migration state (see placement.go). migMu is the
+	// migration epoch lock: writes hold it for read across their
+	// route-then-commit span, migration state transitions take it for
+	// write. placement and mig are guarded by it; router and numSlots are
+	// set once at open.
+	migMu     sync.RWMutex
+	placement *migrate.Placement
+	mig       *migration
+	router    *router
+	numSlots  int
+
 	routeGet, routePut, routeDel *obs.Counter
 	batchSingle, batchX          *obs.Counter
 
 	faultMedia, faultRetry, faultScrub, quarantineN *obs.Counter
+
+	placementPublish                  *obs.Counter
+	migBegun, migAborts               *obs.Counter
+	migCutovers                       *obs.Counter
+	migCopiedKeys, migCopiedBytes     *obs.Counter
+	migDirtyKeys, migCleanedKeys      *obs.Counter
+	migRecoverAbort, migRecoverFinish *obs.Counter
 }
+
+// parts returns the current shard slice (never nil after open; treat as
+// immutable).
+func (s *Store) parts() []*shardPart { return *s.partsv.Load() }
+
+func (s *Store) setParts(ps []*shardPart) { s.partsv.Store(&ps) }
 
 // Open creates a fresh store, or reloads one from Options.Dir when image
 // files are present.
@@ -234,6 +282,7 @@ func Open(opts Options) (*Store, error) {
 	}
 	s := newStore(opts)
 	exts := s.externalAuditors()
+	parts := make([]*shardPart, 0, opts.Shards)
 	for i := 0; i < opts.Shards; i++ {
 		eng, err := core.New(opts.RegionSize, s.engineConfig())
 		if err != nil {
@@ -249,8 +298,9 @@ func Open(opts Options) (*Store, error) {
 		if err := s.attachBlackbox(i, p); err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		s.shards = append(s.shards, p)
+		parts = append(parts, p)
 	}
+	s.setParts(parts)
 	coordDev := pmem.New(opts.CoordSize, opts.Model)
 	// Wire auditing before the coordinator formats so its protocol is
 	// audited from the first store (shard formats above ran unaudited, as
@@ -261,13 +311,17 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.coord = coord
+	if err := s.initPlacement(); err != nil {
+		return nil, err
+	}
 	s.wireMetrics()
 	return s, nil
 }
 
 // Reopen attaches a store to existing devices — one per shard plus the
 // coordinator device LAST (the Devices order) — running each shard's crash
-// recovery and then the coordinator's in-doubt batch resolution. Crash
+// recovery, the coordinator's in-doubt batch resolution, and then the
+// placement map's migration-journal resolution (see placement.go). Crash
 // harnesses drive this with devices built from captured images.
 func Reopen(devs []*pmem.Device, opts Options) (*Store, error) {
 	if len(devs) < 2 {
@@ -292,6 +346,7 @@ func Reopen(devs []*pmem.Device, opts Options) (*Store, error) {
 			}
 		}
 	}
+	parts := make([]*shardPart, 0, opts.Shards)
 	for i := 0; i < opts.Shards; i++ {
 		var aud ptm.Auditor
 		if exts != nil && exts[i] != nil {
@@ -308,7 +363,7 @@ func Reopen(devs []*pmem.Device, opts Options) (*Store, error) {
 				p := &shardPart{dev: devs[i]}
 				p.reason = fmt.Sprintf("recovery failed: %v", err)
 				p.faulted.Store(true)
-				s.shards = append(s.shards, p)
+				parts = append(parts, p)
 				s.quarantineN.Inc()
 				continue
 			}
@@ -323,31 +378,39 @@ func Reopen(devs []*pmem.Device, opts Options) (*Store, error) {
 			// caller reads describes the pre-crash run, not this reopen.
 			p.bb.Recovery()
 		}
-		s.shards = append(s.shards, p)
+		parts = append(parts, p)
 	}
+	s.setParts(parts)
 	coord, err := openCoordinator(devs[len(devs)-1], s, s.coordAuditor(exts))
 	if err != nil {
 		return nil, fmt.Errorf("shard: reopening coordinator: %w", err)
 	}
 	s.coord = coord
+	if err := s.initPlacement(); err != nil {
+		return nil, err
+	}
 	s.wireMetrics()
 	return s, nil
 }
 
-// openDir reloads a store persisted by Close into Options.Dir.
+// openDir reloads a store persisted by Close into Options.Dir. The shard
+// count comes from the image files present (an online split may have grown
+// the store past the count it was created with).
 func openDir(opts Options) (*Store, error) {
-	devs := make([]*pmem.Device, 0, opts.Shards+1)
-	for i := 0; i < opts.Shards; i++ {
-		d, err := pmem.LoadFile(shardPath(opts.Dir, i), opts.Model)
+	var devs []*pmem.Device
+	for i := 0; ; i++ {
+		path := shardPath(opts.Dir, i)
+		if _, err := os.Stat(path); err != nil {
+			break
+		}
+		d, err := pmem.LoadFile(path, opts.Model)
 		if err != nil {
-			return nil, fmt.Errorf("shard: loading shard %d (store created with a different -shards?): %w", i, err)
+			return nil, fmt.Errorf("shard: loading shard %d: %w", i, err)
 		}
 		devs = append(devs, d)
 	}
-	// A shard image beyond the configured count means the shard count
-	// changed between runs — refuse rather than silently mis-route keys.
-	if _, err := os.Stat(shardPath(opts.Dir, opts.Shards)); err == nil {
-		return nil, fmt.Errorf("shard: %s holds more than %d shard images; reopen with the original shard count", opts.Dir, opts.Shards)
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("shard: %s holds a coordinator image but no shard images", opts.Dir)
 	}
 	cd, err := pmem.LoadFile(coordPath(opts.Dir), opts.Model)
 	if err != nil {
@@ -367,7 +430,7 @@ func newStore(opts Options) *Store {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Store{
+	s := &Store{
 		opts:        opts,
 		reg:         reg,
 		auds:        make([]*audit.Auditor, opts.Shards+1),
@@ -381,7 +444,20 @@ func newStore(opts Options) *Store {
 		faultRetry:  reg.Counter("fault_retry_total"),
 		faultScrub:  reg.Counter("fault_scrub_total"),
 		quarantineN: reg.Counter("shard_quarantine_total"),
+
+		placementPublish: reg.Counter("placement_publish_total"),
+		migBegun:         reg.Counter("shard_migrate_total"),
+		migAborts:        reg.Counter("shard_migrate_abort_total"),
+		migCutovers:      reg.Counter("shard_migrate_cutover_total"),
+		migCopiedKeys:    reg.Counter("shard_migrate_copied_keys_total"),
+		migCopiedBytes:   reg.Counter("shard_migrate_copied_bytes_total"),
+		migDirtyKeys:     reg.Counter("shard_migrate_dirty_keys_total"),
+		migCleanedKeys:   reg.Counter("shard_migrate_cleanup_keys_total"),
+		migRecoverAbort:  reg.Counter("shard_migrate_recover_abort_total"),
+		migRecoverFinish: reg.Counter("shard_migrate_recover_finish_total"),
 	}
+	s.setParts(nil)
+	return s
 }
 
 // engineConfig is the per-shard core.Config Open, Reopen and Scrub share.
@@ -435,7 +511,7 @@ func (s *Store) wireAudit(exts []ptm.Auditor, coordDev *pmem.Device) {
 	if exts != nil || !s.opts.Audit {
 		return
 	}
-	for i, p := range s.shards {
+	for i, p := range s.parts() {
 		a := audit.New(p.eng.Device(), audit.Options{})
 		a.Attach()
 		p.eng.SetAuditor(a)
@@ -460,7 +536,7 @@ func (s *Store) coordAuditor(exts []ptm.Auditor) ptm.Auditor {
 
 // wireMetrics registers the lazy per-shard gauges.
 func (s *Store) wireMetrics() {
-	shards, c := s.shards, s.coord
+	c := s.coord
 	s.reg.Collect(func(set obs.Setter) {
 		set("xshard_prepare_total", c.prepares.Load())
 		set("xshard_commit_total", c.commits.Load())
@@ -470,6 +546,22 @@ func (s *Store) wireMetrics() {
 		cds := c.dev.Stats()
 		set("coord_fence_total", cds.Pfences+cds.Psyncs)
 		set("coord_pwb_total", cds.Pwbs)
+
+		s.migMu.RLock()
+		pl, migrating := s.placement, uint64(0)
+		if pl.Journal.Phase != migrate.PhaseNone {
+			migrating = 1
+		}
+		set("placement_slots", uint64(pl.NumSlots))
+		set("placement_version", pl.Version)
+		set("placement_shards", uint64(pl.NumShards))
+		s.migMu.RUnlock()
+		set("shard_migrate_active", migrating)
+
+		shards := s.parts()
+		s.amu.Lock()
+		flight := append([]*blackbox.Report(nil), s.flight...)
+		s.amu.Unlock()
 		quarantined := uint64(0)
 		flights, replayed, reformatted := uint64(0), uint64(0), uint64(0)
 		for i, p := range shards {
@@ -485,10 +577,12 @@ func (s *Store) wireMetrics() {
 			if bb != nil {
 				flights += bb.Appended()
 			}
-			if rep := s.flight[i]; rep != nil {
-				replayed += uint64(len(rep.Records))
-				if rep.Reformatted {
-					reformatted++
+			if i < len(flight) {
+				if rep := flight[i]; rep != nil {
+					replayed += uint64(len(rep.Records))
+					if rep.Reformatted {
+						reformatted++
+					}
 				}
 			}
 			ds := dev.Stats()
@@ -514,7 +608,7 @@ func (s *Store) wireMetrics() {
 }
 
 // NumShards returns the partition count.
-func (s *Store) NumShards() int { return len(s.shards) }
+func (s *Store) NumShards() int { return len(s.parts()) }
 
 // sidecarMark opens a sidecar key: "\x00<class>\x00<base>". The leading NUL
 // cannot appear in protocol-level keys (the wire layer rejects it), so
@@ -555,14 +649,19 @@ func indexByteFrom(key []byte, from int, c byte) int {
 	return -1
 }
 
-// ShardFor returns the index of the shard key routes to (FNV-1a of the
-// routing key, modulo the shard count — stable across restarts for a fixed
-// count). Sidecar keys route with their base key, so a key and its metadata
-// always commit in the same shard's transactions.
+// ShardFor returns the index of the shard key routes to under the current
+// placement: FNV-1a of the routing key picks a placement slot, the slot
+// table names the shard. A fresh store's identity placement makes this
+// exactly the classic hash-mod-N. Sidecar keys route with their base key,
+// so a key and its metadata always commit in the same shard's transactions
+// — and always migrate together (they share a slot).
+//
+// During a migration the answer can change between calls; operations that
+// act on the result must either hold a WriteHandle (mutations) or use the
+// routed read path (Get/ViewKey), both of which pin the route across the
+// shard access.
 func (s *Store) ShardFor(key []byte) int {
-	h := fnv.New64a()
-	h.Write(RoutingKey(key))
-	return int(h.Sum64() % uint64(len(s.shards)))
+	return s.router.lookup(s.slotOf(key))
 }
 
 // Registry returns the store's metrics registry (Options.Metrics, or the
@@ -573,8 +672,9 @@ func (s *Store) Registry() *obs.Registry { return s.reg }
 // coordinator log LAST. The order matches Reopen's expectation, so a crash
 // harness can capture all images and reopen from them.
 func (s *Store) Devices() []*pmem.Device {
-	out := make([]*pmem.Device, 0, len(s.shards)+1)
-	for _, p := range s.shards {
+	parts := s.parts()
+	out := make([]*pmem.Device, 0, len(parts)+1)
+	for _, p := range parts {
 		p.mu.RLock()
 		out = append(out, p.dev)
 		p.mu.RUnlock()
@@ -583,16 +683,17 @@ func (s *Store) Devices() []*pmem.Device {
 }
 
 // Engine exposes shard i's engine (statistics, crash testing).
-func (s *Store) Engine(i int) *core.Engine { return s.shards[i].eng }
+func (s *Store) Engine(i int) *core.Engine { return s.parts()[i].eng }
 
 // SetAuditors installs externally managed auditors — one per shard plus the
 // coordinator's last, nil entries allowed — on the engines and coordinator.
 // Call only at a quiescent point.
 func (s *Store) SetAuditors(auds []ptm.Auditor) {
-	if len(auds) != len(s.shards)+1 {
-		panic(fmt.Sprintf("shard: SetAuditors got %d auditors for %d shards+coordinator", len(auds), len(s.shards)))
+	parts := s.parts()
+	if len(auds) != len(parts)+1 {
+		panic(fmt.Sprintf("shard: SetAuditors got %d auditors for %d shards+coordinator", len(auds), len(parts)))
 	}
-	for i, p := range s.shards {
+	for i, p := range parts {
 		if p.eng != nil {
 			p.eng.SetAuditor(auds[i])
 		}
@@ -603,18 +704,26 @@ func (s *Store) SetAuditors(auds []ptm.Auditor) {
 // Auditors returns the store-created auditors (Options.Audit), one per
 // shard plus the coordinator's last; entries are nil when auditing is off
 // or externally managed.
-func (s *Store) Auditors() []*audit.Auditor { return s.auds }
+func (s *Store) Auditors() []*audit.Auditor {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	return append([]*audit.Auditor(nil), s.auds...)
+}
 
 // FlightReports returns the per-shard flight-recorder reports replayed at
 // the last Open/Reopen. Entries are nil when Blackbox is off, the device
 // has no reserved tail, or the shard was quarantined at open. The reports
 // describe the run *before* this open — forensics, not live state.
-func (s *Store) FlightReports() []*blackbox.Report { return s.flight }
+func (s *Store) FlightReports() []*blackbox.Report {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	return append([]*blackbox.Report(nil), s.flight...)
+}
 
 // HasFlightRecorder reports whether any shard is recording flights; the
 // group committer checks once instead of per batch.
 func (s *Store) HasFlightRecorder() bool {
-	for _, p := range s.shards {
+	for _, p := range s.parts() {
 		if p.bb != nil {
 			return true
 		}
@@ -629,10 +738,11 @@ func (s *Store) HasFlightRecorder() bool {
 // committer — the intended caller — is otherwise the shard's only engine
 // writer, so nothing else mutates the device concurrently.
 func (s *Store) RecordFlight(i int, rec blackbox.Record) {
-	if i < 0 || i >= len(s.shards) {
+	parts := s.parts()
+	if i < 0 || i >= len(parts) {
 		return
 	}
-	p := s.shards[i]
+	p := parts[i]
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.bb == nil || p.faulted.Load() {
@@ -646,6 +756,8 @@ func (s *Store) RecordFlight(i int, rec blackbox.Record) {
 // ViolationCount sums durability violations across the store-created
 // auditors.
 func (s *Store) ViolationCount() uint64 {
+	s.amu.Lock()
+	defer s.amu.Unlock()
 	var n uint64
 	for _, a := range s.auds {
 		if a != nil {
@@ -656,11 +768,13 @@ func (s *Store) ViolationCount() uint64 {
 }
 
 // Get returns the value for key, ErrNotFound, or — for a quarantined shard
-// — the typed *UnavailError.
+// — the typed *UnavailError. The lookup holds the routing construct's read
+// indicator across the shard access, so a concurrent migration cutover can
+// never retire the shard's copy of the key mid-read (see placement.go).
 func (s *Store) Get(key []byte) ([]byte, error) {
 	s.routeGet.Inc()
 	var out []byte
-	err := s.onShard(s.ShardFor(key), func(p *shardPart) error {
+	err := s.routedRead(key, func(p *shardPart) error {
 		v, err := p.db.Get(key)
 		out = v
 		return err
@@ -671,7 +785,9 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 // Put durably stores the pair on key's shard.
 func (s *Store) Put(key, val []byte) error {
 	s.routePut.Inc()
-	return s.onShard(s.ShardFor(key), func(p *shardPart) error {
+	h := s.BeginWrite(key)
+	defer h.Done()
+	return s.onShard(h.Route(key), func(p *shardPart) error {
 		return p.db.Put(key, val)
 	})
 }
@@ -679,7 +795,9 @@ func (s *Store) Put(key, val []byte) error {
 // Delete durably removes key from its shard (a no-op if absent).
 func (s *Store) Delete(key []byte) error {
 	s.routeDel.Inc()
-	return s.onShard(s.ShardFor(key), func(p *shardPart) error {
+	h := s.BeginWrite(key)
+	defer h.Done()
+	return s.onShard(h.Route(key), func(p *shardPart) error {
 		return p.db.Delete(key)
 	})
 }
@@ -691,8 +809,11 @@ func (s *Store) Delete(key []byte) error {
 // the whole batch. When Update returns nil the transaction's psync has
 // completed — there is no separate completion notification to wait for.
 // Keys touched inside fn MUST route to shard i (tx/db belong to that shard
-// alone); use ShardFor, and SidecarKey for metadata keys. Quarantine and
-// transient-fault retry semantics match the single-key operations.
+// alone); use ShardFor, and SidecarKey for metadata keys. Callers that can
+// race a migration must bracket the route + Update with a WriteHandle (the
+// group committer does); migration internals call Update directly.
+// Quarantine and transient-fault retry semantics match the single-key
+// operations.
 func (s *Store) Update(i int, fn func(tx ptm.Tx, db *kvstore.DB) error) error {
 	return s.onShard(i, func(p *shardPart) error {
 		return p.eng.Update(func(tx ptm.Tx) error { return fn(tx, p.db) })
@@ -700,7 +821,9 @@ func (s *Store) Update(i int, fn func(tx ptm.Tx, db *kvstore.DB) error) error {
 }
 
 // View runs fn as one read-only transaction on shard i (a consistent
-// snapshot of that shard). The same key-routing rule as Update applies.
+// snapshot of that shard). The same key-routing rule as Update applies;
+// for single-key reads that must stay consistent under migration, use
+// ViewKey instead.
 func (s *Store) View(i int, fn func(tx ptm.Tx, db *kvstore.DB) error) error {
 	return s.onShard(i, func(p *shardPart) error {
 		return p.eng.Read(func(tx ptm.Tx) error { return fn(tx, p.db) })
@@ -710,10 +833,13 @@ func (s *Store) View(i int, fn func(tx ptm.Tx, db *kvstore.DB) error) error {
 // Len returns the number of live pairs across the healthy shards (a
 // quarantined shard's pairs are unreadable and excluded). Shards are read
 // one at a time (no cross-shard snapshot), so a concurrent cross-shard
-// batch may be half-counted; quiesce writers for an exact count.
+// batch may be half-counted; quiesce writers for an exact count. During a
+// migration's copy/cleanup phases, moved keys can be double-counted (they
+// exist on both shards until cleanup finishes); quiesce the migration too
+// for an exact count.
 func (s *Store) Len() int {
 	n := 0
-	for _, p := range s.shards {
+	for _, p := range s.parts() {
 		p.mu.RLock()
 		if p.eng != nil && !p.faulted.Load() {
 			n += p.db.Len()
@@ -726,15 +852,21 @@ func (s *Store) Len() int {
 // Write applies the batch atomically and durably. Batches touching one
 // shard commit on that shard's fast path (one flat-combined durable
 // transaction); batches spanning shards commit through the coordinator's
-// durable two-phase record and are all-or-nothing across any crash.
+// durable two-phase record and are all-or-nothing across any crash. The
+// whole batch runs under one WriteHandle, so a migration cannot re-route
+// any of its keys between grouping and commit.
 func (s *Store) Write(b *kvstore.Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
-	groups := make([]*kvstore.Batch, len(s.shards))
+	keys := make([][]byte, 0, b.Len())
+	b.Each(func(del bool, key, val []byte) { keys = append(keys, key) })
+	h := s.BeginWrite(keys...)
+	defer h.Done()
+	groups := make([]*kvstore.Batch, len(s.parts()))
 	var involved []int
 	b.Each(func(del bool, key, val []byte) {
-		i := s.ShardFor(key)
+		i := h.Route(key)
 		if groups[i] == nil {
 			groups[i] = &kvstore.Batch{}
 			involved = append(involved, i)
@@ -781,15 +913,16 @@ type Stats struct {
 
 // Stats returns a snapshot of store statistics.
 func (s *Store) Stats() Stats {
+	parts := s.parts()
 	st := Stats{
-		Shards:    len(s.shards),
+		Shards:    len(parts),
 		XPrepares: s.coord.prepares.Load(),
 		XCommits:  s.coord.commits.Load(),
 		XAborts:   s.coord.aborts.Load(),
 		XReplays:  s.coord.replays.Load(),
 		XRollback: s.coord.rollbacks.Load(),
 	}
-	for _, p := range s.shards {
+	for _, p := range parts {
 		p.mu.RLock()
 		row := ShardStats{
 			Faulted: p.faulted.Load(),
@@ -814,11 +947,12 @@ func (s *Store) Stats() Stats {
 // image files back to Options.Dir when configured. The store must be
 // quiescent.
 func (s *Store) Close() error {
+	parts := s.parts()
 	if s.opts.Dir != "" {
 		if err := os.MkdirAll(s.opts.Dir, 0o755); err != nil {
 			return fmt.Errorf("shard: %w", err)
 		}
-		for i, p := range s.shards {
+		for i, p := range parts {
 			if err := p.dev.SaveFile(shardPath(s.opts.Dir, i)); err != nil {
 				return err
 			}
@@ -828,7 +962,7 @@ func (s *Store) Close() error {
 		}
 	}
 	var first error
-	for _, p := range s.shards {
+	for _, p := range parts {
 		if p.eng == nil {
 			continue
 		}

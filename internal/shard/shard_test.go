@@ -548,9 +548,20 @@ func TestStoreDirRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	bad := opts
-	bad.Shards = 2
-	if _, err := Open(bad); err == nil {
-		t.Fatal("Open accepted a shard-count mismatch")
+	// The image files govern the shard count on reload: a stale -shards
+	// flag (the store may have grown via an online split) is ignored, and
+	// the durable placement map keeps routing identical.
+	stale := opts
+	stale.Shards = 2
+	s3, err := Open(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.NumShards(); got != 3 {
+		t.Fatalf("reload with stale shard count: NumShards = %d, want 3", got)
+	}
+	checkAllPresent(t, s3, want, "after stale-count reload")
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
